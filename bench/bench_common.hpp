@@ -1,0 +1,28 @@
+// Shared helpers for the figure-reproduction bench binaries: consistent
+// stdout tables plus CSV output next to the binary so plots can be
+// regenerated without re-running.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+#include "util/csv.hpp"
+
+namespace diffserve::bench {
+
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+inline std::string csv_path(const std::string& name) {
+  return results_dir() + "/" + name + ".csv";
+}
+
+inline void banner(const char* figure, const char* caption) {
+  std::printf("\n=== %s — %s ===\n", figure, caption);
+}
+
+}  // namespace diffserve::bench

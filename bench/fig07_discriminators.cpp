@@ -1,0 +1,73 @@
+// Figure 7: discriminator design comparison — ResNet w GT, ViT w GT,
+// EfficientNet w Fake, EfficientNet w GT — as FID-vs-latency threshold
+// sweeps on the SD-Turbo (a) and SDXS (b) cascades. Expected ordering:
+// EfficientNet w GT achieves the lowest FID at any latency budget.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/environment.hpp"
+#include "core/offline_eval.hpp"
+
+using namespace diffserve;
+
+namespace {
+
+void run_cascade(const char* label, const std::string& cascade,
+                 const std::string& csv_name) {
+  bench::banner("Figure 7", label);
+  util::CsvWriter csv(bench::csv_path(csv_name),
+                      {"variant", "deferral", "latency_s", "fid"});
+
+  struct Variant {
+    discriminator::Backbone backbone;
+    discriminator::RealSource source;
+  };
+  const Variant variants[] = {
+      {discriminator::Backbone::kResNet, discriminator::RealSource::kGroundTruth},
+      {discriminator::Backbone::kViT, discriminator::RealSource::kGroundTruth},
+      {discriminator::Backbone::kEfficientNet,
+       discriminator::RealSource::kHeavyModel},
+      {discriminator::Backbone::kEfficientNet,
+       discriminator::RealSource::kGroundTruth},
+  };
+
+  std::printf("%-22s %-10s %-10s %-10s %-10s\n", "variant", "fid@25%",
+              "fid@50%", "fid@75%", "best_fid");
+  for (const auto& v : variants) {
+    core::EnvironmentConfig ec;
+    ec.cascade = cascade;
+    ec.workload_queries = 3000;
+    ec.discriminator.backbone = v.backbone;
+    ec.discriminator.real_source = v.source;
+    core::CascadeEnvironment env(ec);
+
+    core::SweepOptions opts;
+    opts.points = 21;
+    const auto pts =
+        core::sweep_cascade(env, core::RoutingSignal::kDiscriminator, opts);
+    double best = 1e9;
+    double at25 = 0, at50 = 0, at75 = 0;
+    for (const auto& p : pts) {
+      csv.add_row(std::vector<std::string>{
+          env.disc().name(), util::CsvWriter::format(p.actual_deferral),
+          util::CsvWriter::format(p.avg_latency_s),
+          util::CsvWriter::format(p.fid)});
+      best = std::min(best, p.fid);
+      if (std::fabs(p.target_deferral - 0.25) < 0.026) at25 = p.fid;
+      if (std::fabs(p.target_deferral - 0.50) < 0.026) at50 = p.fid;
+      if (std::fabs(p.target_deferral - 0.75) < 0.026) at75 = p.fid;
+    }
+    std::printf("%-22s %-10.2f %-10.2f %-10.2f %-10.2f\n",
+                env.disc().name().c_str(), at25, at50, at75, best);
+  }
+  std::printf("[csv] %s\n", bench::csv_path(csv_name).c_str());
+}
+
+}  // namespace
+
+int main() {
+  run_cascade("(a) SD-Turbo cascade", models::catalog::kCascade1,
+              "fig07_sdturbo");
+  run_cascade("(b) SDXS cascade", models::catalog::kCascade2, "fig07_sdxs");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Registering a custom model pair and serving it with DiffServe.
+//
+// Scenario: you distilled your own "flash" variant of a production
+// diffusion model and want to know (a) whether a discriminator can route
+// between them, and (b) what SLO you can afford to advertise. This example
+// builds the cascade from scratch through the public API — no built-in
+// catalog entries involved — then sweeps the SLO.
+#include <cstdio>
+
+#include "core/environment.hpp"
+#include "control/milp_allocator.hpp"
+#include "core/experiment.hpp"
+#include "discriminator/deferral_profile.hpp"
+#include "discriminator/discriminator.hpp"
+#include "models/model_repository.hpp"
+#include "nn/metrics.hpp"
+#include "quality/fid.hpp"
+
+using namespace diffserve;
+
+int main() {
+  // 1. Register custom variants: a 0.2 s "flash" model (quality tier 3)
+  //    and a 2.5 s "studio" model (quality tier 5), plus a discriminator.
+  models::ModelRepository repo;
+  repo.register_model({"flash-v1", models::ModelKind::kDiffusion,
+                       models::LatencyProfile::affine(0.2), /*tier=*/3, 512});
+  repo.register_model({"studio-v2", models::ModelKind::kDiffusion,
+                       models::LatencyProfile::affine(2.5), /*tier=*/5, 512});
+  repo.register_model({"router-net", models::ModelKind::kDiscriminator,
+                       models::LatencyProfile::affine(0.008, 0.1), 0, 512});
+  repo.register_cascade(
+      {"flash-studio", "flash-v1", "studio-v2", "router-net", 6.0});
+
+  // 2. Build the workload and train the discriminator on real-vs-generated
+  //    features for this pair.
+  quality::Workload workload(2000);
+  quality::FidScorer scorer(workload);
+  discriminator::DiscriminatorConfig dc;
+  dc.train_queries = 1200;
+  const auto disc = discriminator::train_discriminator(workload, 3, 5, dc);
+  const auto profile =
+      discriminator::DeferralProfile::profile(workload, disc, 3, 1000);
+
+  // Routing sanity: does confidence predict the light model's quality?
+  std::vector<double> conf;
+  std::vector<int> easy;
+  for (quality::QueryId q = 1200; q < 2000; ++q) {
+    conf.push_back(disc.confidence(workload.generated_feature(q, 3)));
+    easy.push_back(workload.true_error(q, 3) <= workload.true_error(q, 5));
+  }
+  std::printf("flash-studio cascade\n");
+  std::printf("  flash FID (alone):  %.2f\n", scorer.fid_single_tier(3));
+  std::printf("  studio FID (alone): %.2f\n", scorer.fid_single_tier(5));
+  std::printf("  router AUC (easy-query detection): %.3f\n\n",
+              nn::roc_auc(conf, easy));
+
+  // 3. Serve the custom cascade under DiffServe across candidate SLOs.
+  //    (The environment facade targets the built-in catalog, so this uses
+  //    the serving + control layers directly — the same layers the
+  //    facade wraps.)
+  std::printf("%-8s %-10s %-14s %-10s\n", "SLO_s", "FID", "violations",
+              "light%");
+  for (const double slo : {3.0, 4.5, 6.0, 9.0}) {
+    sim::Simulation sim;
+    serving::SystemConfig sys;
+    sys.total_workers = 12;
+    sys.slo_seconds = slo;
+    serving::ServingSystem system(sim, workload, repo,
+                                  repo.cascade("flash-studio"), &disc,
+                                  scorer, sys);
+    control::Controller controller(
+        sim, system, std::make_unique<control::MilpAllocator>(), profile);
+
+    util::Rng rng(5);
+    const auto tr = trace::RateTrace::azure_like(3.0, 14.0, 180.0, 7);
+    system.inject_arrivals(trace::generate_arrivals(tr, rng));
+    controller.start();
+    sim.run_until(tr.duration() + slo + 20.0);
+    controller.stop();
+    sim.run_all();
+
+    const auto& sink = system.sink();
+    std::printf("%-8.1f %-10.2f %-14.3f %-10.1f\n", slo, sink.overall_fid(),
+                sink.violation_ratio(),
+                100.0 * sink.light_served_fraction());
+  }
+  std::printf(
+      "\npick the loosest SLO your product tolerates: the cascade converts "
+      "slack directly into image quality.\n");
+  return 0;
+}

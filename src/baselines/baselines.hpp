@@ -1,0 +1,72 @@
+// Baseline serving systems (§4.1, Table 1).
+//
+//   Approach          Allocation   Query-aware
+//   Clipper-Light     Static       No    — all queries to the light model
+//   Clipper-Heavy     Static       No    — all queries to the heavy model
+//   Proteus           Dynamic      No    — model mix adapts to load, but
+//                                          routing is random
+//   DiffServe-Static  Static       Yes   — cascade with a fixed threshold,
+//                                          provisioned for peak demand
+//   DiffServe         Dynamic      Yes   — (src/control)
+//
+// All are implemented as Allocator strategies so the same controller,
+// serving system, and metrics pipeline host every approach — differences
+// in results come only from policy, exactly as in the paper's testbed.
+#pragma once
+
+#include <memory>
+
+#include "control/allocator.hpp"
+
+namespace diffserve::baselines {
+
+/// Clipper (Crankshaw et al., NSDI'17): a static, query-agnostic server.
+/// All workers host one model; batch sizes follow Clipper's AIMD policy on
+/// SLO feedback.
+class ClipperAllocator : public control::Allocator {
+ public:
+  enum class Variant { kLight, kHeavy };
+  explicit ClipperAllocator(Variant variant);
+
+  control::AllocationDecision allocate(
+      const control::AllocationInput& input) override;
+  std::string name() const override;
+
+ private:
+  Variant variant_;
+  int batch_ = 1;
+  double violation_trigger_ = 0.05;
+};
+
+/// Proteus (Ahmad et al., ASPLOS'24): dynamically sizes the light/heavy
+/// pools to the estimated demand, maximizing the fraction served by the
+/// higher-accuracy model — but routes queries to variants *randomly*,
+/// ignoring content ("randomly assigns incoming queries to model
+/// variants").
+class ProteusAllocator : public control::Allocator {
+ public:
+  control::AllocationDecision allocate(
+      const control::AllocationInput& input) override;
+  std::string name() const override { return "proteus"; }
+};
+
+/// DiffServe-Static: query-aware cascade with a fixed confidence threshold,
+/// provisioned once for peak demand (the "production practice" baseline).
+/// The first allocate() call solves for `peak_demand_qps` and the fixed
+/// threshold; every later call returns the same plan.
+class DiffServeStaticAllocator : public control::Allocator {
+ public:
+  DiffServeStaticAllocator(double peak_demand_qps, double fixed_threshold);
+
+  control::AllocationDecision allocate(
+      const control::AllocationInput& input) override;
+  std::string name() const override { return "diffserve-static"; }
+
+ private:
+  double peak_demand_qps_;
+  double fixed_threshold_;
+  bool solved_ = false;
+  control::AllocationDecision plan_;
+};
+
+}  // namespace diffserve::baselines

@@ -1,0 +1,88 @@
+// Resource allocator interface (§3.3).
+//
+// Every control period the controller snapshots runtime state into an
+// AllocationInput and asks an Allocator for the configuration
+// (x1, x2, b1, b2, t). Implementations: the MILP allocator (the paper's
+// approach), an exhaustive oracle (used for cross-checking and as a
+// fallback), the §4.5 ablation variants, and the baseline systems'
+// allocation policies (src/baselines).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/perf_model.hpp"
+#include "discriminator/deferral_profile.hpp"
+
+namespace diffserve::control {
+
+struct AllocationInput {
+  /// EWMA-estimated demand D (QPS), before over-provisioning.
+  double demand_qps = 0.0;
+  /// Over-provisioning factor lambda (1.05 by default, §3.3).
+  double over_provision = 1.05;
+  double slo_seconds = 5.0;
+  int total_workers = 1;
+
+  // Live queuing observations (totals over each pool).
+  double light_queue_length = 0.0;
+  double light_arrival_rate = 0.0;
+  double heavy_queue_length = 0.0;
+  double heavy_arrival_rate = 0.0;
+
+  /// Recent SLO violation ratio (consumed by AIMD batching).
+  double recent_violation_ratio = 0.0;
+
+  /// Utilization headroom: capacity constraints use x * T(b) * target
+  /// rather than raw capacity, because a stage planned at rho -> 1 has
+  /// unbounded queueing delay. The heavy stage gets more headroom since a
+  /// deferred query has already spent part of its budget.
+  double light_utilization_target = 0.90;
+  double heavy_utilization_target = 0.85;
+
+  /// Discretized confidence thresholds with their deferral fractions f(t),
+  /// ascending in threshold.
+  std::vector<discriminator::DeferralProfile::GridPoint> threshold_grid;
+
+  StagePerfModel light;
+  StagePerfModel heavy;
+
+  /// Demand after over-provisioning.
+  double provisioned_demand() const { return demand_qps * over_provision; }
+};
+
+struct AllocationDecision {
+  /// False when even the most permissive configuration cannot satisfy the
+  /// constraints; the decision then holds the best-effort fallback.
+  bool feasible = false;
+  int light_workers = 0;
+  int heavy_workers = 0;
+  int light_batch = 1;
+  int heavy_batch = 1;
+  double threshold = 0.0;
+  /// Deferral fraction f(threshold) the plan was sized for.
+  double deferral_fraction = 0.0;
+  /// Query-agnostic baselines (Clipper, Proteus) bypass the cascade: each
+  /// query goes directly to one model, heavy with probability p_heavy.
+  bool direct_mode = false;
+  double p_heavy = 0.0;
+  double solve_time_ms = 0.0;
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+  virtual AllocationDecision allocate(const AllocationInput& input) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Shared constraint check used by the exhaustive allocator and tests:
+/// does (x1, x2, b1, b2, f) satisfy Eq. 1-4 for this input?
+bool satisfies_constraints(const AllocationInput& in, int x1, int x2, int b1,
+                           int b2, double deferral_fraction);
+
+/// End-to-end latency estimate e1 + q1 + e2 + q2 for the latency
+/// constraint (Eq. 1).
+double estimated_latency(const AllocationInput& in, int b1, int b2);
+
+}  // namespace diffserve::control

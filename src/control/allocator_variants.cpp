@@ -1,0 +1,121 @@
+#include "control/allocator_variants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace diffserve::control {
+
+namespace {
+
+/// Keep only the grid point closest to `t` so the inner solver has no
+/// threshold freedom.
+std::vector<discriminator::DeferralProfile::GridPoint> pin_grid(
+    const std::vector<discriminator::DeferralProfile::GridPoint>& grid,
+    double t) {
+  DS_REQUIRE(!grid.empty(), "empty threshold grid");
+  const auto best = std::min_element(
+      grid.begin(), grid.end(), [t](const auto& a, const auto& b) {
+        return std::fabs(a.threshold - t) < std::fabs(b.threshold - t);
+      });
+  return {*best};
+}
+
+}  // namespace
+
+StaticThresholdAllocator::StaticThresholdAllocator(
+    std::unique_ptr<Allocator> inner, double fixed_threshold)
+    : inner_(std::move(inner)), fixed_threshold_(fixed_threshold) {
+  DS_REQUIRE(inner_ != nullptr, "null inner allocator");
+  DS_REQUIRE(fixed_threshold >= 0.0 && fixed_threshold <= 1.0,
+             "threshold outside [0,1]");
+}
+
+AllocationDecision StaticThresholdAllocator::allocate(
+    const AllocationInput& input) {
+  AllocationInput pinned = input;
+  pinned.threshold_grid = pin_grid(input.threshold_grid, fixed_threshold_);
+  return inner_->allocate(pinned);
+}
+
+NoQueueModelAllocator::NoQueueModelAllocator(std::unique_ptr<Allocator> inner)
+    : inner_(std::move(inner)) {
+  DS_REQUIRE(inner_ != nullptr, "null inner allocator");
+}
+
+AllocationDecision NoQueueModelAllocator::allocate(
+    const AllocationInput& input) {
+  // Proteus heuristic: assume the queuing delay equals twice the execution
+  // delay of the currently *smallest* profiled batch — implemented by
+  // faking the queue observations so littles_law_delay returns 2 * e(b=1)
+  // regardless of the real queue.
+  AllocationInput faked = input;
+  faked.light_arrival_rate = 1.0;
+  faked.light_queue_length = 2.0 * input.light.execution_latency(
+                                       input.light.batch_sizes().front());
+  faked.heavy_arrival_rate = 1.0;
+  faked.heavy_queue_length = 2.0 * input.heavy.execution_latency(
+                                       input.heavy.batch_sizes().front());
+  return inner_->allocate(faked);
+}
+
+AimdBatchAllocator::AimdBatchAllocator(std::unique_ptr<Allocator> inner,
+                                       AimdConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg) {
+  DS_REQUIRE(inner_ != nullptr, "null inner allocator");
+}
+
+int AimdBatchAllocator::step_up(const std::vector<int>& sizes, int current) {
+  for (const int s : sizes)
+    if (s > current) return s;
+  return sizes.back();
+}
+
+int AimdBatchAllocator::step_down(const std::vector<int>& sizes, int current,
+                                  double factor) {
+  const auto target = static_cast<int>(
+      std::floor(static_cast<double>(current) * factor));
+  int best = sizes.front();
+  for (const int s : sizes)
+    if (s <= std::max(target, sizes.front())) best = s;
+  return best;
+}
+
+AllocationDecision AimdBatchAllocator::allocate(const AllocationInput& input) {
+  // Reactive batch control: multiplicative decrease on violation signal,
+  // additive (next profiled size) increase otherwise.
+  const auto& l_sizes = input.light.batch_sizes();
+  const auto& h_sizes = input.heavy.batch_sizes();
+  if (input.recent_violation_ratio > cfg_.violation_trigger) {
+    light_batch_ = step_down(l_sizes, light_batch_, cfg_.decrease_factor);
+    heavy_batch_ = step_down(h_sizes, heavy_batch_, cfg_.decrease_factor);
+  } else {
+    // Additive increase, but never past a batch whose own execution blows
+    // the SLO (Clipper observes the timeout immediately and backs off;
+    // skipping the doomed step avoids a deterministic oscillation).
+    const int l_next = step_up(l_sizes, light_batch_);
+    if (input.light.stage_latency(l_next) <= input.slo_seconds)
+      light_batch_ = l_next;
+    const int h_next = step_up(h_sizes, heavy_batch_);
+    if (input.heavy.stage_latency(h_next) <= input.slo_seconds)
+      heavy_batch_ = h_next;
+  }
+
+  // The inner solver only sees the AIMD-selected batch sizes.
+  AllocationInput forced = input;
+  forced.light = StagePerfModel(
+      models::LatencyProfile(std::map<int, double>{
+          {light_batch_, input.light.execution_latency(light_batch_)}}),
+      nullptr);
+  forced.heavy = StagePerfModel(
+      models::LatencyProfile(std::map<int, double>{
+          {heavy_batch_, input.heavy.execution_latency(heavy_batch_)}}),
+      nullptr);
+  AllocationDecision out = inner_->allocate(forced);
+  out.light_batch = light_batch_;
+  out.heavy_batch = heavy_batch_;
+  return out;
+}
+
+}  // namespace diffserve::control

@@ -1,0 +1,69 @@
+// Ablation variants of the resource allocator (§4.5, Figure 8).
+//
+//   * StaticThresholdAllocator — the threshold is pinned; server counts and
+//     batch sizes still adapt ("Static threshold").
+//   * NoQueueModelAllocator — replaces the Little's-law queuing estimate
+//     with the Proteus-style heuristic q = 2 * e(b) ("No queuing model").
+//   * AimdBatchAllocator — batch sizes follow Clipper's additive-increase /
+//     multiplicative-decrease on SLO-violation feedback instead of being
+//     optimized ("AIMD").
+// Each wraps an inner allocator and perturbs its input or post-processes
+// its decision, so the variants compose with either the MILP or the
+// exhaustive solver.
+#pragma once
+
+#include <memory>
+
+#include "control/allocator.hpp"
+
+namespace diffserve::control {
+
+class StaticThresholdAllocator : public Allocator {
+ public:
+  StaticThresholdAllocator(std::unique_ptr<Allocator> inner,
+                           double fixed_threshold);
+  AllocationDecision allocate(const AllocationInput& input) override;
+  std::string name() const override { return "static-threshold"; }
+
+ private:
+  std::unique_ptr<Allocator> inner_;
+  double fixed_threshold_;
+};
+
+class NoQueueModelAllocator : public Allocator {
+ public:
+  explicit NoQueueModelAllocator(std::unique_ptr<Allocator> inner);
+  AllocationDecision allocate(const AllocationInput& input) override;
+  std::string name() const override { return "no-queue-model"; }
+
+ private:
+  std::unique_ptr<Allocator> inner_;
+};
+
+struct AimdConfig {
+  /// Violation ratio above which the batch is cut multiplicatively.
+  double violation_trigger = 0.05;
+  double decrease_factor = 0.5;
+};
+
+class AimdBatchAllocator : public Allocator {
+ public:
+  AimdBatchAllocator(std::unique_ptr<Allocator> inner, AimdConfig cfg = {});
+  AllocationDecision allocate(const AllocationInput& input) override;
+  std::string name() const override { return "aimd-batching"; }
+
+  int current_light_batch() const { return light_batch_; }
+  int current_heavy_batch() const { return heavy_batch_; }
+
+ private:
+  static int step_up(const std::vector<int>& sizes, int current);
+  static int step_down(const std::vector<int>& sizes, int current,
+                       double factor);
+
+  std::unique_ptr<Allocator> inner_;
+  AimdConfig cfg_;
+  int light_batch_ = 1;
+  int heavy_batch_ = 1;
+};
+
+}  // namespace diffserve::control

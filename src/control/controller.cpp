@@ -1,0 +1,101 @@
+#include "control/controller.hpp"
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace diffserve::control {
+
+Controller::Controller(sim::Simulation& sim, serving::ServingSystem& system,
+                       std::unique_ptr<Allocator> allocator,
+                       discriminator::DeferralProfile offline_profile,
+                       ControllerConfig cfg)
+    : sim_(sim),
+      system_(system),
+      allocator_(std::move(allocator)),
+      profile_(std::move(offline_profile), cfg.online_profile_capacity),
+      cfg_(cfg),
+      demand_holt_(cfg.ewma_alpha, cfg.trend_beta) {
+  DS_REQUIRE(allocator_ != nullptr, "controller needs an allocator");
+  DS_REQUIRE(cfg_.period_seconds > 0.0, "control period must be positive");
+  // Feed every data-path confidence into the online deferral profile.
+  system_.balancer().set_confidence_observer(
+      [this](double c) { profile_.observe(c); });
+}
+
+void Controller::start() {
+  if (cfg_.initial_demand_guess > 0.0)
+    demand_holt_.observe(cfg_.initial_demand_guess);
+  tick();  // provision immediately rather than serving blind for a period
+  tick_handle_ = sim_.every(cfg_.period_seconds, [this] { tick(); });
+}
+
+void Controller::stop() {
+  if (tick_handle_.valid()) sim_.cancel(tick_handle_);
+  tick_handle_ = {};
+}
+
+AllocationInput Controller::snapshot_input() const {
+  AllocationInput in;
+  // Forecast past the observation + actuation lag so ramps are covered.
+  in.demand_qps = demand_holt_.forecast(cfg_.forecast_horizon_periods);
+  in.over_provision = cfg_.over_provision;
+  in.slo_seconds = system_.config().slo_seconds;
+  in.total_workers = system_.config().total_workers;
+
+  const auto light = system_.balancer().light_stats();
+  const auto heavy = system_.balancer().heavy_stats();
+  in.light_queue_length = light.total_queue_length;
+  in.light_arrival_rate = light.arrival_rate;
+  in.heavy_queue_length = heavy.total_queue_length;
+  in.heavy_arrival_rate = heavy.arrival_rate;
+  in.recent_violation_ratio =
+      system_.sink().recent_violation_ratio(sim_.now());
+  in.threshold_grid = profile_.grid(cfg_.threshold_grid_points,
+                                    cfg_.max_deferral_fraction);
+
+  // Stage performance models from the repository profiles currently in use.
+  const auto& plan = system_.plan();
+  (void)plan;
+  std::map<int, double> light_lat, heavy_lat;
+  for (const int b : models::standard_batch_sizes()) {
+    light_lat[b] = system_.light_exec_latency(b);
+    heavy_lat[b] = system_.heavy_exec_latency(b);
+  }
+  in.light =
+      StagePerfModel(models::LatencyProfile(std::move(light_lat)), nullptr);
+  in.heavy =
+      StagePerfModel(models::LatencyProfile(std::move(heavy_lat)), nullptr);
+  return in;
+}
+
+void Controller::tick() {
+  const double observed = system_.balancer().demand_rate();
+  if (sim_.now() > 0.0) demand_holt_.observe(observed);
+
+  const AllocationInput in = snapshot_input();
+  const AllocationDecision d = allocator_->allocate(in);
+  apply_decision(d);
+
+  history_.push_back({sim_.now(), in.demand_qps, observed,
+                      in.recent_violation_ratio, d});
+  DS_LOG_DEBUG("controller")
+      << "t=" << sim_.now() << " demand=" << in.demand_qps
+      << " x1=" << d.light_workers << " x2=" << d.heavy_workers
+      << " b1=" << d.light_batch << " b2=" << d.heavy_batch
+      << " thr=" << d.threshold << (d.feasible ? "" : " (overload)");
+}
+
+void Controller::apply_decision(const AllocationDecision& d) {
+  serving::AllocationPlan plan;
+  plan.mode = d.direct_mode ? serving::RoutingMode::kDirect
+                            : serving::RoutingMode::kCascade;
+  plan.light_workers = d.light_workers;
+  plan.heavy_workers = d.heavy_workers;
+  plan.light_batch = d.light_batch;
+  plan.heavy_batch = d.heavy_batch;
+  plan.threshold = d.threshold;
+  plan.p_heavy = d.p_heavy;
+  system_.apply(plan);
+}
+
+}  // namespace diffserve::control

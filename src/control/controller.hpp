@@ -1,0 +1,83 @@
+// The DiffServe Controller (§3.1, §3.3).
+//
+// Every control period it: (1) snapshots runtime statistics from the load
+// balancer and workers (demand, queue lengths, arrival rates, recent
+// violations), (2) refreshes the demand estimate with an EWMA and the
+// deferral profile f(t) with live confidence observations, (3) asks its
+// Allocator for the new configuration, and (4) applies the plan to the
+// serving system. Decisions are recorded for the timeline figures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/allocator.hpp"
+#include "discriminator/deferral_profile.hpp"
+#include "serving/system.hpp"
+#include "sim/simulation.hpp"
+#include "stats/ewma.hpp"
+
+namespace diffserve::control {
+
+struct ControllerConfig {
+  double period_seconds = 5.0;
+  double ewma_alpha = 0.4;
+  /// Trend smoothing (Holt) and how many control periods ahead to
+  /// forecast demand — covers the observation + actuation lag so ramps do
+  /// not leave the heavy pool underprovisioned.
+  double trend_beta = 0.3;
+  double forecast_horizon_periods = 2.0;
+  double over_provision = 1.05;  ///< lambda (§3.3)
+  std::size_t threshold_grid_points = 51;
+  /// Cap on the planned deferral fraction: past the served-quality optimum
+  /// (~50% deferral in Figure 1a), deferring confidently-good light
+  /// outputs wastes heavy capacity and *worsens* FID, so the plan never
+  /// pushes deferral far beyond the optimum even with idle heavy capacity.
+  double max_deferral_fraction = 0.55;
+  std::size_t online_profile_capacity = 4000;
+  /// Apply a plan immediately at start() using this demand guess (QPS);
+  /// <= 0 derives it from the first observation instead.
+  double initial_demand_guess = 4.0;
+};
+
+class Controller {
+ public:
+  Controller(sim::Simulation& sim, serving::ServingSystem& system,
+             std::unique_ptr<Allocator> allocator,
+             discriminator::DeferralProfile offline_profile,
+             ControllerConfig cfg = {});
+
+  /// Apply the initial plan and register the periodic control tick.
+  void start();
+  /// Stop the periodic tick.
+  void stop();
+
+  struct Snapshot {
+    double time;
+    double demand_estimate;
+    double observed_demand;
+    double recent_violation_ratio;
+    AllocationDecision decision;
+  };
+  const std::vector<Snapshot>& history() const { return history_; }
+  const Allocator& allocator() const { return *allocator_; }
+
+  /// One control iteration (exposed for tests).
+  void tick();
+
+ private:
+  AllocationInput snapshot_input() const;
+  void apply_decision(const AllocationDecision& d);
+
+  sim::Simulation& sim_;
+  serving::ServingSystem& system_;
+  std::unique_ptr<Allocator> allocator_;
+  discriminator::OnlineDeferralProfile profile_;
+  ControllerConfig cfg_;
+
+  stats::HoltEwma demand_holt_;
+  sim::EventHandle tick_handle_{};
+  std::vector<Snapshot> history_;
+};
+
+}  // namespace diffserve::control

@@ -1,0 +1,166 @@
+#include "control/exhaustive_allocator.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace diffserve::control {
+
+double estimated_latency(const AllocationInput& in, int b1, int b2) {
+  const double q1 =
+      littles_law_delay(in.light_queue_length, in.light_arrival_rate);
+  const double q2 =
+      littles_law_delay(in.heavy_queue_length, in.heavy_arrival_rate);
+  return in.light.stage_latency(b1) + q1 + in.heavy.stage_latency(b2) + q2;
+}
+
+bool satisfies_constraints(const AllocationInput& in, int x1, int x2, int b1,
+                           int b2, double deferral_fraction) {
+  const double d = in.provisioned_demand();
+  if (estimated_latency(in, b1, b2) > in.slo_seconds) return false;   // Eq. 1
+  if (x1 * in.light.throughput(b1) * in.light_utilization_target <
+      d - 1e-9)
+    return false;                                                     // Eq. 2
+  if (x2 * in.heavy.throughput(b2) * in.heavy_utilization_target <
+      d * deferral_fraction - 1e-9)
+    return false;                                                     // Eq. 3
+  if (x1 + x2 > in.total_workers) return false;                       // Eq. 4
+  return true;
+}
+
+namespace {
+
+int ceil_workers(double demand, double per_worker_throughput) {
+  if (demand <= 1e-12) return 0;
+  DS_CHECK(per_worker_throughput > 0.0, "non-positive throughput");
+  return static_cast<int>(std::ceil(demand / per_worker_throughput - 1e-9));
+}
+
+/// Throughput-maximal batch size whose stage latency still fits the SLO;
+/// if none fits, the lowest-latency batch.
+int best_throughput_batch(const StagePerfModel& stage, double slo) {
+  int best = -1;
+  double best_tp = -1.0;
+  for (const int b : stage.batch_sizes()) {
+    if (stage.stage_latency(b) > slo) continue;
+    if (stage.throughput(b) > best_tp) {
+      best_tp = stage.throughput(b);
+      best = b;
+    }
+  }
+  if (best > 0) return best;
+  // Nothing fits: take the smallest batch (lowest latency).
+  return stage.batch_sizes().front();
+}
+
+std::optional<AllocationDecision> enumerate(const AllocationInput& in) {
+  const double d = in.provisioned_demand();
+  AllocationDecision best;
+  bool found = false;
+
+  for (const int b1 : in.light.batch_sizes()) {
+    for (const int b2 : in.heavy.batch_sizes()) {
+      if (estimated_latency(in, b1, b2) > in.slo_seconds) continue;
+      // x1 depends only on b1 (all demand passes the light stage).
+      const int x1 = std::max(
+          1, ceil_workers(d, in.light.throughput(b1) *
+                                 in.light_utilization_target));
+      if (x1 > in.total_workers) continue;
+      // Scan thresholds descending — the first feasible one is maximal for
+      // this (b1, b2).
+      for (auto it = in.threshold_grid.rbegin();
+           it != in.threshold_grid.rend(); ++it) {
+        const int x2 =
+            ceil_workers(d * it->fraction,
+                         in.heavy.throughput(b2) *
+                             in.heavy_utilization_target);
+        if (x1 + x2 > in.total_workers) continue;
+        const bool better =
+            !found || it->threshold > best.threshold + 1e-12 ||
+            (std::fabs(it->threshold - best.threshold) <= 1e-12 &&
+             (x1 + x2 < best.light_workers + best.heavy_workers ||
+              (x1 + x2 == best.light_workers + best.heavy_workers &&
+               estimated_latency(in, b1, b2) <
+                   estimated_latency(in, best.light_batch,
+                                     best.heavy_batch))));
+        if (better) {
+          best.feasible = true;
+          best.light_workers = x1;
+          best.heavy_workers = x2;
+          best.light_batch = b1;
+          best.heavy_batch = b2;
+          best.threshold = it->threshold;
+          best.deferral_fraction = it->fraction;
+          found = true;
+        }
+        break;  // lower thresholds for this (b1,b2) are dominated
+      }
+    }
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+}  // namespace
+
+AllocationInput relax_queue_estimates(const AllocationInput& in) {
+  AllocationInput relaxed = in;
+  relaxed.light_queue_length = 0.0;
+  relaxed.heavy_queue_length = 0.0;
+  return relaxed;
+}
+
+AllocationDecision overload_fallback(const AllocationInput& in) {
+  // Overload: lowest threshold, throughput-maximal SLO-respecting batches,
+  // and a worker split proportional to stage service demand. The drop
+  // policy at the workers sheds what cannot be served.
+  DS_REQUIRE(!in.threshold_grid.empty(), "empty threshold grid");
+  const double d = in.provisioned_demand();
+  const auto& lowest = in.threshold_grid.front();
+  AllocationDecision out;
+  out.feasible = false;
+  // The two stages share the SLO budget (Eq. 1): pick the heavy batch
+  // first (it dominates the budget), then the best light batch that fits
+  // in what remains — otherwise a throughput-maximal light batch can eat
+  // the whole budget and every cascade query gets dropped at dispatch.
+  out.heavy_batch = best_throughput_batch(in.heavy, 0.75 * in.slo_seconds);
+  const double remaining =
+      in.slo_seconds - in.heavy.stage_latency(out.heavy_batch);
+  out.light_batch = best_throughput_batch(in.light, remaining);
+  const double t1 = in.light.throughput(out.light_batch);
+  const double t2 = in.heavy.throughput(out.heavy_batch);
+  const double light_need = d / std::max(t1, 1e-9);
+  const double heavy_need = d * lowest.fraction / std::max(t2, 1e-9);
+  const double total_need = std::max(light_need + heavy_need, 1e-9);
+  int x1 = static_cast<int>(
+      std::round(in.total_workers * light_need / total_need));
+  x1 = std::min(std::max(x1, 1), in.total_workers);
+  out.light_workers = x1;
+  out.heavy_workers = in.total_workers - x1;
+  out.threshold = lowest.threshold;
+  out.deferral_fraction = lowest.fraction;
+  return out;
+}
+
+AllocationDecision ExhaustiveAllocator::allocate(const AllocationInput& in) {
+  const auto start = std::chrono::steady_clock::now();
+  DS_REQUIRE(!in.threshold_grid.empty(), "empty threshold grid");
+
+  // A transient queue backlog can make Eq. 1 unsatisfiable for every
+  // configuration; that is a drain problem, not a provisioning one, so
+  // retry capacity planning with the backlog terms dropped before
+  // declaring overload.
+  std::optional<AllocationDecision> best = enumerate(in);
+  if (!best) best = enumerate(relax_queue_estimates(in));
+  AllocationDecision out = best ? *best : overload_fallback(in);
+
+  out.solve_time_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace diffserve::control

@@ -1,0 +1,32 @@
+// Exhaustive allocation oracle.
+//
+// Enumerates every (b1, b2, t) combination, derives the minimum worker
+// counts by ceiling division, and keeps the feasible configuration with
+// the highest threshold (ties: fewest workers, then lowest latency). The
+// search space is |B|^2 * |grid| ~ a few thousand points, so this is fast
+// enough to serve as both a correctness oracle for the MILP allocator and
+// a production fallback.
+//
+// When no configuration is feasible, returns a best-effort overload plan:
+// the lowest threshold, throughput-maximal batch sizes, and a worker split
+// proportional to the two stages' service demands.
+#pragma once
+
+#include "control/allocator.hpp"
+
+namespace diffserve::control {
+
+class ExhaustiveAllocator : public Allocator {
+ public:
+  AllocationDecision allocate(const AllocationInput& input) override;
+  std::string name() const override { return "exhaustive"; }
+};
+
+/// Copy of the input with queue backlog terms dropped (capacity planning
+/// only) — used when Eq. 1 is transiently unsatisfiable due to backlog.
+AllocationInput relax_queue_estimates(const AllocationInput& in);
+
+/// Best-effort plan when even relaxed capacity planning is infeasible.
+AllocationDecision overload_fallback(const AllocationInput& in);
+
+}  // namespace diffserve::control

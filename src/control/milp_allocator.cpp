@@ -1,0 +1,195 @@
+#include "control/milp_allocator.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "control/exhaustive_allocator.hpp"
+#include "util/check.hpp"
+
+namespace diffserve::control {
+
+MilpAllocator::MilpAllocator(Formulation formulation,
+                             milp::MilpOptions options)
+    : formulation_(formulation), options_(options) {}
+
+// Variable layout (in order of creation):
+//   y1[b]  binary   one-hot light batch choice        (nb1 vars)
+//   x1[b]  integer  light workers running batch b     (nb1 vars)
+//   y2[b]  binary   one-hot heavy batch choice        (nb2 vars)
+//   x2[b]  integer  heavy workers running batch b     (nb2 vars)
+// then, depending on the formulation:
+//   z[k]   binary   one-hot threshold choice          (kThresholdGrid)
+//   phi    continuous deferral fraction               (kContinuousDeferral)
+milp::Problem MilpAllocator::build_problem(const AllocationInput& in,
+                                           Formulation formulation,
+                                           double worker_penalty) {
+  DS_REQUIRE(!in.threshold_grid.empty(), "empty threshold grid");
+  milp::Problem p;
+  const auto& b1s = in.light.batch_sizes();
+  const auto& b2s = in.heavy.batch_sizes();
+  const auto& grid = in.threshold_grid;
+  const double s = in.total_workers;
+  const double d = in.provisioned_demand();
+
+  std::vector<int> y1(b1s.size()), x1(b1s.size());
+  std::vector<int> y2(b2s.size()), x2(b2s.size());
+
+  for (std::size_t i = 0; i < b1s.size(); ++i) {
+    y1[i] = p.add_variable("y1_b" + std::to_string(b1s[i]),
+                           milp::VarType::kBinary, 0, 1, 0.0);
+    x1[i] = p.add_variable("x1_b" + std::to_string(b1s[i]),
+                           milp::VarType::kInteger, 0, s, -worker_penalty);
+  }
+  for (std::size_t i = 0; i < b2s.size(); ++i) {
+    y2[i] = p.add_variable("y2_b" + std::to_string(b2s[i]),
+                           milp::VarType::kBinary, 0, 1, 0.0);
+    x2[i] = p.add_variable("x2_b" + std::to_string(b2s[i]),
+                           milp::VarType::kInteger, 0, s, -worker_penalty);
+  }
+
+  std::vector<int> z;
+  int phi = -1;
+  if (formulation == Formulation::kThresholdGrid) {
+    z.resize(grid.size());
+    for (std::size_t k = 0; k < grid.size(); ++k)
+      z[k] = p.add_variable("z_" + std::to_string(k), milp::VarType::kBinary,
+                            0, 1, grid[k].threshold);
+  } else {
+    // Maximizing f is equivalent to maximizing t because f is monotone
+    // non-decreasing in t; the threshold is recovered from the grid after
+    // the solve.
+    phi = p.add_variable("phi", milp::VarType::kContinuous, 0.0,
+                         grid.back().fraction, 1.0);
+  }
+
+  // One-hot choices.
+  std::vector<std::pair<int, double>> terms;
+  for (std::size_t i = 0; i < b1s.size(); ++i) terms.push_back({y1[i], 1.0});
+  p.add_constraint("choose_b1", terms, milp::Sense::kEq, 1.0);
+  terms.clear();
+  for (std::size_t i = 0; i < b2s.size(); ++i) terms.push_back({y2[i], 1.0});
+  p.add_constraint("choose_b2", terms, milp::Sense::kEq, 1.0);
+  if (formulation == Formulation::kThresholdGrid) {
+    terms.clear();
+    for (std::size_t k = 0; k < grid.size(); ++k) terms.push_back({z[k], 1.0});
+    p.add_constraint("choose_t", terms, milp::Sense::kEq, 1.0);
+  }
+
+  // Workers may only run the chosen batch size: x_{i,b} <= S y_{i,b}.
+  for (std::size_t i = 0; i < b1s.size(); ++i)
+    p.add_constraint("link_x1_b" + std::to_string(b1s[i]),
+                     {{x1[i], 1.0}, {y1[i], -s}}, milp::Sense::kLe, 0.0);
+  for (std::size_t i = 0; i < b2s.size(); ++i)
+    p.add_constraint("link_x2_b" + std::to_string(b2s[i]),
+                     {{x2[i], 1.0}, {y2[i], -s}}, milp::Sense::kLe, 0.0);
+
+  // Eq. 2: light throughput (with utilization headroom) covers all demand.
+  terms.clear();
+  for (std::size_t i = 0; i < b1s.size(); ++i)
+    terms.push_back(
+        {x1[i], in.light.throughput(b1s[i]) * in.light_utilization_target});
+  p.add_constraint("light_throughput", terms, milp::Sense::kGe, d);
+
+  // Eq. 3: heavy throughput (with utilization headroom) covers deferrals.
+  terms.clear();
+  for (std::size_t i = 0; i < b2s.size(); ++i)
+    terms.push_back(
+        {x2[i], in.heavy.throughput(b2s[i]) * in.heavy_utilization_target});
+  if (formulation == Formulation::kThresholdGrid) {
+    for (std::size_t k = 0; k < grid.size(); ++k)
+      terms.push_back({z[k], -d * grid[k].fraction});
+  } else {
+    terms.push_back({phi, -d});
+  }
+  p.add_constraint("heavy_throughput", terms, milp::Sense::kGe, 0.0);
+
+  // Eq. 4: device budget.
+  terms.clear();
+  for (std::size_t i = 0; i < b1s.size(); ++i) terms.push_back({x1[i], 1.0});
+  for (std::size_t i = 0; i < b2s.size(); ++i) terms.push_back({x2[i], 1.0});
+  p.add_constraint("device_budget", terms, milp::Sense::kLe, s);
+
+  // Eq. 1: latency. Queuing delays are constants at solve time (Little's
+  // law on live observations); stage latencies depend on the chosen batch.
+  const double q1 =
+      littles_law_delay(in.light_queue_length, in.light_arrival_rate);
+  const double q2 =
+      littles_law_delay(in.heavy_queue_length, in.heavy_arrival_rate);
+  terms.clear();
+  for (std::size_t i = 0; i < b1s.size(); ++i)
+    terms.push_back({y1[i], in.light.stage_latency(b1s[i])});
+  for (std::size_t i = 0; i < b2s.size(); ++i)
+    terms.push_back({y2[i], in.heavy.stage_latency(b2s[i])});
+  p.add_constraint("latency_slo", terms, milp::Sense::kLe,
+                   in.slo_seconds - q1 - q2);
+
+  return p;
+}
+
+AllocationDecision MilpAllocator::allocate(const AllocationInput& in) {
+  const auto start = std::chrono::steady_clock::now();
+  milp::Problem problem = build_problem(in, formulation_);
+  milp::MilpResult res = milp::solve_milp(problem, options_);
+  last_nodes_ = res.nodes_explored;
+  if (!res.solution.optimal()) {
+    // Transient queue backlog can make Eq. 1 unsatisfiable; retry as pure
+    // capacity planning (queues drain via the drop policy).
+    problem = build_problem(relax_queue_estimates(in), formulation_);
+    res = milp::solve_milp(problem, options_);
+    last_nodes_ += res.nodes_explored;
+  }
+
+  AllocationDecision out;
+  if (res.solution.optimal()) {
+    const auto& v = res.solution.values;
+    const auto& b1s = in.light.batch_sizes();
+    const auto& b2s = in.heavy.batch_sizes();
+    const auto& grid = in.threshold_grid;
+    std::size_t idx = 0;
+    // Decode per the layout in build_problem.
+    for (std::size_t i = 0; i < b1s.size(); ++i) {
+      const double y = v[idx++];
+      const double x = v[idx++];
+      if (y > 0.5) {
+        out.light_batch = b1s[i];
+        out.light_workers = static_cast<int>(std::lround(x));
+      }
+    }
+    for (std::size_t i = 0; i < b2s.size(); ++i) {
+      const double y = v[idx++];
+      const double x = v[idx++];
+      if (y > 0.5) {
+        out.heavy_batch = b2s[i];
+        out.heavy_workers = static_cast<int>(std::lround(x));
+      }
+    }
+    if (formulation_ == Formulation::kThresholdGrid) {
+      for (std::size_t k = 0; k < grid.size(); ++k) {
+        if (v[idx++] > 0.5) {
+          out.threshold = grid[k].threshold;
+          out.deferral_fraction = grid[k].fraction;
+        }
+      }
+    } else {
+      const double achieved_phi = v[idx++];
+      // Highest grid threshold whose deferral fits in achieved_phi.
+      out.threshold = grid.front().threshold;
+      out.deferral_fraction = grid.front().fraction;
+      for (const auto& g : grid) {
+        if (g.fraction <= achieved_phi + 1e-9) {
+          out.threshold = g.threshold;
+          out.deferral_fraction = g.fraction;
+        }
+      }
+    }
+    out.feasible = true;
+  } else {
+    out = overload_fallback(in);
+  }
+  out.solve_time_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return out;
+}
+
+}  // namespace diffserve::control

@@ -1,0 +1,55 @@
+// MILP resource allocator — the paper's formulation (§3.3, Eq. 1-5).
+//
+//   max t
+//   s.t. e(b1) + q(b1) + e(b2) + q(b2) <= L
+//        x1 T1(b1) >= lambda D
+//        x2 T2(b2) >= lambda D f(t)
+//        x1 + x2 <= S
+//
+// Linearization: batch choices become one-hot binaries y_{i,b}; the product
+// x_i * T_i(b_i) becomes per-batch integer counts x_{i,b} <= S * y_{i,b};
+// the threshold becomes one-hot binaries z_k over the profiled grid with
+// f_k = f(t_k). A small per-worker penalty breaks ties toward smaller
+// deployments without affecting the threshold optimum.
+//
+// Falls back to the exhaustive allocator's overload plan when infeasible.
+#pragma once
+
+#include "control/allocator.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace diffserve::control {
+
+class MilpAllocator : public Allocator {
+ public:
+  /// Two equivalent formulations of the threshold choice:
+  ///   * kContinuousDeferral (default) — exploits that f(t) is monotone, so
+  ///     max t === max f: a single continuous deferral variable phi replaces
+  ///     the one-hot grid; t = f^{-1}(phi) is looked up after the solve.
+  ///     Far fewer binaries -> millisecond solves in the control loop.
+  ///   * kThresholdGrid — the paper's literal one-hot z_k grid. Same
+  ///     optimum (asserted in tests); kept for fidelity and benchmarking.
+  enum class Formulation { kContinuousDeferral, kThresholdGrid };
+
+  explicit MilpAllocator(Formulation formulation = Formulation::kContinuousDeferral,
+                         milp::MilpOptions options = {});
+
+  AllocationDecision allocate(const AllocationInput& input) override;
+  std::string name() const override { return "milp"; }
+
+  /// Build the MILP for an input (exposed for tests and the overhead
+  /// bench). Variable layout documented in the implementation.
+  static milp::Problem build_problem(const AllocationInput& input,
+                                     Formulation formulation,
+                                     double worker_penalty = 1e-6);
+
+  /// Nodes explored by the last solve.
+  int last_nodes() const { return last_nodes_; }
+
+ private:
+  Formulation formulation_;
+  milp::MilpOptions options_;
+  int last_nodes_ = 0;
+};
+
+}  // namespace diffserve::control

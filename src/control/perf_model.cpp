@@ -1,0 +1,34 @@
+#include "control/perf_model.hpp"
+
+#include "util/check.hpp"
+
+namespace diffserve::control {
+
+StagePerfModel::StagePerfModel(models::LatencyProfile profile,
+                               const models::LatencyProfile* extra)
+    : profile_(std::move(profile)) {
+  if (extra != nullptr) {
+    extra_ = *extra;
+    has_extra_ = true;
+  }
+  batches_ = profile_.batch_sizes();
+  DS_REQUIRE(!batches_.empty(), "stage needs at least one batch size");
+}
+
+double StagePerfModel::execution_latency(int batch) const {
+  double e = profile_.execution_latency(batch);
+  if (has_extra_) e += extra_.execution_latency(batch);
+  return e;
+}
+
+double StagePerfModel::throughput(int batch) const {
+  return static_cast<double>(batch) / execution_latency(batch);
+}
+
+double StagePerfModel::stage_latency(int batch) const {
+  // Execution plus expected batch-fill wait under lazy batching (~half a
+  // batch period).
+  return 1.5 * execution_latency(batch);
+}
+
+}  // namespace diffserve::control

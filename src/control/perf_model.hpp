@@ -1,0 +1,48 @@
+// Performance models for the resource allocation problem (§3.3).
+//
+// Execution latency comes from profiled batch latencies; the end-to-end
+// stage latency model adds the batch-fill wait (half-to-one batch period;
+// we use 0.5 * e(b), matching lazy batching in expectation). Queuing delay
+// uses Little's law, W = L / lambda, from the controller's live queue
+// length and arrival-rate observations.
+#pragma once
+
+#include <algorithm>
+
+#include "models/latency_profile.hpp"
+
+namespace diffserve::control {
+
+/// Latency/throughput model for one cascade stage.
+class StagePerfModel {
+ public:
+  StagePerfModel() = default;
+  /// `extra` (e.g. the discriminator pass on light workers) is added to
+  /// every batch execution.
+  StagePerfModel(models::LatencyProfile profile,
+                 const models::LatencyProfile* extra);
+
+  /// Batch execution latency e(b), including the extra pass.
+  double execution_latency(int batch) const;
+  /// Single-worker throughput T(b) = b / e(b).
+  double throughput(int batch) const;
+  /// Expected in-system stage latency excluding queuing: execution plus
+  /// the expected batch-fill wait.
+  double stage_latency(int batch) const;
+
+  const std::vector<int>& batch_sizes() const { return batches_; }
+
+ private:
+  models::LatencyProfile profile_;
+  models::LatencyProfile extra_;
+  bool has_extra_ = false;
+  std::vector<int> batches_;
+};
+
+/// Little's-law queuing delay: W = L / lambda (0 when idle).
+inline double littles_law_delay(double queue_length, double arrival_rate) {
+  if (arrival_rate <= 1e-9) return 0.0;
+  return std::max(0.0, queue_length) / arrival_rate;
+}
+
+}  // namespace diffserve::control

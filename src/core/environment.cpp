@@ -1,0 +1,30 @@
+#include "core/environment.hpp"
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace diffserve::core {
+
+CascadeEnvironment::CascadeEnvironment(EnvironmentConfig cfg)
+    : cfg_(std::move(cfg)),
+      repo_(models::ModelRepository::with_paper_catalog()),
+      cascade_(repo_.cascade(cfg_.cascade)) {
+  light_tier_ = repo_.model(cascade_.light_model).quality_tier;
+  heavy_tier_ = repo_.model(cascade_.heavy_model).quality_tier;
+
+  workload_ =
+      std::make_unique<quality::Workload>(cfg_.workload_queries, cfg_.quality);
+  scorer_ = std::make_unique<quality::FidScorer>(*workload_);
+
+  DS_LOG_INFO("env") << "training discriminator ("
+                     << discriminator::variant_name(cfg_.discriminator)
+                     << ") for " << cascade_.name;
+  disc_ = std::make_unique<discriminator::Discriminator>(
+      discriminator::train_discriminator(*workload_, light_tier_, heavy_tier_,
+                                         cfg_.discriminator));
+  offline_profile_ = std::make_unique<discriminator::DeferralProfile>(
+      discriminator::DeferralProfile::profile(*workload_, *disc_, light_tier_,
+                                              cfg_.profile_queries));
+}
+
+}  // namespace diffserve::core

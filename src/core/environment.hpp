@@ -1,0 +1,57 @@
+// CascadeEnvironment: the shared, expensive-to-build assets of one cascade
+// deployment — the evaluation workload, the model repository, the FID
+// scorer, the *trained* discriminator, and its offline deferral profile.
+// Build it once; run many experiments against it (every approach then sees
+// byte-identical prompts, images, and discriminator).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "discriminator/deferral_profile.hpp"
+#include "discriminator/discriminator.hpp"
+#include "models/model_repository.hpp"
+#include "quality/fid.hpp"
+#include "quality/workload.hpp"
+
+namespace diffserve::core {
+
+struct EnvironmentConfig {
+  std::string cascade = models::catalog::kCascade1;
+  std::size_t workload_queries = 5000;
+  quality::QualityConfig quality;
+  discriminator::DiscriminatorConfig discriminator;
+  std::size_t profile_queries = 1500;  ///< offline f(t) profiling set
+};
+
+class CascadeEnvironment {
+ public:
+  explicit CascadeEnvironment(EnvironmentConfig cfg = {});
+
+  const EnvironmentConfig& config() const { return cfg_; }
+  const models::ModelRepository& repository() const { return repo_; }
+  const models::CascadeSpec& cascade() const { return cascade_; }
+  const quality::Workload& workload() const { return *workload_; }
+  const quality::FidScorer& scorer() const { return *scorer_; }
+  const discriminator::Discriminator& disc() const { return *disc_; }
+  const discriminator::DeferralProfile& offline_profile() const {
+    return *offline_profile_;
+  }
+
+  int light_tier() const { return light_tier_; }
+  int heavy_tier() const { return heavy_tier_; }
+  double default_slo() const { return cascade_.slo_seconds; }
+
+ private:
+  EnvironmentConfig cfg_;
+  models::ModelRepository repo_;
+  models::CascadeSpec cascade_;
+  std::unique_ptr<quality::Workload> workload_;
+  std::unique_ptr<quality::FidScorer> scorer_;
+  std::unique_ptr<discriminator::Discriminator> disc_;
+  std::unique_ptr<discriminator::DeferralProfile> offline_profile_;
+  int light_tier_ = 0;
+  int heavy_tier_ = 0;
+};
+
+}  // namespace diffserve::core

@@ -1,0 +1,128 @@
+#include "core/experiment.hpp"
+
+#include "baselines/baselines.hpp"
+#include "control/allocator_variants.hpp"
+#include "control/exhaustive_allocator.hpp"
+#include "control/milp_allocator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::core {
+
+const char* to_string(Approach a) {
+  switch (a) {
+    case Approach::kDiffServe: return "DiffServe";
+    case Approach::kDiffServeExhaustive: return "DiffServe-Exhaustive";
+    case Approach::kDiffServeStatic: return "DiffServe-Static";
+    case Approach::kClipperLight: return "Clipper-Light";
+    case Approach::kClipperHeavy: return "Clipper-Heavy";
+    case Approach::kProteus: return "Proteus";
+    case Approach::kAblationStaticThreshold: return "Static-Threshold";
+    case Approach::kAblationAimdBatching: return "AIMD-Batching";
+    case Approach::kAblationNoQueueModel: return "No-Queuing-Model";
+  }
+  return "?";
+}
+
+const std::vector<Approach>& comparison_approaches() {
+  static const std::vector<Approach> order = {
+      Approach::kClipperLight, Approach::kClipperHeavy, Approach::kProteus,
+      Approach::kDiffServeStatic, Approach::kDiffServe};
+  return order;
+}
+
+namespace {
+
+std::unique_ptr<control::Allocator> make_allocator(
+    const CascadeEnvironment& env, const RunConfig& cfg) {
+  using control::Allocator;
+  const double static_threshold = env.offline_profile().threshold_for_fraction(
+      cfg.static_deferral_fraction);
+  switch (cfg.approach) {
+    case Approach::kDiffServe:
+      return std::make_unique<control::MilpAllocator>();
+    case Approach::kDiffServeExhaustive:
+      return std::make_unique<control::ExhaustiveAllocator>();
+    case Approach::kDiffServeStatic:
+      return std::make_unique<baselines::DiffServeStaticAllocator>(
+          cfg.trace.max_qps(), static_threshold);
+    case Approach::kClipperLight:
+      return std::make_unique<baselines::ClipperAllocator>(
+          baselines::ClipperAllocator::Variant::kLight);
+    case Approach::kClipperHeavy:
+      return std::make_unique<baselines::ClipperAllocator>(
+          baselines::ClipperAllocator::Variant::kHeavy);
+    case Approach::kProteus:
+      return std::make_unique<baselines::ProteusAllocator>();
+    case Approach::kAblationStaticThreshold:
+      return std::make_unique<control::StaticThresholdAllocator>(
+          std::make_unique<control::MilpAllocator>(), static_threshold);
+    case Approach::kAblationAimdBatching:
+      return std::make_unique<control::AimdBatchAllocator>(
+          std::make_unique<control::ExhaustiveAllocator>());
+    case Approach::kAblationNoQueueModel:
+      return std::make_unique<control::NoQueueModelAllocator>(
+          std::make_unique<control::MilpAllocator>());
+  }
+  DS_CHECK(false, "unreachable approach");
+  return nullptr;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const CascadeEnvironment& env,
+                                const RunConfig& cfg) {
+  DS_REQUIRE(cfg.trace.samples().size() >= 2, "run needs a trace");
+  sim::Simulation sim;
+
+  serving::SystemConfig sys_cfg = cfg.system;
+  sys_cfg.total_workers = cfg.total_workers;
+  sys_cfg.slo_seconds =
+      cfg.slo_seconds > 0.0 ? cfg.slo_seconds : env.default_slo();
+
+  serving::ServingSystem system(sim, env.workload(), env.repository(),
+                                env.cascade(), &env.disc(), env.scorer(),
+                                sys_cfg);
+
+  control::ControllerConfig ctrl_cfg = cfg.controller;
+  ctrl_cfg.over_provision = cfg.over_provision;
+  if (ctrl_cfg.initial_demand_guess <= 0.0)
+    ctrl_cfg.initial_demand_guess = cfg.trace.qps_at(0.0);
+  control::Controller controller(sim, system, make_allocator(env, cfg),
+                                 env.offline_profile(), ctrl_cfg);
+
+  util::Rng arrival_rng(cfg.arrival_seed);
+  const auto arrivals =
+      trace::generate_arrivals(cfg.trace, arrival_rng, cfg.arrivals);
+  system.inject_arrivals(arrivals);
+
+  controller.start();
+  sim.run_until(cfg.trace.duration() + sys_cfg.slo_seconds +
+                cfg.drain_seconds);
+  controller.stop();
+  // Drain any stragglers (e.g. batches launched right at the horizon).
+  sim.run_all();
+
+  ExperimentResult r;
+  r.approach = to_string(cfg.approach);
+  const auto& sink = system.sink();
+  r.violation_ratio = sink.violation_ratio();
+  r.mean_latency = sink.mean_latency();
+  r.p99_latency = sink.completed() ? sink.latency_percentile(99.0) : 0.0;
+  r.light_served_fraction = sink.light_served_fraction();
+  r.submitted = system.balancer().submitted();
+  r.completed = sink.completed();
+  r.dropped = sink.dropped();
+  r.overall_fid = sink.completed() >= 2 ? sink.overall_fid() : -1.0;
+  r.timeline = sink.timeline(cfg.timeline_window);
+  r.control_history = controller.history();
+  if (!r.control_history.empty()) {
+    double total_ms = 0.0;
+    for (const auto& h : r.control_history)
+      total_ms += h.decision.solve_time_ms;
+    r.mean_solve_ms = total_ms / static_cast<double>(r.control_history.size());
+  }
+  return r;
+}
+
+}  // namespace diffserve::core

@@ -1,0 +1,77 @@
+// Experiment driver: run one serving approach against one trace on one
+// cascade environment, in the discrete-event simulator, and collect the
+// paper's metrics. This is the primary public API; every evaluation figure
+// is a set of run_experiment() calls with different approaches/traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "core/environment.hpp"
+#include "serving/sink.hpp"
+#include "trace/arrivals.hpp"
+#include "trace/rate_trace.hpp"
+
+namespace diffserve::core {
+
+enum class Approach {
+  kDiffServe,             ///< MILP allocation + cascade routing (the system)
+  kDiffServeExhaustive,   ///< DiffServe with the exhaustive oracle allocator
+  kDiffServeStatic,       ///< fixed threshold, provisioned for peak
+  kClipperLight,
+  kClipperHeavy,
+  kProteus,
+  // §4.5 ablations of the resource allocator:
+  kAblationStaticThreshold,
+  kAblationAimdBatching,
+  kAblationNoQueueModel,
+};
+
+const char* to_string(Approach a);
+/// All five §4.2/4.3 comparison approaches, in the paper's order.
+const std::vector<Approach>& comparison_approaches();
+
+struct RunConfig {
+  Approach approach = Approach::kDiffServe;
+  int total_workers = 16;
+  /// Negative = use the cascade's default SLO.
+  double slo_seconds = -1.0;
+  /// Fixed operating point for DiffServe-Static / the static-threshold
+  /// ablation, expressed as a deferral fraction; the matching confidence
+  /// threshold comes from the offline profile (f^{-1}). A static system
+  /// must pick one operating point for all loads; even a peak-conscious
+  /// choice under-serves when demand exceeds the provisioning assumption
+  /// and under-delivers quality the rest of the time (§4.3).
+  double static_deferral_fraction = 0.25;
+  double over_provision = 1.05;
+  control::ControllerConfig controller;
+  serving::SystemConfig system;  ///< total_workers/slo overridden from above
+  trace::RateTrace trace;        ///< must be set
+  trace::ArrivalConfig arrivals;
+  std::uint64_t arrival_seed = 1;
+  /// Simulated drain margin after the trace ends.
+  double drain_seconds = 20.0;
+  double timeline_window = 10.0;
+};
+
+struct ExperimentResult {
+  std::string approach;
+  double overall_fid = 0.0;
+  double violation_ratio = 0.0;
+  double mean_latency = 0.0;
+  double p99_latency = 0.0;
+  double light_served_fraction = 0.0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  double mean_solve_ms = 0.0;
+  std::vector<serving::MetricsSink::TimelinePoint> timeline;
+  std::vector<control::Controller::Snapshot> control_history;
+};
+
+ExperimentResult run_experiment(const CascadeEnvironment& env,
+                                const RunConfig& cfg);
+
+}  // namespace diffserve::core

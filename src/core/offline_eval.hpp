@@ -1,0 +1,61 @@
+// Offline cascade evaluation (no serving loop): sweeps routing policies
+// over deferral fractions and reports FID vs. average latency, exactly the
+// methodology behind Figures 1a, 1b, 1c and 7. Batch size is 1 and there
+// is no queuing, matching the paper's motivation experiments.
+#pragma once
+
+#include <vector>
+
+#include "core/environment.hpp"
+
+namespace diffserve::core {
+
+/// What the router thresholds on to pick "easy" queries.
+enum class RoutingSignal {
+  kDiscriminator,  ///< trained discriminator confidence (DiffServe)
+  kRandom,         ///< defer with fixed probability
+  kPickScore,      ///< threshold on the light image's PickScore proxy
+  kClipScore,      ///< threshold on the light image's CLIPScore proxy
+  kOracle,         ///< defer where the true light-heavy error gap is largest
+};
+
+const char* to_string(RoutingSignal s);
+
+struct CascadePoint {
+  double target_deferral;  ///< swept parameter
+  double actual_deferral;  ///< realized deferred fraction
+  double fid;
+  double avg_latency_s;    ///< batch-1 pipeline latency, incl. discriminator
+  double fid_std = 0.0;    ///< across random repetitions (kRandom only)
+};
+
+struct SweepOptions {
+  std::size_t points = 21;        ///< deferral fractions 0..1
+  std::size_t random_repeats = 20;///< paper repeats Random 20x
+  std::uint64_t seed = 99;
+  /// Evaluate on the first n workload queries (0 = all).
+  std::size_t eval_queries = 0;
+};
+
+/// Sweep one routing signal across deferral fractions for the
+/// environment's cascade.
+std::vector<CascadePoint> sweep_cascade(const CascadeEnvironment& env,
+                                        RoutingSignal signal,
+                                        const SweepOptions& opts = {});
+
+/// FID and batch-1 latency of serving every query with a single variant
+/// (the orange "independent model" points of Figure 1a).
+struct SingleModelPoint {
+  std::string model;
+  double fid;
+  double avg_latency_s;
+};
+std::vector<SingleModelPoint> single_model_points(
+    const CascadeEnvironment& env, const std::vector<std::string>& model_names);
+
+/// Lower-left Pareto front of (x=cost, y=score) points, both minimized.
+/// Returns indices into `points`, sorted by x.
+std::vector<std::size_t> pareto_front_min_min(
+    const std::vector<std::pair<double, double>>& points);
+
+}  // namespace diffserve::core

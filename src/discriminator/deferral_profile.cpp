@@ -1,0 +1,103 @@
+#include "discriminator/deferral_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace diffserve::discriminator {
+
+DeferralProfile::DeferralProfile(std::vector<double> confidences)
+    : sorted_(std::move(confidences)) {
+  DS_REQUIRE(sorted_.size() >= 10, "too few samples for a deferral profile");
+  for (double c : sorted_)
+    DS_REQUIRE(c >= 0.0 && c <= 1.0, "confidence outside [0,1]");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+DeferralProfile DeferralProfile::profile(const quality::Workload& workload,
+                                         const Discriminator& disc,
+                                         int light_tier,
+                                         std::size_t n_profile) {
+  const std::size_t n = std::min<std::size_t>(n_profile, workload.size());
+  std::vector<double> conf;
+  conf.reserve(n);
+  for (quality::QueryId q = 0; q < n; ++q)
+    conf.push_back(disc.confidence(workload.generated_feature(q, light_tier)));
+  return DeferralProfile(std::move(conf));
+}
+
+double DeferralProfile::fraction_deferred(double threshold) const {
+  // Deferred iff confidence < t (strict, per §3.2: meeting the threshold
+  // returns the image).
+  const auto it =
+      std::lower_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double DeferralProfile::threshold_for_fraction(double target_fraction) const {
+  DS_REQUIRE(target_fraction >= 0.0 && target_fraction <= 1.0,
+             "fraction outside [0,1]");
+  // Largest t with f(t) <= target: f jumps at each sample, so the answer
+  // is the sample at index floor(target * n) (or 1.0 past the end).
+  const auto idx = static_cast<std::size_t>(
+      target_fraction * static_cast<double>(sorted_.size()));
+  if (idx >= sorted_.size()) return 1.0;
+  return sorted_[idx];
+}
+
+std::vector<DeferralProfile::GridPoint> DeferralProfile::grid(
+    std::size_t n, double max_fraction) const {
+  DS_REQUIRE(n >= 2, "grid needs at least two points");
+  DS_REQUIRE(max_fraction > 0.0 && max_fraction <= 1.0,
+             "max_fraction outside (0,1]");
+  std::vector<GridPoint> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double target = max_fraction * static_cast<double>(i) /
+                          static_cast<double>(n - 1);
+    const double t = threshold_for_fraction(target);
+    const double f = fraction_deferred(t);
+    if (!out.empty() && std::fabs(out.back().threshold - t) < 1e-12) continue;
+    out.push_back({t, f});
+  }
+  return out;
+}
+
+OnlineDeferralProfile::OnlineDeferralProfile(DeferralProfile offline,
+                                             std::size_t window_capacity,
+                                             std::size_t min_samples)
+    : offline_(std::move(offline)),
+      ring_(window_capacity),
+      min_samples_(min_samples) {
+  DS_REQUIRE(window_capacity >= min_samples,
+             "window capacity below activation threshold");
+}
+
+void OnlineDeferralProfile::observe(double confidence) {
+  DS_REQUIRE(confidence >= 0.0 && confidence <= 1.0,
+             "confidence outside [0,1]");
+  ring_[head_] = confidence;
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+}
+
+DeferralProfile OnlineDeferralProfile::current() const {
+  if (count_ < min_samples_) return offline_;
+  std::vector<double> window(ring_.begin(),
+                             ring_.begin() + static_cast<std::ptrdiff_t>(
+                                                 std::min(count_, ring_.size())));
+  return DeferralProfile(std::move(window));
+}
+
+double OnlineDeferralProfile::fraction_deferred(double threshold) const {
+  return current().fraction_deferred(threshold);
+}
+
+std::vector<DeferralProfile::GridPoint> OnlineDeferralProfile::grid(
+    std::size_t n, double max_fraction) const {
+  return current().grid(n, max_fraction);
+}
+
+}  // namespace diffserve::discriminator

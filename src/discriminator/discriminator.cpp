@@ -1,0 +1,111 @@
+#include "discriminator/discriminator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::discriminator {
+
+namespace {
+
+struct BackbonePreset {
+  std::vector<std::size_t> hidden;
+  double input_noise;
+  double latency_seconds;
+  const char* label;
+};
+
+BackbonePreset preset(Backbone b) {
+  // Capacity and input degradation reproduce the §4.4 accuracy ordering
+  // (EfficientNet > ViT > ResNet) and latencies (10/2/5 ms).
+  switch (b) {
+    case Backbone::kEfficientNet: return {{48, 32}, 0.00, 0.010, "EfficientNet"};
+    case Backbone::kViT:          return {{24},     0.45, 0.005, "ViT"};
+    case Backbone::kResNet:       return {{8},      0.90, 0.002, "ResNet"};
+  }
+  DS_CHECK(false, "unreachable backbone");
+  return {};
+}
+
+}  // namespace
+
+Discriminator::Discriminator(nn::MlpClassifier model, std::string name,
+                             double inference_latency_seconds,
+                             double temperature)
+    : model_(std::move(model)),
+      name_(std::move(name)),
+      latency_(inference_latency_seconds),
+      temperature_(temperature) {
+  DS_REQUIRE(latency_ > 0.0, "latency must be positive");
+  DS_REQUIRE(temperature_ > 0.0, "temperature must be positive");
+}
+
+double Discriminator::confidence(
+    const std::vector<double>& image_feature) const {
+  auto logits = model_.logits(image_feature);
+  for (auto& l : logits) l /= temperature_;
+  return nn::softmax(logits)[1];
+}
+
+std::string variant_name(const DiscriminatorConfig& cfg) {
+  const std::string base = preset(cfg.backbone).label;
+  return base + (cfg.real_source == RealSource::kGroundTruth ? " w GT"
+                                                             : " w Fake");
+}
+
+Discriminator train_discriminator(const quality::Workload& workload,
+                                  int light_tier, int heavy_tier,
+                                  const DiscriminatorConfig& cfg) {
+  DS_REQUIRE(cfg.train_queries >= 64, "too few training queries");
+  const auto p = preset(cfg.backbone);
+  const std::size_t n =
+      std::min<std::size_t>(cfg.train_queries, workload.size());
+
+  util::Rng rng(cfg.seed);
+  std::vector<quality::QueryId> ids(workload.size());
+  for (quality::QueryId q = 0; q < workload.size(); ++q) ids[q] = q;
+  rng.shuffle(ids);
+  ids.resize(n);
+
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  x.reserve(3 * n);
+  y.reserve(3 * n);
+  for (const auto q : ids) {
+    if (cfg.real_source == RealSource::kGroundTruth) {
+      // Figure 3 training path: real photos vs. generations from both
+      // cascade members.
+      x.push_back(workload.real_feature(q));
+      y.push_back(1);
+      x.push_back(workload.generated_feature(q, light_tier));
+      y.push_back(0);
+      x.push_back(workload.generated_feature(q, heavy_tier));
+      y.push_back(0);
+    } else {
+      // Ablation: the heavy model's outputs play the 'real' class.
+      x.push_back(workload.generated_feature(q, heavy_tier));
+      y.push_back(1);
+      x.push_back(workload.generated_feature(q, light_tier));
+      y.push_back(0);
+    }
+  }
+
+  std::vector<std::size_t> dims;
+  dims.push_back(workload.config().feature_dim);
+  dims.insert(dims.end(), p.hidden.begin(), p.hidden.end());
+  dims.push_back(2);
+  nn::MlpClassifier model(dims, cfg.seed ^ 0xD15C0ULL);
+
+  nn::TrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.batch_size = 32;
+  tc.adam.lr = 2e-3;
+  tc.input_noise = p.input_noise;
+  model.train(x, y, tc);
+
+  return Discriminator(std::move(model), variant_name(cfg),
+                       p.latency_seconds, cfg.temperature);
+}
+
+}  // namespace diffserve::discriminator

@@ -1,0 +1,81 @@
+// Discriminator training and inference for model cascading (§3.2).
+//
+// "The discriminator is trained on a binary classification task to
+// distinguish between high-quality, real-world images (labeled 'real') and
+// generated images (labeled 'fake'). ... During inference, the
+// discriminator receives the image produced by the lightweight model and
+// outputs a softmax value between 0 and 1 ... referred to as the
+// confidence score."
+//
+// Four backbone/training variants reproduce the §4.4 ablation:
+//   * EfficientNet-V2 w/ ground truth  (the paper's choice)
+//   * ViT-B16 w/ ground truth
+//   * ResNet-34 w/ ground truth
+//   * EfficientNet-V2 w/ heavy-model outputs as the 'real' class
+// Backbones differ in capacity and in how degraded a view of the image
+// they see (input noise), mirroring their relative accuracy in the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "quality/workload.hpp"
+
+namespace diffserve::discriminator {
+
+enum class Backbone { kEfficientNet, kViT, kResNet };
+
+enum class RealSource {
+  kGroundTruth,  ///< real photos are the 'real' class (paper's choice)
+  kHeavyModel,   ///< heavy-model outputs are the 'real' class (ablation)
+};
+
+struct DiscriminatorConfig {
+  Backbone backbone = Backbone::kEfficientNet;
+  RealSource real_source = RealSource::kGroundTruth;
+  /// Queries sampled from the workload for training.
+  std::size_t train_queries = 1500;
+  std::size_t epochs = 5;
+  std::uint64_t seed = 7;
+  /// Softmax temperature applied at inference. Raw cross-entropy training
+  /// saturates the confidence near {0, 1}; temperature scaling spreads the
+  /// scores over (0, 1) so a threshold sweep is meaningful (standard
+  /// confidence calibration; preserves the ranking and hence routing).
+  double temperature = 6.0;
+};
+
+/// A trained discriminator: maps an image feature vector to the confidence
+/// that it is 'real' (i.e., of high quality).
+class Discriminator {
+ public:
+  Discriminator(nn::MlpClassifier model, std::string name,
+                double inference_latency_seconds, double temperature = 1.0);
+
+  /// Temperature-scaled softmax probability of the 'real' class.
+  double confidence(const std::vector<double>& image_feature) const;
+
+  const std::string& name() const { return name_; }
+  /// Single-image inference latency (10/2/5 ms per §4.4).
+  double inference_latency() const { return latency_; }
+  std::size_t parameter_count() const { return model_.parameter_count(); }
+
+ private:
+  nn::MlpClassifier model_;
+  std::string name_;
+  double latency_;
+  double temperature_;
+};
+
+/// Train a discriminator to cascade `light_tier` -> `heavy_tier` over the
+/// given workload. Training follows Figure 3: real images (per
+/// `real_source`) vs. generated images from both cascade members.
+Discriminator train_discriminator(const quality::Workload& workload,
+                                  int light_tier, int heavy_tier,
+                                  const DiscriminatorConfig& cfg = {});
+
+/// Human-readable variant label ("EfficientNet w GT" etc.).
+std::string variant_name(const DiscriminatorConfig& cfg);
+
+}  // namespace diffserve::discriminator

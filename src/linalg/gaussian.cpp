@@ -1,0 +1,89 @@
+#include "linalg/gaussian.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "util/check.hpp"
+
+namespace diffserve::linalg {
+
+GaussianStats fit_gaussian(const std::vector<std::vector<double>>& samples) {
+  DS_REQUIRE(samples.size() >= 2, "need at least two samples to fit");
+  GaussianAccumulator acc(samples.front().size());
+  for (const auto& s : samples) acc.add(s);
+  return acc.stats();
+}
+
+double frechet_distance_sq(const GaussianStats& a, const GaussianStats& b) {
+  DS_REQUIRE(a.dim() == b.dim(), "dimension mismatch in frechet distance");
+  const std::size_t n = a.dim();
+
+  double mean_term = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a.mean[i] - b.mean[i];
+    mean_term += d * d;
+  }
+
+  // tr((S1^{1/2} S2 S1^{1/2})^{1/2}) computed via symmetric PSD roots.
+  const Matrix s1_half = sqrtm_psd(a.covariance);
+  const Matrix inner = s1_half * b.covariance * s1_half;
+  // Symmetrize to wash out roundoff before the second root.
+  const Matrix inner_sym = (inner + inner.transpose()) * 0.5;
+  const Matrix cross_root = sqrtm_psd(inner_sym);
+
+  const double cov_term = a.covariance.trace() + b.covariance.trace() -
+                          2.0 * cross_root.trace();
+  // The exact value is non-negative; tiny negatives are numerical noise.
+  return mean_term + std::max(0.0, cov_term);
+}
+
+GaussianAccumulator::GaussianAccumulator(std::size_t dim)
+    : sum_(dim, 0.0), sum_outer_(dim, dim) {
+  DS_REQUIRE(dim > 0, "zero-dimensional accumulator");
+}
+
+void GaussianAccumulator::add(const std::vector<double>& x) {
+  DS_REQUIRE(x.size() == sum_.size(), "dimension mismatch in accumulator");
+  ++count_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_[i] += x[i];
+    for (std::size_t j = 0; j < x.size(); ++j) sum_outer_(i, j) += x[i] * x[j];
+  }
+}
+
+void GaussianAccumulator::merge(const GaussianAccumulator& other) {
+  DS_REQUIRE(other.dim() == dim(), "dimension mismatch in merge");
+  count_ += other.count_;
+  for (std::size_t i = 0; i < sum_.size(); ++i) sum_[i] += other.sum_[i];
+  sum_outer_ += other.sum_outer_;
+}
+
+void GaussianAccumulator::reset() {
+  count_ = 0;
+  std::fill(sum_.begin(), sum_.end(), 0.0);
+  sum_outer_ = Matrix(sum_.size(), sum_.size());
+}
+
+GaussianStats GaussianAccumulator::stats() const {
+  DS_REQUIRE(count_ >= 2, "need at least two samples for covariance");
+  const std::size_t n = sum_.size();
+  GaussianStats out;
+  out.mean.resize(n);
+  const double inv = 1.0 / static_cast<double>(count_);
+  for (std::size_t i = 0; i < n; ++i) out.mean[i] = sum_[i] * inv;
+  out.covariance = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      out.covariance(i, j) =
+          sum_outer_(i, j) * inv - out.mean[i] * out.mean[j];
+  // Symmetrize against accumulated roundoff.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (out.covariance(i, j) + out.covariance(j, i));
+      out.covariance(i, j) = v;
+      out.covariance(j, i) = v;
+    }
+  return out;
+}
+
+}  // namespace diffserve::linalg

@@ -1,0 +1,153 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace diffserve::milp {
+
+namespace {
+
+struct Node {
+  // Bound overrides relative to the root problem.
+  std::vector<std::pair<int, double>> lower_overrides;
+  std::vector<std::pair<int, double>> upper_overrides;
+  double bound = 0.0;  // parent LP objective (upper bound for maximization)
+};
+
+struct NodeCompare {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.bound < b.bound;  // best-first: largest bound on top
+  }
+};
+
+// Rebuild the problem with the node's tightened variable bounds.
+// (Problem has no mutate-bounds API by design; reconstruction is cheap at
+// these sizes.)
+Problem with_overrides(const Problem& root, const Node& node) {
+  std::vector<double> lo(root.num_variables()), hi(root.num_variables());
+  for (std::size_t i = 0; i < root.num_variables(); ++i) {
+    lo[i] = root.variables()[i].lower;
+    hi[i] = root.variables()[i].upper;
+  }
+  for (const auto& [idx, v] : node.lower_overrides)
+    lo[static_cast<std::size_t>(idx)] =
+        std::max(lo[static_cast<std::size_t>(idx)], v);
+  for (const auto& [idx, v] : node.upper_overrides)
+    hi[static_cast<std::size_t>(idx)] =
+        std::min(hi[static_cast<std::size_t>(idx)], v);
+
+  Problem q;
+  for (std::size_t i = 0; i < root.num_variables(); ++i) {
+    const auto& v = root.variables()[i];
+    if (lo[i] > hi[i]) {
+      // Infeasible bounds — encode as an impossible constraint on a valid
+      // variable range so the LP reports infeasibility.
+      q.add_variable(v.name, v.type, 0.0, 0.0, v.objective);
+      q.add_constraint("infeasible_bounds", {{static_cast<int>(i), 1.0}},
+                       Sense::kGe, 1.0);
+    } else {
+      q.add_variable(v.name, v.type, lo[i], hi[i], v.objective);
+    }
+  }
+  for (const auto& c : root.constraints())
+    q.add_constraint(c.name, c.terms, c.sense, c.rhs);
+  return q;
+}
+
+/// Index of the most fractional integer variable, or -1 if integral.
+int most_fractional(const Problem& p, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_frac_dist = tol;
+  for (std::size_t i = 0; i < p.num_variables(); ++i) {
+    if (p.variables()[i].type == VarType::kContinuous) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MilpResult solve_milp(const Problem& p, const MilpOptions& opts) {
+  MilpResult result;
+  result.solution.status = SolveStatus::kInfeasible;
+  double incumbent = -kInfinity;
+
+  std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
+  open.push(Node{{}, {}, kInfinity});
+
+  bool any_lp_limit = false;
+
+  while (!open.empty() && result.nodes_explored < opts.max_nodes) {
+    Node node = open.top();
+    open.pop();
+    if (node.bound <= incumbent + opts.absolute_gap && incumbent > -kInfinity)
+      break;  // best-first: no remaining node can beat the incumbent
+    ++result.nodes_explored;
+
+    const Problem sub = with_overrides(p, node);
+    const Solution relax = solve_lp(sub, opts.lp);
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kLimit) {
+      any_lp_limit = true;
+      continue;
+    }
+    if (relax.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the MILP is unbounded
+      // (for our problems all variables are bounded, so this is unexpected).
+      result.solution.status = SolveStatus::kUnbounded;
+      return result;
+    }
+    if (relax.objective <= incumbent + opts.absolute_gap) continue;  // pruned
+
+    const int branch_var = most_fractional(p, relax.values,
+                                           opts.integrality_tol);
+    if (branch_var < 0) {
+      // Integral: candidate incumbent.
+      if (relax.objective > incumbent) {
+        incumbent = relax.objective;
+        result.solution = relax;
+        result.solution.status = SolveStatus::kOptimal;
+        // Snap integers exactly.
+        for (std::size_t i = 0; i < p.num_variables(); ++i)
+          if (p.variables()[i].type != VarType::kContinuous)
+            result.solution.values[i] = std::round(result.solution.values[i]);
+        result.solution.objective =
+            p.objective_value(result.solution.values);
+      }
+      continue;
+    }
+
+    const double v = relax.values[static_cast<std::size_t>(branch_var)];
+    Node down = node;
+    down.bound = relax.objective;
+    down.upper_overrides.emplace_back(branch_var, std::floor(v));
+    Node up = node;
+    up.bound = relax.objective;
+    up.lower_overrides.emplace_back(branch_var, std::ceil(v));
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  result.best_bound = incumbent;
+  if (result.solution.status != SolveStatus::kOptimal) {
+    result.solution.status =
+        any_lp_limit || result.nodes_explored >= opts.max_nodes
+            ? SolveStatus::kLimit
+            : SolveStatus::kInfeasible;
+  } else if (result.nodes_explored >= opts.max_nodes && !open.empty()) {
+    // Incumbent exists but optimality not proven.
+    result.solution.status = SolveStatus::kLimit;
+  }
+  return result;
+}
+
+}  // namespace diffserve::milp

@@ -1,0 +1,76 @@
+#include "milp/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace diffserve::milp {
+
+int Problem::add_variable(const std::string& name, VarType type, double lower,
+                          double upper, double objective_coeff) {
+  DS_REQUIRE(lower <= upper, "variable bounds inverted: " + name);
+  if (type == VarType::kBinary) {
+    lower = std::max(lower, 0.0);
+    upper = std::min(upper, 1.0);
+  }
+  variables_.push_back({name, type, lower, upper, objective_coeff});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void Problem::add_constraint(const std::string& name,
+                             std::vector<std::pair<int, double>> terms,
+                             Sense sense, double rhs) {
+  for (const auto& [idx, coeff] : terms) {
+    DS_REQUIRE(idx >= 0 && idx < static_cast<int>(variables_.size()),
+               "constraint references unknown variable: " + name);
+    (void)coeff;
+  }
+  constraints_.push_back({name, std::move(terms), sense, rhs});
+}
+
+bool Problem::has_integer_variables() const {
+  return std::any_of(variables_.begin(), variables_.end(), [](const auto& v) {
+    return v.type != VarType::kContinuous;
+  });
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+  DS_REQUIRE(x.size() == variables_.size(), "solution size mismatch");
+  double obj = 0.0;
+  for (std::size_t i = 0; i < variables_.size(); ++i)
+    obj += variables_[i].objective * x[i];
+  return obj;
+}
+
+double Problem::max_violation(const std::vector<double>& x) const {
+  DS_REQUIRE(x.size() == variables_.size(), "solution size mismatch");
+  double viol = 0.0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    viol = std::max(viol, variables_[i].lower - x[i]);
+    if (variables_[i].upper < kInfinity)
+      viol = std::max(viol, x[i] - variables_[i].upper);
+  }
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [idx, coeff] : c.terms) lhs += coeff * x[idx];
+    switch (c.sense) {
+      case Sense::kLe: viol = std::max(viol, lhs - c.rhs); break;
+      case Sense::kGe: viol = std::max(viol, c.rhs - lhs); break;
+      case Sense::kEq: viol = std::max(viol, std::fabs(lhs - c.rhs)); break;
+    }
+  }
+  return viol;
+}
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kLimit: return "limit";
+  }
+  return "?";
+}
+
+}  // namespace diffserve::milp

@@ -1,0 +1,74 @@
+// Mixed-integer linear program model builder.
+//
+// The paper formulates resource allocation as a MILP solved with Gurobi
+// (§3.3, §4.1). This module is the from-scratch replacement: a small
+// modeling API (variables, linear constraints, maximization objective)
+// consumed by the two-phase simplex LP solver and the branch-and-bound
+// MILP solver in this directory.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace diffserve::milp {
+
+enum class VarType { kContinuous, kInteger, kBinary };
+enum class Sense { kLe, kGe, kEq };
+
+inline constexpr double kInfinity = 1e30;
+
+struct Variable {
+  std::string name;
+  VarType type = VarType::kContinuous;
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;  ///< coefficient in the (maximized) objective
+};
+
+struct Constraint {
+  std::string name;
+  std::vector<std::pair<int, double>> terms;  ///< (variable index, coeff)
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+class Problem {
+ public:
+  /// Add a variable; returns its index.
+  int add_variable(const std::string& name, VarType type, double lower,
+                   double upper, double objective_coeff);
+  void add_constraint(const std::string& name,
+                      std::vector<std::pair<int, double>> terms, Sense sense,
+                      double rhs);
+
+  std::size_t num_variables() const { return variables_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  bool has_integer_variables() const;
+
+  /// Evaluate the objective at a point.
+  double objective_value(const std::vector<double>& x) const;
+  /// Max constraint violation at a point (0 when feasible, bounds included).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kLimit };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+const char* to_string(SolveStatus s);
+
+}  // namespace diffserve::milp

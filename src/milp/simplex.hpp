@@ -1,0 +1,25 @@
+// Two-phase primal simplex for linear programs.
+//
+// Solves  max c^T x  s.t.  A x {<=,>=,=} b,  l <= x <= u  by conversion to
+// standard form (variable shift to zero lower bounds, explicit rows for
+// finite upper bounds, slack/surplus/artificial columns) followed by a
+// dense-tableau two-phase simplex. Dantzig pricing with a Bland's-rule
+// fallback guards against cycling. Problem sizes in this system are tiny
+// (tens of variables), so the dense tableau is the appropriate choice.
+#pragma once
+
+#include "milp/problem.hpp"
+
+namespace diffserve::milp {
+
+struct SimplexOptions {
+  double tol = 1e-9;          ///< pivot / feasibility tolerance
+  int max_iterations = 20000;
+  /// Switch to Bland's rule after this many Dantzig iterations.
+  int bland_after = 5000;
+};
+
+/// Solve the LP relaxation of `p` (integrality markers ignored).
+Solution solve_lp(const Problem& p, const SimplexOptions& opts = {});
+
+}  // namespace diffserve::milp

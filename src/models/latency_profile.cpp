@@ -1,0 +1,77 @@
+#include "models/latency_profile.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace diffserve::models {
+
+const std::vector<int>& standard_batch_sizes() {
+  static const std::vector<int> sizes = {1, 2, 4, 8, 16, 32};
+  return sizes;
+}
+
+LatencyProfile::LatencyProfile(std::map<int, double> measured)
+    : latency_(std::move(measured)) {
+  DS_REQUIRE(!latency_.empty(), "empty latency profile");
+  double prev = 0.0;
+  for (const auto& [b, e] : latency_) {
+    DS_REQUIRE(b >= 1, "batch size must be >= 1");
+    DS_REQUIRE(e > 0.0, "execution latency must be positive");
+    DS_REQUIRE(e >= prev, "batch latency must be non-decreasing in b");
+    prev = e;
+  }
+}
+
+LatencyProfile LatencyProfile::affine(double base_latency_seconds,
+                                      double overhead_fraction) {
+  DS_REQUIRE(base_latency_seconds > 0.0, "base latency must be positive");
+  DS_REQUIRE(overhead_fraction >= 0.0 && overhead_fraction < 1.0,
+             "overhead fraction must be in [0,1)");
+  std::map<int, double> m;
+  for (int b : standard_batch_sizes())
+    m[b] = base_latency_seconds *
+           (overhead_fraction + (1.0 - overhead_fraction) * b);
+  return LatencyProfile(std::move(m));
+}
+
+double LatencyProfile::execution_latency(int batch_size) const {
+  const auto it = latency_.find(batch_size);
+  DS_REQUIRE(it != latency_.end(), "batch size not profiled");
+  return it->second;
+}
+
+double LatencyProfile::throughput(int batch_size) const {
+  return static_cast<double>(batch_size) / execution_latency(batch_size);
+}
+
+std::vector<int> LatencyProfile::batch_sizes() const {
+  std::vector<int> out;
+  out.reserve(latency_.size());
+  for (const auto& [b, _] : latency_) out.push_back(b);
+  return out;
+}
+
+int LatencyProfile::max_batch_size() const {
+  DS_REQUIRE(!latency_.empty(), "empty latency profile");
+  return latency_.rbegin()->first;
+}
+
+bool LatencyProfile::supports(int batch_size) const {
+  return latency_.count(batch_size) > 0;
+}
+
+double LatencyProfile::peak_throughput() const {
+  double best = 0.0;
+  for (const auto& [b, _] : latency_)
+    best = std::max(best, throughput(b));
+  return best;
+}
+
+int LatencyProfile::min_batch_for_throughput(double qps) const {
+  for (const auto& [b, _] : latency_)
+    if (throughput(b) >= qps) return b;
+  return -1;
+}
+
+}  // namespace diffserve::models

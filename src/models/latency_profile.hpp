@@ -1,0 +1,54 @@
+// Batch-latency profiles.
+//
+// "As the execution time of text-to-prompt diffusion models is highly
+// deterministic, execution latency can be accurately predicted and profiled
+// across different batch sizes" (§3.3). A profile stores e(b) for the
+// supported batch sizes; throughput is T(b) = b / e(b). Profiles are
+// constructed either from explicit measurements or from the standard
+// affine batching model e(b) = base * (overhead + (1 - overhead) * b),
+// which matches the sublinear per-image scaling GPUs exhibit.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace diffserve::models {
+
+/// Batch sizes the serving system considers (powers of two up to 32, as in
+/// typical serving systems including the paper's artifact).
+const std::vector<int>& standard_batch_sizes();
+
+class LatencyProfile {
+ public:
+  LatencyProfile() = default;
+  /// Explicit (batch size -> execution latency seconds) measurements.
+  explicit LatencyProfile(std::map<int, double> measured);
+
+  /// Affine batching model: e(b) = base_latency * (overhead_fraction +
+  /// (1 - overhead_fraction) * b), evaluated at the standard batch sizes.
+  /// e(1) == base_latency by construction.
+  static LatencyProfile affine(double base_latency_seconds,
+                               double overhead_fraction = 0.3);
+
+  /// Execution latency of one batch of size b (seconds).
+  double execution_latency(int batch_size) const;
+  /// Single-worker throughput at batch size b (queries/second).
+  double throughput(int batch_size) const;
+
+  /// Batch sizes with measurements, ascending.
+  std::vector<int> batch_sizes() const;
+  int max_batch_size() const;
+  bool supports(int batch_size) const;
+
+  /// Highest throughput over all supported batch sizes.
+  double peak_throughput() const;
+  /// Smallest batch size whose throughput is >= the target rate, or -1 if
+  /// even the largest batch cannot keep up.
+  int min_batch_for_throughput(double qps) const;
+
+ private:
+  std::map<int, double> latency_;  // batch -> seconds
+};
+
+}  // namespace diffserve::models

@@ -1,0 +1,71 @@
+// Fully connected layer with ReLU option and Adam state.
+//
+// The discriminator in DiffServe is a small CNN (EfficientNet-V2) operating
+// on generated images; in this reproduction images are low-dimensional
+// feature vectors, so the matching discriminator architecture is a small
+// MLP. The layer implements standard forward/backward passes and holds its
+// own Adam moment buffers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::nn {
+
+enum class Activation { kLinear, kRelu };
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class Dense {
+ public:
+  /// He-initialized weights; `rng` supplies the randomness so training is
+  /// reproducible.
+  Dense(std::size_t in_dim, std::size_t out_dim, Activation act,
+        util::Rng& rng);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+  /// Forward pass for one sample; caches input and pre-activation for the
+  /// subsequent backward call.
+  std::vector<double> forward(const std::vector<double>& x);
+
+  /// Backward pass: takes dL/d(output), accumulates weight gradients,
+  /// returns dL/d(input). Must follow a forward() on the same sample.
+  std::vector<double> backward(const std::vector<double>& grad_out);
+
+  void zero_grad();
+  /// Adam update with accumulated gradients averaged over `batch_size`.
+  void adam_step(const AdamConfig& cfg, std::size_t batch_size);
+
+  /// Number of trainable parameters.
+  std::size_t parameter_count() const;
+
+  const linalg::Matrix& weights() const { return w_; }
+  const std::vector<double>& bias() const { return b_; }
+
+ private:
+  std::size_t in_dim_, out_dim_;
+  Activation act_;
+  linalg::Matrix w_;      // out x in
+  std::vector<double> b_;
+  linalg::Matrix gw_;
+  std::vector<double> gb_;
+  // Adam moments
+  linalg::Matrix mw_, vw_;
+  std::vector<double> mb_, vb_;
+  std::size_t adam_t_ = 0;
+  // caches
+  std::vector<double> last_input_;
+  std::vector<double> last_pre_act_;
+};
+
+}  // namespace diffserve::nn

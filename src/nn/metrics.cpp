@@ -1,0 +1,85 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace diffserve::nn {
+
+double accuracy(const std::vector<double>& scores,
+                const std::vector<int>& labels) {
+  DS_REQUIRE(scores.size() == labels.size() && !scores.empty(),
+             "scores/labels mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    if ((scores[i] >= 0.5) == (labels[i] == 1)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels) {
+  DS_REQUIRE(scores.size() == labels.size() && !scores.empty(),
+             "scores/labels mismatch");
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Average ranks over tied score groups, then apply the Mann-Whitney
+  // statistic: AUC = (rank_sum_pos - n_pos(n_pos+1)/2) / (n_pos * n_neg).
+  std::vector<double> rank(scores.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]])
+      ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double rank_sum_pos = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    if (labels[k] == 1) {
+      rank_sum_pos += rank[k];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = scores.size() - n_pos;
+  DS_REQUIRE(n_pos > 0 && n_neg > 0, "AUC needs both classes");
+  return (rank_sum_pos -
+          0.5 * static_cast<double>(n_pos) * static_cast<double>(n_pos + 1)) /
+         (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double expected_calibration_error(const std::vector<double>& scores,
+                                  const std::vector<int>& labels,
+                                  std::size_t bins) {
+  DS_REQUIRE(scores.size() == labels.size() && !scores.empty(),
+             "scores/labels mismatch");
+  DS_REQUIRE(bins > 0, "need at least one bin");
+  std::vector<double> conf_sum(bins, 0.0), acc_sum(bins, 0.0);
+  std::vector<std::size_t> counts(bins, 0);
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    auto b = static_cast<std::size_t>(scores[k] * static_cast<double>(bins));
+    b = std::min(b, bins - 1);
+    conf_sum[b] += scores[k];
+    acc_sum[b] += (labels[k] == 1) ? 1.0 : 0.0;
+    ++counts[b];
+  }
+  double ece = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (counts[b] == 0) continue;
+    const double n = static_cast<double>(counts[b]);
+    ece += n / static_cast<double>(scores.size()) *
+           std::fabs(acc_sum[b] / n - conf_sum[b] / n);
+  }
+  return ece;
+}
+
+}  // namespace diffserve::nn

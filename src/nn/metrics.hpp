@@ -1,0 +1,24 @@
+// Classifier evaluation metrics: accuracy, ROC AUC, expected calibration
+// error. Used in tests to assert the trained discriminator actually
+// separates real from generated features, and in the discriminator bench.
+#pragma once
+
+#include <vector>
+
+namespace diffserve::nn {
+
+/// Fraction of predictions (score >= 0.5 -> class 1) matching labels.
+double accuracy(const std::vector<double>& scores,
+                const std::vector<int>& labels);
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) formulation;
+/// ties contribute half. Requires both classes present.
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels);
+
+/// Expected calibration error over `bins` equal-width probability bins.
+double expected_calibration_error(const std::vector<double>& scores,
+                                  const std::vector<int>& labels,
+                                  std::size_t bins = 10);
+
+}  // namespace diffserve::nn

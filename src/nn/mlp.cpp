@@ -1,0 +1,125 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace diffserve::nn {
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+  DS_REQUIRE(!logits.empty(), "softmax of empty vector");
+  const double m = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double z = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - m);
+    z += out[i];
+  }
+  for (auto& v : out) v /= z;
+  return out;
+}
+
+MlpClassifier::MlpClassifier(std::vector<std::size_t> layer_dims,
+                             std::uint64_t seed)
+    : rng_(seed) {
+  DS_REQUIRE(layer_dims.size() >= 2, "need at least input and output dims");
+  DS_REQUIRE(layer_dims.back() == 2, "binary classifier needs 2 outputs");
+  for (std::size_t i = 0; i + 1 < layer_dims.size(); ++i) {
+    const bool last = (i + 2 == layer_dims.size());
+    layers_.emplace_back(layer_dims[i], layer_dims[i + 1],
+                         last ? Activation::kLinear : Activation::kRelu, rng_);
+  }
+}
+
+std::vector<double> MlpClassifier::forward(const std::vector<double>& x) {
+  std::vector<double> h = x;
+  for (auto& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+std::vector<double> MlpClassifier::forward_inference(
+    const std::vector<double>& x) const {
+  std::vector<double> h = x;
+  if (input_noise_ > 0.0)
+    for (auto& v : h) v += rng_.normal(0.0, input_noise_);
+  for (auto& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+TrainReport MlpClassifier::train(const std::vector<std::vector<double>>& x,
+                                 const std::vector<int>& y,
+                                 const TrainConfig& cfg) {
+  DS_REQUIRE(x.size() == y.size(), "feature/label count mismatch");
+  DS_REQUIRE(!x.empty(), "empty training set");
+  input_noise_ = cfg.input_noise;
+
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainReport report;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += cfg.batch_size) {
+      const std::size_t end = std::min(start + cfg.batch_size, order.size());
+      for (auto& layer : layers_) layer.zero_grad();
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t idx = order[k];
+        std::vector<double> input = x[idx];
+        if (cfg.input_noise > 0.0)
+          for (auto& v : input) v += rng_.normal(0.0, cfg.input_noise);
+        const auto logit = forward(input);
+        const auto prob = softmax(logit);
+        const int label = y[idx];
+        DS_REQUIRE(label == 0 || label == 1, "labels must be 0/1");
+        epoch_loss += -std::log(std::max(prob[static_cast<std::size_t>(label)],
+                                         1e-12));
+        ++seen;
+        // dL/dlogit for softmax cross-entropy: p - onehot(label)
+        std::vector<double> grad = prob;
+        grad[static_cast<std::size_t>(label)] -= 1.0;
+        for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+          grad = it->backward(grad);
+      }
+      for (auto& layer : layers_) layer.adam_step(cfg.adam, end - start);
+    }
+    report.epoch_losses.push_back(epoch_loss /
+                                  static_cast<double>(std::max<std::size_t>(
+                                      seen, 1)));
+  }
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double p = predict_real_probability(x[i]);
+    if ((p >= 0.5) == (y[i] == 1)) ++correct;
+  }
+  report.final_train_accuracy =
+      static_cast<double>(correct) / static_cast<double>(x.size());
+  return report;
+}
+
+double MlpClassifier::predict_real_probability(
+    const std::vector<double>& x) const {
+  const auto prob = softmax(forward_inference(x));
+  return prob[1];  // index 1 == 'real'
+}
+
+std::vector<double> MlpClassifier::logits(const std::vector<double>& x) const {
+  return forward_inference(x);
+}
+
+std::size_t MlpClassifier::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.parameter_count();
+  return n;
+}
+
+std::size_t MlpClassifier::input_dim() const {
+  return layers_.front().in_dim();
+}
+
+}  // namespace diffserve::nn

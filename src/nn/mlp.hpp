@@ -1,0 +1,63 @@
+// Multi-layer perceptron binary classifier with softmax output.
+//
+// This is the trainable model behind every discriminator variant in the
+// reproduction. Training minimizes softmax cross-entropy between the
+// 'real' and 'fake' classes with Adam; inference returns the softmax
+// probability of the 'real' class — the paper's "confidence score".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  AdamConfig adam;
+  /// Gaussian noise added to inputs during training AND inference;
+  /// models lower-capacity backbones that see a degraded view of the image.
+  double input_noise = 0.0;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_losses;  ///< mean cross-entropy per epoch
+  double final_train_accuracy = 0.0;
+};
+
+class MlpClassifier {
+ public:
+  /// `layer_dims` = {input, hidden..., 2}; final layer must have 2 outputs
+  /// (real/fake). Hidden layers use ReLU.
+  MlpClassifier(std::vector<std::size_t> layer_dims, std::uint64_t seed);
+
+  /// Train on features `x` with labels `y` (1 = real, 0 = fake).
+  TrainReport train(const std::vector<std::vector<double>>& x,
+                    const std::vector<int>& y, const TrainConfig& cfg);
+
+  /// Softmax probability of the 'real' class.
+  double predict_real_probability(const std::vector<double>& x) const;
+
+  /// Raw two-class logits (for tests).
+  std::vector<double> logits(const std::vector<double>& x) const;
+
+  std::size_t parameter_count() const;
+  std::size_t input_dim() const;
+
+ private:
+  std::vector<double> forward(const std::vector<double>& x);
+  // Inference that tolerates const-ness by using scratch copies.
+  std::vector<double> forward_inference(const std::vector<double>& x) const;
+
+  mutable std::vector<Dense> layers_;
+  mutable util::Rng rng_;
+  double input_noise_ = 0.0;
+};
+
+/// Numerically stable softmax.
+std::vector<double> softmax(const std::vector<double>& logits);
+
+}  // namespace diffserve::nn

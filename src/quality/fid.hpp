@@ -1,0 +1,70 @@
+// FID scoring of served image sets.
+//
+// "To compute the FID score for a given system configuration, we process
+// all text prompts in a dataset through the system and evaluate the quality
+// of the generated images" (§4.1). The scorer holds the real-image
+// reference statistics and computes the exact Gaussian Fréchet distance to
+// whatever feature set the system served. A windowed accumulator supports
+// the FID-over-time series of Figures 5 and 8.
+#pragma once
+
+#include <vector>
+
+#include "linalg/gaussian.hpp"
+#include "quality/workload.hpp"
+
+namespace diffserve::quality {
+
+class FidScorer {
+ public:
+  explicit FidScorer(const Workload& workload);
+
+  /// FID of an explicit feature set against the reference distribution.
+  double fid(const std::vector<std::vector<double>>& served_features) const;
+  /// FID from pre-fitted Gaussian statistics.
+  double fid(const linalg::GaussianStats& served) const;
+
+  /// Convenience: FID if *every* query were served by `tier`.
+  double fid_single_tier(int tier) const;
+
+  const linalg::GaussianStats& reference() const { return reference_; }
+  std::size_t feature_dim() const { return reference_.dim(); }
+
+ private:
+  const Workload& workload_;
+  linalg::GaussianStats reference_;
+};
+
+/// Accumulates served features and emits FID per fixed time window —
+/// regularized toward the previous window when a window has too few
+/// samples for a stable covariance.
+class WindowedFid {
+ public:
+  WindowedFid(const FidScorer& scorer, double window_seconds,
+              std::size_t min_samples = 32);
+
+  void add(double time_seconds, const std::vector<double>& feature);
+
+  struct Point {
+    double window_start;
+    double fid;
+    std::size_t samples;
+  };
+  /// Close out all windows up to `now` and return the completed series so
+  /// far (idempotent; call once at the end of a run).
+  const std::vector<Point>& finalize(double now);
+  const std::vector<Point>& series() const { return series_; }
+
+ private:
+  void close_window();
+
+  const FidScorer& scorer_;
+  double window_;
+  std::size_t min_samples_;
+  double window_start_ = 0.0;
+  std::vector<std::vector<double>> pending_;  // carries over thin windows
+  std::vector<Point> series_;
+  bool finalized_ = false;
+};
+
+}  // namespace diffserve::quality

@@ -1,0 +1,150 @@
+#include "quality/workload.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::quality {
+
+namespace {
+
+// Mixes the workload seed, query id, tier, and a purpose tag into an
+// independent RNG stream, so each (query, tier) pair's image is a pure
+// function of the workload seed.
+util::Rng stream(std::uint64_t seed, QueryId q, int tier, int purpose) {
+  std::uint64_t h = seed;
+  h ^= 0x9E3779B97F4A7C15ULL + (static_cast<std::uint64_t>(q) << 1);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= static_cast<std::uint64_t>(tier + 1) * 0x94D049BB133111EBULL;
+  h ^= static_cast<std::uint64_t>(purpose + 1) * 0xD6E8FEB86659FD93ULL;
+  return util::Rng(h);
+}
+
+constexpr int kPurposeError = 1;
+constexpr int kPurposeFeature = 2;
+constexpr int kPurposePick = 3;
+constexpr int kPurposeClip = 4;
+
+}  // namespace
+
+TierParams QualityConfig::tier_params(int tier) {
+  // Tiers order generators by fidelity (1 = lightest). Light tiers: steep
+  // difficulty dependence, artifact angles ~40-60 deg. Heavy tiers: flat
+  // dependence, artifact angles ~205-215 deg (so light/heavy artifact
+  // means partially cancel in a served mixture).
+  switch (tier) {
+    case 1:  return {1.10, 6.40, 0.62, 40.0, 0.60};   // SDXS
+    case 2:  return {1.00, 5.60, 0.60, 50.0, 0.60};   // SD-Turbo
+    case 3:  return {1.00, 4.40, 0.55, 60.0, 0.62};   // SDXL-Lightning
+    case 4:  return {1.40, 2.80, 0.52, 120.0, 0.65};  // spare mid tier
+    case 5:  return {2.20, 0.60, 0.50, 205.0, 0.85};  // SDv1.5
+    case 6:  return {1.90, 0.50, 0.45, 215.0, 0.82};  // SDXL
+    default:
+      DS_REQUIRE(false, "unknown quality tier");
+  }
+  return {};
+}
+
+Workload::Workload(std::size_t n_queries, QualityConfig cfg)
+    : cfg_(cfg) {
+  DS_REQUIRE(n_queries >= 16, "workload too small for stable statistics");
+  DS_REQUIRE(cfg_.feature_dim >= cfg_.style_dims + 2,
+             "feature dim must leave room for the 2-dim artifact plane");
+  util::Rng rng(cfg_.seed);
+
+  difficulty_.resize(n_queries);
+  style_.resize(n_queries);
+  real_.resize(n_queries);
+  linalg::GaussianAccumulator acc(cfg_.feature_dim);
+
+  for (std::size_t i = 0; i < n_queries; ++i) {
+    difficulty_[i] = rng.beta(cfg_.difficulty_a, cfg_.difficulty_b);
+    auto& s = style_[i];
+    s.resize(cfg_.style_dims);
+    for (auto& v : s) v = rng.normal(0.0, cfg_.style_scale);
+
+    auto& x = real_[i];
+    x.assign(cfg_.feature_dim, 0.0);
+    for (std::size_t d = 0; d < cfg_.style_dims; ++d) x[d] = s[d];
+    for (std::size_t d = 0; d < cfg_.feature_dim; ++d)
+      x[d] += rng.normal(0.0, cfg_.real_noise);
+    acc.add(x);
+  }
+  reference_ = acc.stats();
+}
+
+double Workload::difficulty(QueryId q) const {
+  DS_REQUIRE(q < size(), "query id out of range");
+  return difficulty_[q];
+}
+
+const std::vector<double>& Workload::real_feature(QueryId q) const {
+  DS_REQUIRE(q < size(), "query id out of range");
+  return real_[q];
+}
+
+double Workload::true_error(QueryId q, int tier) const {
+  DS_REQUIRE(q < size(), "query id out of range");
+  const TierParams p = QualityConfig::tier_params(tier);
+  auto rng = stream(cfg_.seed, q, tier, kPurposeError);
+  const double raw =
+      p.c0 + p.c1 * difficulty_[q] + p.sigma * rng.normal();
+  return cfg_.magnitude * std::max(0.0, raw);
+}
+
+std::vector<double> Workload::generated_feature(QueryId q, int tier) const {
+  DS_REQUIRE(q < size(), "query id out of range");
+  const TierParams p = QualityConfig::tier_params(tier);
+  const double eps = true_error(q, tier);
+  auto rng = stream(cfg_.seed, q, tier, kPurposeFeature);
+
+  std::vector<double> x(cfg_.feature_dim, 0.0);
+  // Prompt content is shared with the real image.
+  for (std::size_t d = 0; d < cfg_.style_dims; ++d) x[d] = style_[q][d];
+  // Artifact shift in the 2-dim artifact plane right after the style dims,
+  // with a per-query rotation (artifacts are not perfectly stereotyped).
+  const double jitter =
+      rng.uniform(-cfg_.angle_jitter_deg, cfg_.angle_jitter_deg);
+  const double theta = (p.angle_deg + jitter) * M_PI / 180.0;
+  x[cfg_.style_dims] += eps * std::cos(theta);
+  x[cfg_.style_dims + 1] += eps * std::sin(theta);
+  // Generation noise: wider than real photos (tier-specific floor), plus
+  // dispersion proportional to the error magnitude.
+  for (std::size_t d = 0; d < cfg_.feature_dim; ++d)
+    x[d] += rng.normal(0.0, p.noise_floor);
+  const auto dir = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(cfg_.feature_dim) - 1));
+  x[dir] += rng.normal(0.0, cfg_.eps_jitter * eps);
+  return x;
+}
+
+double Workload::pickscore(QueryId q, int tier) const {
+  DS_REQUIRE(q < size(), "query id out of range");
+  // Dominated by a prompt-style bias that grows with prompt elaborateness
+  // (difficulty); the true-quality term is comparatively weak. Absolute
+  // PickScores are therefore incomparable across prompts (§2.1), and
+  // thresholding on them routes *hard* prompts to the light model.
+  auto rng = stream(cfg_.seed, q, tier, kPurposePick);
+  const double style_bias = 1.0 * style_[q][0] + 1.9 * difficulty_[q];
+  const double quality = -0.10 * true_error(q, tier);
+  return 18.0 + style_bias + quality + rng.normal(0.0, 0.45);
+}
+
+double Workload::clipscore(QueryId q, int tier) const {
+  DS_REQUIRE(q < size(), "query id out of range");
+  // Text-image alignment: driven by prompt content, nearly insensitive to
+  // perceptual quality, and mildly *rewarding* vivid artifact-heavy
+  // generations (documented CLIP failure mode) — so higher CLIPScore
+  // weakly anti-correlates with true quality.
+  auto rng = stream(cfg_.seed, q, tier, kPurposeClip);
+  const double alignment = 0.02 * style_[q][1 % cfg_.style_dims];
+  const double artifact_vividness = 0.012 * true_error(q, tier);
+  return 0.31 + alignment + artifact_vividness + rng.normal(0.0, 0.015);
+}
+
+std::vector<double> Workload::style_projection(QueryId q) const {
+  return style_[q];
+}
+
+}  // namespace diffserve::quality

@@ -1,0 +1,113 @@
+// Synthetic text-to-image workload and quality model.
+//
+// The paper evaluates on the first 5K prompts of MS-COCO / DiffusionDB,
+// generating an image per prompt per model and scoring the served set with
+// FID against the real images. We cannot run diffusion models here, so this
+// module provides the closest synthetic equivalent that exercises the same
+// code paths (see DESIGN.md §2):
+//
+//   * Every query q has a latent difficulty d_q ~ Beta(a, b).
+//   * A "real image" for q is a feature vector  x = P s_q + n  where s_q is
+//     the prompt's style/content vector and n is intrinsic photo noise.
+//   * A generated image from model tier m deviates from the real one by an
+//     error magnitude eps_m(q) = max(0, c0_m + c1_m d_q + sigma_m n_qm)
+//     along a tier-specific artifact direction, plus extra generation noise.
+//     Light tiers have steep c1 (their quality collapses on hard prompts);
+//     heavy tiers have nearly flat c1, so their quality is stable — which
+//     makes 20-40% of queries "easy" (light output at least as good).
+//   * Light and heavy artifact directions point ~160 degrees apart, which
+//     makes a served light/heavy *mixture* distribution sit closer to the
+//     real one than pure-heavy does — reproducing the paper's observation
+//     that FID can worsen as more queries go to the heavyweight model.
+//
+// The per-(query, tier) generation is a pure function of the workload seed,
+// so every serving policy sees byte-identical images for the same query —
+// FID differences between policies are real routing effects, never noise.
+//
+// PickScore / CLIPScore proxies intentionally reproduce the failure modes
+// the paper reports (§2.2): PickScore's variance is dominated by a
+// prompt-style bias that *increases* with prompt elaborateness
+// (difficulty), and CLIPScore rewards vivid, artifact-heavy generations
+// (a documented CLIP alignment failure), so thresholding on either routes
+// no better — often worse — than random.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/gaussian.hpp"
+
+namespace diffserve::quality {
+
+using QueryId = std::uint32_t;
+
+struct TierParams {
+  double c0 = 1.0;      ///< error offset
+  double c1 = 5.0;      ///< error growth with difficulty
+  double sigma = 0.6;   ///< per-query error noise
+  double angle_deg = 50.0;  ///< artifact direction in the artifact plane
+  /// Isotropic generation-noise level of this tier (real images use
+  /// QualityConfig::real_noise). Heavy models trade artifact magnitude for
+  /// a wider texture distribution, which keeps their FID floor realistic.
+  double noise_floor = 0.6;
+};
+
+struct QualityConfig {
+  std::size_t feature_dim = 16;
+  std::size_t style_dims = 6;  ///< leading dims carrying prompt content
+  std::uint64_t seed = 42;
+  double difficulty_a = 2.0;  ///< Beta(a, b) difficulty distribution
+  double difficulty_b = 4.0;
+  double style_scale = 1.0;
+  double real_noise = 0.35;  ///< intrinsic spread of real images
+  double eps_jitter = 0.30;  ///< dispersion along a random dir, scaled by eps
+  /// Per-query rotation of the artifact direction (degrees, uniform +-):
+  /// artifacts are not perfectly stereotyped, which bounds how well any
+  /// discriminator can infer the error magnitude.
+  double angle_jitter_deg = 20.0;
+  /// Global multiplier on all eps constants; calibrates the FID range to
+  /// the paper's 16-26 band.
+  double magnitude = 1.5;
+
+  /// Error-model parameters per quality tier (indices 1..6 used by the
+  /// built-in catalog; see models::ModelRepository).
+  static TierParams tier_params(int tier);
+};
+
+/// The evaluation prompt set ("first 5K text-image pairs"): real features
+/// are cached; generated features are recomputed deterministically.
+class Workload {
+ public:
+  Workload(std::size_t n_queries, QualityConfig cfg = {});
+
+  std::size_t size() const { return difficulty_.size(); }
+  const QualityConfig& config() const { return cfg_; }
+
+  double difficulty(QueryId q) const;
+  const std::vector<double>& real_feature(QueryId q) const;
+
+  /// Feature vector of the image model tier `m` generates for query q.
+  std::vector<double> generated_feature(QueryId q, int tier) const;
+  /// Latent error magnitude eps_m(q) — the ground-truth quality signal
+  /// (never visible to the serving system; used by tests and oracles).
+  double true_error(QueryId q, int tier) const;
+
+  /// Proxy metric scores of the generated image (see header comment).
+  double pickscore(QueryId q, int tier) const;
+  double clipscore(QueryId q, int tier) const;
+
+  /// Gaussian statistics of the real features over the full prompt set —
+  /// the FID reference distribution.
+  const linalg::GaussianStats& reference_stats() const { return reference_; }
+
+ private:
+  std::vector<double> style_projection(QueryId q) const;
+
+  QualityConfig cfg_;
+  std::vector<double> difficulty_;
+  std::vector<std::vector<double>> style_;  // per-query style vectors
+  std::vector<std::vector<double>> real_;
+  linalg::GaussianStats reference_;
+};
+
+}  // namespace diffserve::quality

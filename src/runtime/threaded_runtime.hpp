@@ -1,0 +1,61 @@
+// Threaded "testbed" runtime.
+//
+// The paper validates its simulator against a 16-GPU cluster testbed whose
+// artifact also supports *simulated execution* of the diffusion models
+// (sleeping for the profiled latency instead of running the GPU kernels,
+// Appendix A.5). This module is that testbed: real client / worker /
+// controller threads exchanging queries through locked queues, timed by
+// the wall clock — only the model execution is a scaled sleep. It shares
+// the allocators, routing policy, quality model, and metrics code with the
+// discrete-event simulator, so the §4.3 simulator-vs-testbed fidelity
+// comparison (0.56% FID, 1.1% SLO difference in the paper) is reproduced
+// by running the same trace through both and diffing the results.
+//
+// `time_scale` compresses wall time: a trace second lasts 1/time_scale
+// wall seconds and every sleep shrinks accordingly. Latencies are recorded
+// in trace seconds, so results are directly comparable with the DES.
+#pragma once
+
+#include <cstdint>
+
+#include "control/allocator.hpp"
+#include "core/environment.hpp"
+#include "trace/arrivals.hpp"
+#include "trace/rate_trace.hpp"
+
+namespace diffserve::runtime {
+
+struct RuntimeConfig {
+  int total_workers = 8;
+  /// Negative = cascade default.
+  double slo_seconds = -1.0;
+  /// Wall-clock compression: 30 = a 300 s trace takes 10 s to replay.
+  double time_scale = 30.0;
+  double control_period = 5.0;       ///< trace seconds
+  double heavy_reserve_factor = 1.25;
+  double max_deferral_fraction = 0.55;
+  double over_provision = 1.05;
+  double model_load_delay = 1.0;     ///< trace seconds
+  std::uint64_t arrival_seed = 1;
+  trace::ArrivalConfig arrivals;
+};
+
+struct RuntimeResult {
+  double overall_fid = 0.0;
+  double violation_ratio = 0.0;
+  double mean_latency = 0.0;   ///< trace seconds
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  double light_served_fraction = 0.0;
+  std::size_t reconfigurations = 0;
+};
+
+/// Replay `trace` through the threaded runtime with the given allocation
+/// policy. Blocks until the trace finishes and the pipeline drains.
+RuntimeResult run_threaded(const core::CascadeEnvironment& env,
+                           control::Allocator& allocator,
+                           const trace::RateTrace& trace,
+                           const RuntimeConfig& cfg);
+
+}  // namespace diffserve::runtime

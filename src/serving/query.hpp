@@ -1,0 +1,41 @@
+// Query lifecycle types shared across the serving data path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quality/workload.hpp"
+
+namespace diffserve::serving {
+
+/// Which cascade stage a query currently occupies.
+enum class Stage { kLight, kHeavy };
+
+/// One text-to-image request travelling through the system.
+struct Query {
+  std::uint64_t seq = 0;               ///< unique arrival sequence number
+  quality::QueryId prompt_id = 0;      ///< index into the evaluation workload
+  double arrival_time = 0.0;
+  double deadline = 0.0;               ///< arrival_time + SLO
+
+  Stage stage = Stage::kLight;
+  /// Latest completion time for the *current stage* that still leaves room
+  /// for any downstream stage (set by the router on each hop).
+  double stage_deadline = 0.0;
+
+  /// Discriminator confidence of the light-model output (set after the
+  /// light stage; -1 before).
+  double confidence = -1.0;
+  bool deferred = false;               ///< routed to the heavyweight model
+};
+
+/// Terminal record delivered to the sink.
+struct Completion {
+  Query query;
+  double completion_time = 0.0;
+  bool dropped = false;                ///< preemptively dropped, no image
+  int served_tier = -1;                ///< quality tier that produced the image
+  std::vector<double> image_feature;   ///< empty when dropped
+};
+
+}  // namespace diffserve::serving

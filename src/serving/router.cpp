@@ -1,0 +1,190 @@
+#include "serving/router.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace diffserve::serving {
+
+LoadBalancer::LoadBalancer(sim::Simulation& sim,
+                           const quality::Workload& workload,
+                           const discriminator::Discriminator* disc,
+                           int light_tier, int heavy_tier, MetricsSink& sink,
+                           std::uint64_t seed)
+    : sim_(sim),
+      workload_(workload),
+      disc_(disc),
+      light_tier_(light_tier),
+      heavy_tier_(heavy_tier),
+      sink_(sink),
+      rng_(seed) {}
+
+void LoadBalancer::set_pools(std::vector<SimWorker*> light,
+                             std::vector<SimWorker*> heavy) {
+  light_pool_ = std::move(light);
+  heavy_pool_ = std::move(heavy);
+  bind_callbacks();
+}
+
+void LoadBalancer::bind_callbacks() {
+  for (auto* w : light_pool_) {
+    w->set_callbacks(
+        [this](SimWorker&, std::vector<Query>&& batch) {
+          on_light_batch(std::move(batch));
+        },
+        [this](SimWorker&, Query&& q) { sink_.drop(q, sim_.now()); });
+  }
+  for (auto* w : heavy_pool_) {
+    w->set_callbacks(
+        [this](SimWorker&, std::vector<Query>&& batch) {
+          on_heavy_batch(std::move(batch));
+        },
+        [this](SimWorker&, Query&& q) { sink_.drop(q, sim_.now()); });
+  }
+}
+
+void LoadBalancer::set_config(const RouterConfig& cfg) {
+  DS_REQUIRE(cfg.threshold >= 0.0 && cfg.threshold <= 1.0,
+             "threshold outside [0,1]");
+  DS_REQUIRE(cfg.p_heavy >= 0.0 && cfg.p_heavy <= 1.0,
+             "p_heavy outside [0,1]");
+  DS_REQUIRE(cfg.heavy_reserve >= 0.0, "negative heavy reserve");
+  cfg_ = cfg;
+}
+
+void LoadBalancer::set_confidence_observer(
+    std::function<void(double)> observer) {
+  confidence_observer_ = std::move(observer);
+}
+
+void LoadBalancer::submit(Query q) {
+  ++submitted_;
+  demand_.add(sim_.now());
+  if (cfg_.mode == RoutingMode::kDirect && rng_.bernoulli(cfg_.p_heavy)) {
+    q.stage = Stage::kHeavy;
+    q.stage_deadline = q.deadline;
+    route_heavy(std::move(q));
+    return;
+  }
+  q.stage = Stage::kLight;
+  // In cascade mode, leave room for the possible heavy pass.
+  q.stage_deadline =
+      cfg_.mode == RoutingMode::kCascade
+          ? std::max(q.deadline - cfg_.heavy_reserve, q.arrival_time)
+          : q.deadline;
+  route_light(std::move(q));
+}
+
+void LoadBalancer::resubmit(std::vector<Query>&& queries) {
+  for (auto& q : queries) {
+    if (q.stage == Stage::kHeavy)
+      route_heavy(std::move(q));
+    else
+      route_light(std::move(q));
+  }
+}
+
+void LoadBalancer::route_light(Query q) {
+  SimWorker* w = shortest_queue(light_pool_);
+  if (w == nullptr) {
+    // No lightweight capacity (e.g. Clipper-Heavy): go straight to heavy.
+    if (!heavy_pool_.empty()) {
+      q.stage = Stage::kHeavy;
+      q.stage_deadline = q.deadline;
+      route_heavy(std::move(q));
+      return;
+    }
+    sink_.drop(q, sim_.now());
+    return;
+  }
+  w->enqueue(std::move(q));
+}
+
+void LoadBalancer::route_heavy(Query q) {
+  SimWorker* w = shortest_queue(heavy_pool_);
+  if (w == nullptr) {
+    // No heavyweight capacity. A deferred query still has a light image —
+    // serve it best-effort; a direct-mode query falls back to light.
+    if (q.deferred) {
+      sink_.complete(q, light_tier_, sim_.now());
+      return;
+    }
+    if (!light_pool_.empty()) {
+      q.stage = Stage::kLight;
+      q.stage_deadline = q.deadline;
+      route_light(std::move(q));
+      return;
+    }
+    sink_.drop(q, sim_.now());
+    return;
+  }
+  w->enqueue(std::move(q));
+}
+
+SimWorker* LoadBalancer::shortest_queue(
+    const std::vector<SimWorker*>& pool) const {
+  SimWorker* best = nullptr;
+  std::size_t best_len = 0;
+  for (auto* w : pool) {
+    if (!w->configured()) continue;
+    const std::size_t len = w->queue_length() + (w->busy() ? 1 : 0);
+    if (best == nullptr || len < best_len) {
+      best = w;
+      best_len = len;
+    }
+  }
+  return best;
+}
+
+void LoadBalancer::on_light_batch(std::vector<Query>&& batch) {
+  const double now = sim_.now();
+  for (auto& q : batch) {
+    if (cfg_.mode == RoutingMode::kDirect) {
+      sink_.complete(q, light_tier_, now);
+      continue;
+    }
+    // Cascade: score the light image with the discriminator.
+    DS_CHECK(disc_ != nullptr, "cascade mode requires a discriminator");
+    const auto feature = workload_.generated_feature(q.prompt_id, light_tier_);
+    q.confidence = disc_->confidence(feature);
+    if (confidence_observer_) confidence_observer_(q.confidence);
+    if (q.confidence >= cfg_.threshold) {
+      sink_.complete(q, light_tier_, now);
+    } else {
+      q.deferred = true;
+      q.stage = Stage::kHeavy;
+      q.stage_deadline = q.deadline;
+      route_heavy(std::move(q));
+    }
+  }
+}
+
+void LoadBalancer::on_heavy_batch(std::vector<Query>&& batch) {
+  const double now = sim_.now();
+  for (auto& q : batch) sink_.complete(q, heavy_tier_, now);
+}
+
+double LoadBalancer::demand_rate() const { return demand_.rate(sim_.now()); }
+
+LoadBalancer::PoolStats LoadBalancer::light_stats() const {
+  PoolStats s;
+  for (const auto* w : light_pool_) {
+    s.total_queue_length += static_cast<double>(w->queue_length());
+    s.arrival_rate += w->arrival_rate();
+    ++s.workers;
+  }
+  return s;
+}
+
+LoadBalancer::PoolStats LoadBalancer::heavy_stats() const {
+  PoolStats s;
+  for (const auto* w : heavy_pool_) {
+    s.total_queue_length += static_cast<double>(w->queue_length());
+    s.arrival_rate += w->arrival_rate();
+    ++s.workers;
+  }
+  return s;
+}
+
+}  // namespace diffserve::serving

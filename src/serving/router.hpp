@@ -1,0 +1,100 @@
+// Load balancer / cascade router.
+//
+// "Upon receiving queries from clients, the Load Balancer initially routes
+// each query to a worker running a lightweight diffusion model. If the
+// generated image's quality estimated by the discriminator meets the
+// quality requirement, specified as a confidence threshold, it is returned
+// ... Otherwise, the query is forwarded to a worker hosting the heavyweight
+// diffusion model" (§3.1).
+//
+// Two routing modes cover the paper's approaches:
+//   * kCascade — DiffServe and DiffServe-Static: light first, deferral on
+//     low confidence.
+//   * kDirect  — Clipper-Light/Heavy and Proteus: each query goes to
+//     exactly one model; Proteus picks heavy with probability p_heavy
+//     ("randomly assigns incoming queries to model variants").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "discriminator/discriminator.hpp"
+#include "quality/workload.hpp"
+#include "serving/query.hpp"
+#include "serving/sink.hpp"
+#include "serving/worker.hpp"
+#include "sim/simulation.hpp"
+#include "stats/window.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::serving {
+
+enum class RoutingMode { kCascade, kDirect };
+
+struct RouterConfig {
+  RoutingMode mode = RoutingMode::kCascade;
+  double threshold = 0.5;  ///< cascade confidence threshold t
+  double p_heavy = 0.0;    ///< direct-mode probability of the heavy model
+  /// Time reserved at the light stage for a potential heavy pass
+  /// (stage_deadline_light = deadline - heavy_reserve).
+  double heavy_reserve = 0.0;
+};
+
+class LoadBalancer {
+ public:
+  LoadBalancer(sim::Simulation& sim, const quality::Workload& workload,
+               const discriminator::Discriminator* disc, int light_tier,
+               int heavy_tier, MetricsSink& sink, std::uint64_t seed);
+
+  /// Assign worker pools. Workers' callbacks are (re)bound to this router.
+  void set_pools(std::vector<SimWorker*> light, std::vector<SimWorker*> heavy);
+  void set_config(const RouterConfig& cfg);
+  const RouterConfig& config() const { return cfg_; }
+
+  /// Client entry point.
+  void submit(Query q);
+  /// Re-inject queries evicted by a worker reconfiguration.
+  void resubmit(std::vector<Query>&& queries);
+
+  /// Observer invoked with every confidence score computed on the data
+  /// path (feeds the controller's online deferral profile).
+  void set_confidence_observer(std::function<void(double)> observer);
+
+  // --- runtime statistics for the controller -----------------------------
+  /// Arrival rate into the system over the stats window (QPS).
+  double demand_rate() const;
+  struct PoolStats {
+    double total_queue_length = 0.0;
+    double arrival_rate = 0.0;  ///< summed over the pool's workers
+    int workers = 0;
+  };
+  PoolStats light_stats() const;
+  PoolStats heavy_stats() const;
+  std::uint64_t submitted() const { return submitted_; }
+
+ private:
+  void route_light(Query q);
+  void route_heavy(Query q);
+  SimWorker* shortest_queue(const std::vector<SimWorker*>& pool) const;
+  void on_light_batch(std::vector<Query>&& batch);
+  void on_heavy_batch(std::vector<Query>&& batch);
+  void bind_callbacks();
+
+  sim::Simulation& sim_;
+  const quality::Workload& workload_;
+  const discriminator::Discriminator* disc_;  ///< null in pure-direct setups
+  int light_tier_;
+  int heavy_tier_;
+  MetricsSink& sink_;
+  util::Rng rng_;
+
+  RouterConfig cfg_;
+  std::vector<SimWorker*> light_pool_;
+  std::vector<SimWorker*> heavy_pool_;
+  std::function<void(double)> confidence_observer_;
+
+  stats::SlidingWindowCounter demand_{12.0};
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace diffserve::serving

@@ -1,0 +1,117 @@
+#include "serving/sink.hpp"
+
+#include <algorithm>
+
+#include "linalg/gaussian.hpp"
+#include "util/check.hpp"
+
+namespace diffserve::serving {
+
+MetricsSink::MetricsSink(const quality::Workload& workload,
+                         const quality::FidScorer& scorer)
+    : workload_(workload), scorer_(scorer) {}
+
+void MetricsSink::complete(const Query& q, int served_tier,
+                           double completion_time) {
+  DS_REQUIRE(served_tier > 0, "completion needs a diffusion tier");
+  const bool late = completion_time > q.deadline;
+  Record r;
+  r.time = completion_time;
+  r.latency = completion_time - q.arrival_time;
+  r.violated = late;
+  r.tier = served_tier;
+  r.feature = workload_.generated_feature(q.prompt_id, served_tier);
+  records_.push_back(std::move(r));
+  ++n_completed_;
+  if (late) ++n_late_;
+  // Count by the stage that produced the response so the metric is
+  // meaningful in both cascade mode (deferral) and direct mode (random
+  // split): a query finishing at the light stage was served light.
+  if (q.stage == Stage::kLight) ++n_light_served_;
+  latency_.add(completion_time - q.arrival_time);
+  latency_pct_.add(completion_time - q.arrival_time);
+  recent_.record(completion_time, late);
+}
+
+void MetricsSink::drop(const Query& q, double drop_time) {
+  (void)q;
+  Record r;
+  r.time = drop_time;
+  r.latency = -1.0;
+  r.violated = true;
+  r.tier = -1;
+  records_.push_back(std::move(r));
+  ++n_dropped_;
+  recent_.record(drop_time, true);
+}
+
+double MetricsSink::recent_violation_ratio(double now) const {
+  return recent_.ratio(now);
+}
+
+double MetricsSink::violation_ratio() const {
+  if (total() == 0) return 0.0;
+  return static_cast<double>(n_late_ + n_dropped_) /
+         static_cast<double>(total());
+}
+
+double MetricsSink::mean_latency() const { return latency_.mean(); }
+
+double MetricsSink::latency_percentile(double p) const {
+  return latency_pct_.percentile(p);
+}
+
+double MetricsSink::light_served_fraction() const {
+  if (n_completed_ == 0) return 0.0;
+  return static_cast<double>(n_light_served_) /
+         static_cast<double>(n_completed_);
+}
+
+double MetricsSink::overall_fid() const {
+  linalg::GaussianAccumulator acc(scorer_.feature_dim());
+  for (const auto& r : records_)
+    if (!r.feature.empty()) acc.add(r.feature);
+  DS_REQUIRE(acc.count() >= 2, "too few served images for FID");
+  return scorer_.fid(acc.stats());
+}
+
+std::vector<MetricsSink::TimelinePoint> MetricsSink::timeline(
+    double window_seconds, std::size_t min_fid_samples) const {
+  DS_REQUIRE(window_seconds > 0.0, "window must be positive");
+  std::vector<Record const*> sorted;
+  sorted.reserve(records_.size());
+  for (const auto& r : records_) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Record* a, const Record* b) { return a->time < b->time; });
+
+  std::vector<TimelinePoint> out;
+  if (sorted.empty()) return out;
+
+  const double end_time = sorted.back()->time;
+  std::size_t i = 0;
+  for (double w = 0.0; w <= end_time; w += window_seconds) {
+    const double hi = w + window_seconds;
+    linalg::GaussianAccumulator acc(scorer_.feature_dim());
+    std::size_t violations = 0, n = 0;
+    while (i < sorted.size() && sorted[i]->time < hi) {
+      const Record& r = *sorted[i];
+      ++n;
+      if (r.violated) ++violations;
+      if (!r.feature.empty()) acc.add(r.feature);
+      ++i;
+    }
+    TimelinePoint pt;
+    pt.time = w;
+    pt.samples = n;
+    pt.throughput = static_cast<double>(n) / window_seconds;
+    pt.violation_ratio =
+        n ? static_cast<double>(violations) / static_cast<double>(n) : 0.0;
+    pt.fid = (acc.count() >= std::max<std::size_t>(min_fid_samples, 2))
+                 ? scorer_.fid(acc.stats())
+                 : -1.0;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace diffserve::serving

@@ -1,0 +1,82 @@
+// Terminal metrics collection.
+//
+// Receives every completed or dropped query, materializes the served
+// image's feature vector, and produces the two paper metrics: response
+// quality (FID of the served distribution vs. the real reference) and the
+// SLO violation ratio ("queries that fail to meet the SLO latency
+// requirement or are preemptively dropped", §4.1) — both overall and as
+// time series for the Figure 5/8 timelines.
+#pragma once
+
+#include <vector>
+
+#include "quality/fid.hpp"
+#include "quality/workload.hpp"
+#include "serving/query.hpp"
+#include "stats/streaming.hpp"
+#include "stats/window.hpp"
+
+namespace diffserve::serving {
+
+class MetricsSink {
+ public:
+  MetricsSink(const quality::Workload& workload,
+              const quality::FidScorer& scorer);
+
+  /// A query finished with an image produced by `served_tier`.
+  void complete(const Query& q, int served_tier, double completion_time);
+  /// A query was preemptively dropped (no image).
+  void drop(const Query& q, double drop_time);
+
+  std::size_t completed() const { return n_completed_; }
+  std::size_t dropped() const { return n_dropped_; }
+  std::size_t total() const { return n_completed_ + n_dropped_; }
+
+  /// Late completions + drops, over all terminated queries.
+  double violation_ratio() const;
+  /// Violation ratio over the recent sliding window (controller feedback
+  /// signal, e.g. for AIMD batching).
+  double recent_violation_ratio(double now) const;
+  /// Mean end-to-end latency of completed queries (seconds).
+  double mean_latency() const;
+  double latency_percentile(double p) const;
+  /// Fraction of completed queries served by the lightweight stage.
+  double light_served_fraction() const;
+
+  /// FID of everything served so far.
+  double overall_fid() const;
+
+  struct TimelinePoint {
+    double time;              ///< window start
+    double fid;               ///< -1 when the window had too few images
+    double violation_ratio;
+    double throughput;        ///< completions (incl. drops) per second
+    std::size_t samples;
+  };
+  /// Aggregate terminations into fixed windows. FID windows with fewer
+  /// than `min_fid_samples` images report fid = -1.
+  std::vector<TimelinePoint> timeline(double window_seconds,
+                                      std::size_t min_fid_samples = 24) const;
+
+ private:
+  struct Record {
+    double time;
+    double latency;   ///< -1 for drops
+    bool violated;
+    int tier;
+    std::vector<double> feature;  ///< empty for drops
+  };
+
+  const quality::Workload& workload_;
+  const quality::FidScorer& scorer_;
+  std::vector<Record> records_;
+  std::size_t n_completed_ = 0;
+  std::size_t n_dropped_ = 0;
+  std::size_t n_late_ = 0;
+  std::size_t n_light_served_ = 0;
+  stats::RunningStats latency_;
+  mutable stats::PercentileTracker latency_pct_;
+  stats::SlidingWindowRatio recent_{20.0};
+};
+
+}  // namespace diffserve::serving

@@ -1,0 +1,97 @@
+// End-to-end serving system assembly for the discrete-event simulator:
+// a cluster of workers, the load balancer, and the metrics sink, wired to
+// one cascade. The controller (src/control) reconfigures it through
+// AllocationPlan; baselines reuse the same machinery with different plans
+// and routing modes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "discriminator/discriminator.hpp"
+#include "models/model_repository.hpp"
+#include "quality/fid.hpp"
+#include "quality/workload.hpp"
+#include "serving/router.hpp"
+#include "serving/sink.hpp"
+#include "serving/worker.hpp"
+#include "sim/simulation.hpp"
+
+namespace diffserve::serving {
+
+/// The controller's output: worker split, batch sizes, and routing
+/// parameters (§3.3's x1, x2, b1, b2, t).
+struct AllocationPlan {
+  RoutingMode mode = RoutingMode::kCascade;
+  int light_workers = 0;
+  int heavy_workers = 0;
+  int light_batch = 1;
+  int heavy_batch = 1;
+  double threshold = 0.5;  ///< cascade confidence threshold
+  double p_heavy = 0.0;    ///< direct-mode heavy probability
+};
+
+struct SystemConfig {
+  int total_workers = 16;
+  double slo_seconds = 5.0;
+  double model_load_delay = 1.0;
+  /// Light-stage reserve = factor * e_heavy(b2): time kept for a deferral.
+  double heavy_reserve_factor = 1.25;
+  std::uint64_t seed = 1;
+};
+
+class ServingSystem {
+ public:
+  ServingSystem(sim::Simulation& sim, const quality::Workload& workload,
+                const models::ModelRepository& repo,
+                const models::CascadeSpec& cascade,
+                const discriminator::Discriminator* disc,
+                const quality::FidScorer& scorer, SystemConfig cfg);
+
+  /// Reconfigure the cluster; evicted queries are re-routed automatically.
+  void apply(const AllocationPlan& plan);
+  const AllocationPlan& plan() const { return plan_; }
+
+  /// Schedule query submissions at the given arrival times. Prompts cycle
+  /// through the workload deterministically.
+  void inject_arrivals(const std::vector<double>& times);
+
+  LoadBalancer& balancer() { return *balancer_; }
+  const LoadBalancer& balancer() const { return *balancer_; }
+  MetricsSink& sink() { return *sink_; }
+  const MetricsSink& sink() const { return *sink_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Stage execution latencies under the current profiles (used by the
+  /// controller's performance model).
+  double light_exec_latency(int batch) const;  ///< incl. discriminator
+  double heavy_exec_latency(int batch) const;
+
+  int light_tier() const { return light_tier_; }
+  int heavy_tier() const { return heavy_tier_; }
+  const models::CascadeSpec& cascade() const { return cascade_; }
+
+  std::size_t worker_count() const { return workers_.size(); }
+  const SimWorker& worker(std::size_t i) const { return *workers_[i]; }
+
+ private:
+  enum class Role { kIdle, kLight, kHeavy };
+
+  sim::Simulation& sim_;
+  const quality::Workload& workload_;
+  const models::ModelRepository& repo_;
+  models::CascadeSpec cascade_;
+  SystemConfig cfg_;
+
+  int light_tier_ = 0;
+  int heavy_tier_ = 0;
+
+  std::unique_ptr<MetricsSink> sink_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  std::vector<std::unique_ptr<SimWorker>> workers_;
+  std::vector<Role> roles_;
+  AllocationPlan plan_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace diffserve::serving

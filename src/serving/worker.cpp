@@ -1,0 +1,158 @@
+#include "serving/worker.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace diffserve::serving {
+
+SimWorker::SimWorker(sim::Simulation& sim, int id, double model_load_delay)
+    : sim_(sim), id_(id), load_delay_(model_load_delay) {
+  DS_REQUIRE(model_load_delay >= 0.0, "negative load delay");
+}
+
+void SimWorker::set_callbacks(BatchCallback on_batch_done,
+                              DropCallback on_drop) {
+  on_batch_done_ = std::move(on_batch_done);
+  on_drop_ = std::move(on_drop);
+}
+
+std::vector<Query> SimWorker::configure(const WorkerConfig& cfg) {
+  DS_REQUIRE(cfg.batch_size >= 1, "batch size must be >= 1");
+  DS_REQUIRE(cfg.profile.supports(cfg.batch_size),
+             "batch size not in latency profile");
+  const bool model_change =
+      !configured_ || cfg.model_name != config_.model_name;
+  config_ = cfg;
+  configured_ = true;
+
+  std::vector<Query> evicted;
+  if (model_change) {
+    // Queued work targeted the old model; hand it back for re-routing.
+    evicted.reserve(queue_.size());
+    for (auto& e : queue_) evicted.push_back(std::move(e.query));
+    queue_.clear();
+    if (timer_armed_) {
+      sim_.cancel(timer_);
+      timer_armed_ = false;
+    }
+    // Loading starts once any in-flight batch finishes; if idle, now.
+    const double start = busy_ ? ready_at_ : sim_.now();
+    ready_at_ = std::max(ready_at_, start + load_delay_);
+    if (!busy_) {
+      // Wake up when the load completes in case work arrives meanwhile.
+      sim_.schedule_at(ready_at_, [this] { maybe_start_batch(); });
+    }
+  } else {
+    // Same model: batch-size change applies immediately.
+    maybe_start_batch();
+  }
+  return evicted;
+}
+
+void SimWorker::enqueue(Query q) {
+  DS_REQUIRE(configured_, "enqueue on unconfigured worker");
+  arrivals_.add(sim_.now());
+  queue_.push_back({std::move(q), sim_.now()});
+  maybe_start_batch();
+}
+
+double SimWorker::arrival_rate() const { return arrivals_.rate(sim_.now()); }
+
+double SimWorker::utilization(double now) const {
+  if (now <= 0.0) return 0.0;
+  return busy_seconds_ / now;
+}
+
+void SimWorker::maybe_start_batch() {
+  if (!configured_ || busy_ || queue_.empty()) return;
+  if (sim_.now() < ready_at_) return;  // model still loading
+
+  const int b = config_.batch_size;
+  if (static_cast<int>(queue_.size()) >= b) {
+    if (timer_armed_) {
+      sim_.cancel(timer_);
+      timer_armed_ = false;
+    }
+    start_batch();
+    return;
+  }
+
+  // Under-filled: lazy batching, capped. Launch at the earlier of (a) the
+  // latest time that still meets the tightest stage deadline and (b) one
+  // execution period after the oldest enqueue.
+  const double exec = config_.profile.execution_latency(b) +
+                      (config_.has_extra
+                           ? config_.extra_profile.execution_latency(b)
+                           : 0.0);
+  double tightest = queue_.front().query.stage_deadline;
+  double oldest = queue_.front().at;
+  for (const auto& e : queue_) {
+    tightest = std::min(tightest, e.query.stage_deadline);
+    oldest = std::min(oldest, e.at);
+  }
+  const double launch_at = std::min(tightest - exec, oldest + exec);
+
+  if (launch_at <= sim_.now()) {
+    if (timer_armed_) {
+      sim_.cancel(timer_);
+      timer_armed_ = false;
+    }
+    start_batch();
+    return;
+  }
+  if (timer_armed_ && timer_at_ <= launch_at + 1e-12) return;  // already set
+  if (timer_armed_) sim_.cancel(timer_);
+  timer_at_ = launch_at;
+  timer_armed_ = true;
+  timer_ = sim_.schedule_at(launch_at, [this] {
+    timer_armed_ = false;
+    maybe_start_batch();
+  });
+}
+
+void SimWorker::start_batch() {
+  DS_CHECK(!busy_ && !queue_.empty(), "start_batch preconditions");
+  const int b = config_.batch_size;
+  const double exec = config_.profile.execution_latency(b) +
+                      (config_.has_extra
+                           ? config_.extra_profile.execution_latency(b)
+                           : 0.0);
+  const double done_at = sim_.now() + exec;
+
+  // Fill the batch, preemptively dropping queries that cannot finish by
+  // their stage deadline even if launched right now.
+  std::vector<Query> batch;
+  batch.reserve(static_cast<std::size_t>(b));
+  while (!queue_.empty() && static_cast<int>(batch.size()) < b) {
+    Query q = std::move(queue_.front().query);
+    queue_.pop_front();
+    if (done_at > q.stage_deadline) {
+      ++dropped_;
+      if (on_drop_) on_drop_(*this, std::move(q));
+      continue;
+    }
+    batch.push_back(std::move(q));
+  }
+  if (batch.empty()) {
+    // Everything at the head was overdue; try again with what remains.
+    if (!queue_.empty()) maybe_start_batch();
+    return;
+  }
+
+  busy_ = true;
+  ready_at_ = std::max(ready_at_, done_at);
+  busy_seconds_ += exec;
+  ++batches_;
+  processed_ += batch.size();
+
+  sim_.schedule_at(done_at,
+                   [this, batch = std::move(batch)]() mutable {
+                     busy_ = false;
+                     if (on_batch_done_) on_batch_done_(*this, std::move(batch));
+                     maybe_start_batch();
+                   });
+}
+
+}  // namespace diffserve::serving

@@ -1,0 +1,108 @@
+// Simulated GPU worker: a FIFO queue plus a batch execution loop.
+//
+// "Each worker executes its hosted model variant to serve queries routed to
+// it and kept in its local queue. ... The batch size, which model variant
+// to host, and the confidence threshold for each worker are determined by
+// the Controller" (§3.1).
+//
+// Batching is deadline-aware: a batch launches as soon as the queue holds a
+// full batch, or — when under-filled — at the earlier of (a) the latest
+// instant that still meets the tightest queued stage deadline and (b) one
+// batch-execution period after the oldest enqueue (so light queries are not
+// held to the edge of their deadline just to fill a batch). At batch start
+// the worker preemptively drops queries that can no longer finish in time,
+// which the paper counts as SLO violations.
+//
+// Reconfiguration (model swap) takes a load delay and waits for the
+// in-flight batch; queued queries are handed back for re-routing.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/latency_profile.hpp"
+#include "serving/query.hpp"
+#include "sim/simulation.hpp"
+#include "stats/window.hpp"
+
+namespace diffserve::serving {
+
+struct WorkerConfig {
+  std::string model_name;
+  models::LatencyProfile profile;
+  /// Added to every batch's execution time (discriminator pass on light
+  /// workers), as a function of batch size.
+  models::LatencyProfile extra_profile;  // optional; empty = none
+  bool has_extra = false;
+  int batch_size = 1;
+  /// Quality tier of the hosted diffusion model (for image generation).
+  int quality_tier = 0;
+};
+
+class SimWorker {
+ public:
+  using BatchCallback =
+      std::function<void(SimWorker&, std::vector<Query>&&)>;
+  using DropCallback = std::function<void(SimWorker&, Query&&)>;
+
+  SimWorker(sim::Simulation& sim, int id, double model_load_delay = 1.0);
+
+  int id() const { return id_; }
+  const WorkerConfig& config() const { return config_; }
+  bool configured() const { return configured_; }
+
+  void set_callbacks(BatchCallback on_batch_done, DropCallback on_drop);
+
+  /// Apply a new configuration. A change of hosted model incurs the load
+  /// delay (after any in-flight batch). Returns queries evicted from the
+  /// local queue; the caller (load balancer) must re-route them.
+  std::vector<Query> configure(const WorkerConfig& cfg);
+
+  void enqueue(Query q);
+
+  std::size_t queue_length() const { return queue_.size(); }
+  /// Arrival rate into this worker's queue over the stats window (QPS).
+  double arrival_rate() const;
+  bool busy() const { return busy_; }
+  double utilization(double now) const;
+
+  std::uint64_t batches_executed() const { return batches_; }
+  std::uint64_t queries_processed() const { return processed_; }
+  std::uint64_t queries_dropped() const { return dropped_; }
+
+ private:
+  void maybe_start_batch();
+  void start_batch();
+  void arm_timer(double at);
+
+  sim::Simulation& sim_;
+  int id_;
+  double load_delay_;
+
+  WorkerConfig config_;
+  bool configured_ = false;
+  bool busy_ = false;
+  double ready_at_ = 0.0;  ///< model-load completion time
+
+  struct Enqueued {
+    Query query;
+    double at;  ///< enqueue time (drives the batch-wait cap)
+  };
+  std::deque<Enqueued> queue_;
+  sim::EventHandle timer_{};
+  bool timer_armed_ = false;
+  double timer_at_ = 0.0;
+
+  BatchCallback on_batch_done_;
+  DropCallback on_drop_;
+
+  stats::SlidingWindowCounter arrivals_{20.0};
+  std::uint64_t batches_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t dropped_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace diffserve::serving

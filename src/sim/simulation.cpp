@@ -1,0 +1,100 @@
+#include "sim/simulation.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace diffserve::sim {
+
+EventHandle Simulation::schedule_at(SimTime t, EventFn fn) {
+  DS_REQUIRE(t >= now_, "cannot schedule in the past");
+  DS_REQUIRE(fn != nullptr, "null event function");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  return EventHandle{id};
+}
+
+EventHandle Simulation::schedule_in(SimTime delay, EventFn fn) {
+  DS_REQUIRE(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Lazy deletion: the id is blacklisted; pending occurrences are skipped
+  // when they reach the top of the heap, and periodic series stop
+  // rescheduling. Cancelling twice is a no-op.
+  return cancelled_.insert(h.id).second;
+}
+
+EventHandle Simulation::every(SimTime interval, EventFn fn) {
+  DS_REQUIRE(interval > 0.0, "periodic interval must be positive");
+  DS_REQUIRE(fn != nullptr, "null event function");
+  const std::uint64_t id = next_id_++;
+  // Self-rescheduling closure; all occurrences share `id` so one cancel()
+  // kills the series.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, id, interval, fn = std::move(fn), tick]() {
+    fn();
+    if (cancelled_.count(id)) return;  // fn may cancel its own series
+    heap_.push(Entry{now_ + interval, next_seq_++, id, *tick});
+  };
+  heap_.push(Entry{now_ + interval, next_seq_++, id, *tick});
+  return EventHandle{id};
+}
+
+void Simulation::drop_cancelled_top() {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    heap_.pop();
+  }
+}
+
+void Simulation::run_until(SimTime until) {
+  DS_REQUIRE(until >= now_, "run_until target in the past");
+  for (;;) {
+    drop_cancelled_top();
+    if (heap_.empty() || heap_.top().time > until) break;
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.fn();
+  }
+  now_ = until;
+}
+
+void Simulation::run_all(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  for (;;) {
+    drop_cancelled_top();
+    if (heap_.empty()) break;
+    DS_CHECK(n < max_events, "run_all exceeded max_events — runaway schedule?");
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.time;
+    ++executed_;
+    ++n;
+    e.fn();
+  }
+}
+
+bool Simulation::step() {
+  drop_cancelled_top();
+  if (heap_.empty()) return false;
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::size_t Simulation::pending() const {
+  std::size_t dead = 0;
+  // cancelled_ may contain ids that already fired; count only an upper
+  // bound cheaply by clamping at heap size.
+  dead = cancelled_.size() > heap_.size() ? heap_.size() : cancelled_.size();
+  return heap_.size() - dead;
+}
+
+}  // namespace diffserve::sim

@@ -1,0 +1,89 @@
+#include "stats/ewma.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace diffserve::stats {
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  DS_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0,1]");
+}
+
+void Ewma::observe(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+HoltEwma::HoltEwma(double level_alpha, double trend_beta)
+    : alpha_(level_alpha), beta_(trend_beta) {
+  DS_REQUIRE(level_alpha > 0.0 && level_alpha <= 1.0,
+             "level alpha must be in (0,1]");
+  DS_REQUIRE(trend_beta > 0.0 && trend_beta <= 1.0,
+             "trend beta must be in (0,1]");
+}
+
+void HoltEwma::observe(double x) {
+  if (n_ == 0) {
+    level_ = x;
+    trend_ = 0.0;
+  } else {
+    const double prev_level = level_;
+    level_ = alpha_ * x + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  }
+  ++n_;
+}
+
+void HoltEwma::reset() {
+  level_ = 0.0;
+  trend_ = 0.0;
+  n_ = 0;
+}
+
+double HoltEwma::forecast(double h) const {
+  const double f = level_ + h * trend_;
+  return f > 0.0 ? f : 0.0;
+}
+
+TimeDecayedEwma::TimeDecayedEwma(double half_life_seconds)
+    : half_life_(half_life_seconds) {
+  DS_REQUIRE(half_life_seconds > 0.0, "half life must be positive");
+}
+
+void TimeDecayedEwma::observe(double time_seconds, double x) {
+  if (!initialized_) {
+    value_ = x;
+    last_time_ = time_seconds;
+    initialized_ = true;
+    return;
+  }
+  DS_REQUIRE(time_seconds >= last_time_, "observations must move forward");
+  const double dt = time_seconds - last_time_;
+  const double decay = std::exp2(-dt / half_life_);
+  value_ = decay * value_ + (1.0 - decay) * x;
+  last_time_ = time_seconds;
+}
+
+double TimeDecayedEwma::value_at(double time_seconds) const {
+  if (!initialized_) return 0.0;
+  DS_REQUIRE(time_seconds >= last_time_, "query time before last observation");
+  return value_;  // held value; decay applies on next observation
+}
+
+void TimeDecayedEwma::reset() {
+  value_ = 0.0;
+  last_time_ = 0.0;
+  initialized_ = false;
+}
+
+}  // namespace diffserve::stats

@@ -1,0 +1,76 @@
+// Exponentially weighted moving averages.
+//
+// The controller estimates query demand D with an EWMA over per-interval
+// arrival counts (paper §3.3: "We estimate query demand D using an
+// exponentially weighted moving average on demand history"). Two variants
+// are provided: a fixed-alpha EWMA for evenly spaced observations and a
+// time-decayed EWMA for irregular ones.
+#pragma once
+
+#include <cstddef>
+
+namespace diffserve::stats {
+
+/// Fixed-alpha EWMA: v <- alpha * x + (1 - alpha) * v.
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void observe(double x);
+  void reset();
+
+  bool has_value() const { return initialized_; }
+  /// Current estimate; 0 until the first observation.
+  double value() const { return initialized_ ? value_ : 0.0; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Holt's double exponential smoothing: tracks a level and a linear trend
+/// over evenly spaced observations and can forecast h steps ahead. The
+/// controller forecasts demand one actuation horizon ahead so steep ramps
+/// do not leave the heavy pool underprovisioned (a plain EWMA lags a ramp
+/// by ~1/alpha observations).
+class HoltEwma {
+ public:
+  HoltEwma(double level_alpha, double trend_beta);
+
+  void observe(double x);
+  void reset();
+
+  bool has_value() const { return n_ > 0; }
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+  /// Forecast h steps ahead (h = 0 returns the level). Never negative.
+  double forecast(double h) const;
+
+ private:
+  double alpha_, beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Time-decayed EWMA with half-life semantics: weight of an observation
+/// decays by half every `half_life` seconds regardless of arrival spacing.
+class TimeDecayedEwma {
+ public:
+  explicit TimeDecayedEwma(double half_life_seconds);
+
+  void observe(double time_seconds, double x);
+  double value_at(double time_seconds) const;
+  bool has_value() const { return initialized_; }
+  void reset();
+
+ private:
+  double half_life_;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace diffserve::stats

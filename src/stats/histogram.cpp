@@ -1,0 +1,102 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace diffserve::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  DS_REQUIRE(hi > lo, "histogram range inverted");
+  DS_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  DS_REQUIRE(bin < counts_.size(), "bin index out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  DS_REQUIRE(bin < counts_.size(), "bin index out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(bins());
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  double below = 0.0;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    if (bin_hi(b) <= x) {
+      below += static_cast<double>(counts_[b]);
+    } else if (bin_lo(b) < x) {
+      const double frac = (x - bin_lo(b)) / (bin_hi(b) - bin_lo(b));
+      below += frac * static_cast<double>(counts_[b]);
+    }
+  }
+  return below / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  DS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile outside [0,1]");
+  DS_REQUIRE(total_ > 0, "quantile of empty histogram");
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      if (counts_[b] == 0) return bin_lo(b);
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
+      return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  DS_REQUIRE(!samples_.empty(), "empirical CDF needs samples");
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  DS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile outside [0,1]");
+  if (q == 0.0) return samples_.front();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size()))) - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+}  // namespace diffserve::stats

@@ -1,0 +1,58 @@
+// Fixed-bin histogram and empirical CDF utilities.
+//
+// Used to (a) profile the discriminator confidence distribution, from which
+// the deferral profile f(t) is derived (f(t) = P(confidence < t)), and
+// (b) report quality-difference CDFs for Figure 1b.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace diffserve::stats {
+
+/// Uniform-bin histogram over [lo, hi]; out-of-range samples clamp to the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void reset();
+
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+
+  /// Fraction of samples strictly below x (empirical CDF, linear within
+  /// the containing bin). Returns 0 with no samples.
+  double cdf(double x) const;
+
+  /// Smallest x with cdf(x) >= q, q in [0, 1].
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact empirical CDF over a stored sample set (for one-shot profiling).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  double at(double x) const;
+  /// Smallest sample s with P(X <= s) >= q.
+  double quantile(double q) const;
+  std::size_t count() const { return samples_.size(); }
+  const std::vector<double>& sorted_samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;  // sorted ascending
+};
+
+}  // namespace diffserve::stats

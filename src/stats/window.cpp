@@ -1,0 +1,62 @@
+#include "stats/window.hpp"
+
+#include "util/check.hpp"
+
+namespace diffserve::stats {
+
+SlidingWindowCounter::SlidingWindowCounter(double window_seconds,
+                                           double origin)
+    : window_(window_seconds), origin_(origin) {
+  DS_REQUIRE(window_seconds > 0.0, "window must be positive");
+}
+
+void SlidingWindowCounter::add(double time_seconds, double weight) {
+  DS_REQUIRE(events_.empty() || time_seconds >= events_.back().first,
+             "timestamps must be non-decreasing");
+  events_.emplace_back(time_seconds, weight);
+}
+
+void SlidingWindowCounter::evict(double now) const {
+  while (!events_.empty() && events_.front().first <= now - window_)
+    events_.pop_front();
+}
+
+double SlidingWindowCounter::total(double now) const {
+  evict(now);
+  double s = 0.0;
+  for (const auto& [t, w] : events_)
+    if (t <= now) s += w;
+  return s;
+}
+
+double SlidingWindowCounter::rate(double now) const {
+  const double elapsed = now - origin_;
+  const double effective =
+      elapsed > 0.0 ? std::min(window_, elapsed) : window_;
+  return total(now) / std::max(effective, 1e-6);
+}
+
+void SlidingWindowCounter::reset() { events_.clear(); }
+
+SlidingWindowRatio::SlidingWindowRatio(double window_seconds)
+    : bad_(window_seconds), all_(window_seconds) {}
+
+void SlidingWindowRatio::record(double time_seconds, bool bad) {
+  all_.add(time_seconds, 1.0);
+  if (bad) bad_.add(time_seconds, 1.0);
+}
+
+double SlidingWindowRatio::ratio(double now) const {
+  const double n = all_.total(now);
+  if (n == 0.0) return 0.0;
+  return bad_.total(now) / n;
+}
+
+double SlidingWindowRatio::total(double now) const { return all_.total(now); }
+
+void SlidingWindowRatio::reset() {
+  bad_.reset();
+  all_.reset();
+}
+
+}  // namespace diffserve::stats

@@ -1,0 +1,60 @@
+// Sliding time-window counters.
+//
+// Workers report per-interval arrival counts and SLO outcomes; the
+// controller aggregates them over a sliding window to estimate instantaneous
+// demand and violation ratios for its allocation decisions and for the
+// timeline plots (Figures 5 and 8).
+#pragma once
+
+#include <cstddef>
+#include <algorithm>
+#include <deque>
+
+namespace diffserve::stats {
+
+/// Counts events with timestamps, supporting "events in the last W seconds"
+/// and the implied rate. Timestamps must be non-decreasing.
+class SlidingWindowCounter {
+ public:
+  /// `origin` is the time the measured process started; before a full
+  /// window has elapsed since then, rate() divides by the elapsed span
+  /// rather than the window (otherwise early rates are underestimated by
+  /// up to the window/elapsed ratio).
+  explicit SlidingWindowCounter(double window_seconds, double origin = 0.0);
+
+  void add(double time_seconds, double weight = 1.0);
+
+  /// Total weight inside (now - window, now].
+  double total(double now) const;
+  /// total(now) / effective window — an event rate in events/second.
+  double rate(double now) const;
+
+  void reset();
+  double window() const { return window_; }
+
+ private:
+  void evict(double now) const;
+
+  double window_;
+  double origin_;
+  mutable std::deque<std::pair<double, double>> events_;  // (time, weight)
+};
+
+/// Ratio of "bad" outcomes over a sliding window (e.g., SLO violations).
+class SlidingWindowRatio {
+ public:
+  explicit SlidingWindowRatio(double window_seconds);
+
+  void record(double time_seconds, bool bad);
+
+  /// Violations / total in the window; 0 when the window is empty.
+  double ratio(double now) const;
+  double total(double now) const;
+  void reset();
+
+ private:
+  SlidingWindowCounter bad_;
+  SlidingWindowCounter all_;
+};
+
+}  // namespace diffserve::stats

@@ -1,0 +1,91 @@
+#include "trace/arrivals.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "util/check.hpp"
+
+namespace diffserve::trace {
+
+namespace {
+
+std::vector<double> poisson_thinning(const RateTrace& trace, util::Rng& rng,
+                                     double rate_multiplier_peak,
+                                     const std::function<double(double)>& mod) {
+  const double duration = trace.duration();
+  const double lambda_max =
+      std::max(1e-9, trace.max_qps() * rate_multiplier_peak);
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(trace.total_queries() * 1.2) + 16);
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(lambda_max);
+    if (t >= duration) break;
+    const double lambda_t = trace.qps_at(t) * mod(t);
+    if (rng.uniform() * lambda_max <= lambda_t) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+std::vector<double> generate_arrivals(const RateTrace& trace, util::Rng& rng,
+                                      const ArrivalConfig& cfg) {
+  switch (cfg.kind) {
+    case ArrivalKind::kDeterministic: {
+      std::vector<double> arrivals;
+      const double duration = trace.duration();
+      double t = 0.0;
+      while (t < duration) {
+        const double rate = trace.qps_at(t);
+        if (rate <= 1e-9) {
+          t += 0.1;  // idle scan forward
+          continue;
+        }
+        arrivals.push_back(t);
+        t += 1.0 / rate;
+      }
+      return arrivals;
+    }
+    case ArrivalKind::kPoisson:
+      return poisson_thinning(trace, rng, 1.0, [](double) { return 1.0; });
+    case ArrivalKind::kBursty: {
+      DS_REQUIRE(cfg.burstiness >= 1.0, "burstiness must be >= 1");
+      DS_REQUIRE(cfg.burst_phase_mean > 0.0, "burst phase must be positive");
+      // Precompute alternating on/off phases over the trace duration.
+      struct Phase {
+        double start;
+        bool on;
+      };
+      std::vector<Phase> phases;
+      double t = 0.0;
+      bool on = rng.bernoulli(0.5);
+      while (t < trace.duration()) {
+        phases.push_back({t, on});
+        t += rng.exponential(1.0 / cfg.burst_phase_mean);
+        on = !on;
+      }
+      const double hi = cfg.burstiness;
+      // Keep the mean rate unchanged: on and off phases have equal expected
+      // length, so lo = 2 - hi clipped at >= 0.
+      const double lo = std::max(0.0, 2.0 - hi);
+      auto mod = [phases, hi, lo](double time) {
+        // Binary search for the containing phase.
+        std::size_t a = 0, b = phases.size();
+        while (a + 1 < b) {
+          const std::size_t mid = (a + b) / 2;
+          if (phases[mid].start <= time)
+            a = mid;
+          else
+            b = mid;
+        }
+        return phases[a].on ? hi : lo;
+      };
+      return poisson_thinning(trace, rng, hi, mod);
+    }
+  }
+  DS_CHECK(false, "unreachable arrival kind");
+  return {};
+}
+
+}  // namespace diffserve::trace

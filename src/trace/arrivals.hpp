@@ -1,0 +1,36 @@
+// Query arrival generation from a rate trace.
+//
+// Arrivals are drawn from a non-homogeneous Poisson process via Lewis
+// thinning against the trace's peak rate; a deterministic evenly-spaced
+// variant exists for tests, and an MMPP-style bursty variant stresses the
+// queueing model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/rate_trace.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::trace {
+
+enum class ArrivalKind {
+  kPoisson,        ///< non-homogeneous Poisson (default, matches paper)
+  kDeterministic,  ///< evenly spaced at the instantaneous rate
+  kBursty,         ///< Poisson modulated by an on/off burst factor
+};
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Burst multiplier applied while "on" in kBursty mode; the off phase is
+  /// scaled down to keep the mean rate unchanged.
+  double burstiness = 2.0;
+  /// Mean on/off phase length in seconds for kBursty.
+  double burst_phase_mean = 5.0;
+};
+
+/// Timestamps (seconds, ascending) of every query arrival over the trace.
+std::vector<double> generate_arrivals(const RateTrace& trace, util::Rng& rng,
+                                      const ArrivalConfig& cfg = {});
+
+}  // namespace diffserve::trace

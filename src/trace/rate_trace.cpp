@@ -1,0 +1,124 @@
+#include "trace/rate_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::trace {
+
+RateTrace::RateTrace(std::vector<double> per_second_qps)
+    : qps_(std::move(per_second_qps)) {
+  DS_REQUIRE(qps_.size() >= 2, "trace needs at least two samples");
+  for (double q : qps_) DS_REQUIRE(q >= 0.0, "negative rate in trace");
+}
+
+RateTrace RateTrace::constant(double qps, double duration_seconds) {
+  DS_REQUIRE(duration_seconds >= 1.0, "trace too short");
+  const auto n = static_cast<std::size_t>(std::ceil(duration_seconds)) + 1;
+  return RateTrace(std::vector<double>(n, qps));
+}
+
+RateTrace RateTrace::azure_like(double min_qps, double max_qps,
+                                double duration_seconds, std::uint64_t seed) {
+  DS_REQUIRE(max_qps >= min_qps && min_qps >= 0.0, "invalid rate range");
+  DS_REQUIRE(duration_seconds >= 10.0, "trace too short for a diurnal shape");
+  util::Rng rng(seed);
+  const auto n = static_cast<std::size_t>(std::ceil(duration_seconds)) + 1;
+  std::vector<double> q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(n - 1);
+    // Diurnal base: one slow cycle peaking ~55% into the trace.
+    const double diurnal = 0.5 - 0.5 * std::cos(2.0 * M_PI * (u * 0.9 + 0.05));
+    // Sustained mid-trace peak (the Azure trace's lunch-hour bump).
+    const double bump =
+        std::exp(-std::pow((u - 0.55) / 0.16, 2.0)) * 0.65;
+    // Short secondary bump early on.
+    const double bump2 =
+        std::exp(-std::pow((u - 0.22) / 0.06, 2.0)) * 0.18;
+    q[i] = diurnal + bump + bump2;
+  }
+  // Smooth multiplicative noise (random walk in log space, mild).
+  double walk = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    walk = 0.92 * walk + rng.normal(0.0, 0.025);
+    q[i] *= std::exp(walk);
+    q[i] = std::max(q[i], 0.0);
+  }
+  return RateTrace(std::move(q)).scaled_to(min_qps, max_qps);
+}
+
+RateTrace RateTrace::scaled_to(double new_min, double new_max) const {
+  DS_REQUIRE(new_max >= new_min && new_min >= 0.0, "invalid target range");
+  const double lo = min_qps();
+  const double hi = max_qps();
+  std::vector<double> q(qps_.size());
+  if (hi == lo) {
+    std::fill(q.begin(), q.end(), 0.5 * (new_min + new_max));
+  } else {
+    for (std::size_t i = 0; i < qps_.size(); ++i)
+      q[i] = new_min + (qps_[i] - lo) / (hi - lo) * (new_max - new_min);
+  }
+  return RateTrace(std::move(q));
+}
+
+RateTrace RateTrace::scaled_by(double factor) const {
+  DS_REQUIRE(factor >= 0.0, "negative scale factor");
+  std::vector<double> q(qps_.size());
+  for (std::size_t i = 0; i < qps_.size(); ++i) q[i] = qps_[i] * factor;
+  return RateTrace(std::move(q));
+}
+
+double RateTrace::duration() const {
+  return static_cast<double>(qps_.size() - 1);
+}
+
+double RateTrace::qps_at(double t) const {
+  DS_REQUIRE(!qps_.empty(), "empty trace");
+  if (t <= 0.0) return qps_.front();
+  if (t >= duration()) return qps_.back();
+  const auto lo = static_cast<std::size_t>(t);
+  const double frac = t - static_cast<double>(lo);
+  return qps_[lo] * (1.0 - frac) + qps_[lo + 1] * frac;
+}
+
+double RateTrace::min_qps() const {
+  return *std::min_element(qps_.begin(), qps_.end());
+}
+
+double RateTrace::max_qps() const {
+  return *std::max_element(qps_.begin(), qps_.end());
+}
+
+double RateTrace::mean_qps() const {
+  double s = 0.0;
+  for (double q : qps_) s += q;
+  return s / static_cast<double>(qps_.size());
+}
+
+double RateTrace::total_queries() const {
+  // Trapezoidal integral of the piecewise-linear rate.
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < qps_.size(); ++i)
+    s += 0.5 * (qps_[i] + qps_[i + 1]);
+  return s;
+}
+
+void RateTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  DS_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  for (double q : qps_) out << q << "\n";
+}
+
+RateTrace RateTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  DS_REQUIRE(in.good(), "cannot open trace file: " + path);
+  std::vector<double> q;
+  double v;
+  while (in >> v) q.push_back(v);
+  return RateTrace(std::move(q));
+}
+
+}  // namespace diffserve::trace

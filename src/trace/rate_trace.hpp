@@ -1,0 +1,58 @@
+// Workload rate traces.
+//
+// The paper drives its system with the Microsoft Azure Functions trace,
+// "scaled using shape-preserving transformations to match the capacity of
+// our system" (§4.1), stored as trace_{A}to{B}qps.txt files (artifact
+// appendix). This module provides: piecewise-linear rate traces, a
+// synthetic Azure-like diurnal shape generator, the shape-preserving
+// min/max rescaling, and the artifact's file format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diffserve::trace {
+
+/// Query rate (QPS) as a function of time, represented by per-second
+/// breakpoints with linear interpolation between them.
+class RateTrace {
+ public:
+  RateTrace() = default;
+  /// One rate sample per second, starting at t = 0.
+  explicit RateTrace(std::vector<double> per_second_qps);
+
+  static RateTrace constant(double qps, double duration_seconds);
+
+  /// Synthetic Azure-Functions-like trace: a diurnal base wave compressed
+  /// into `duration`, a mid-trace peak, and multiplicative noise — then
+  /// rescaled to [min_qps, max_qps]. Matches the paper's
+  /// "trace_{A}to{B}qps" family in shape (slow rise, sustained peak around
+  /// 40-70% of the duration, decline).
+  static RateTrace azure_like(double min_qps, double max_qps,
+                              double duration_seconds, std::uint64_t seed);
+
+  /// Shape-preserving affine rescale so min -> new_min and max -> new_max.
+  RateTrace scaled_to(double new_min, double new_max) const;
+  /// Uniformly scale rates by a factor.
+  RateTrace scaled_by(double factor) const;
+
+  double duration() const;
+  double qps_at(double t) const;
+  double min_qps() const;
+  double max_qps() const;
+  double mean_qps() const;
+  /// Expected number of queries over the whole trace (integral of rate).
+  double total_queries() const;
+
+  const std::vector<double>& samples() const { return qps_; }
+
+  /// Artifact-format I/O: one QPS value per line.
+  void save(const std::string& path) const;
+  static RateTrace load(const std::string& path);
+
+ private:
+  std::vector<double> qps_;
+};
+
+}  // namespace diffserve::trace

@@ -1,0 +1,49 @@
+// Assertion and precondition macros used across the library.
+//
+// DS_REQUIRE  — validate a caller-supplied precondition; throws
+//               std::invalid_argument with a descriptive message.
+// DS_CHECK    — validate an internal invariant; throws std::logic_error.
+// Both are always on (never compiled out): this library is used for
+// research experiments where silent corruption is worse than the cost of
+// a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace diffserve::util {
+
+[[noreturn]] inline void throw_require_failure(const char* expr,
+                                               const char* file, int line,
+                                               const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace diffserve::util
+
+#define DS_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::diffserve::util::throw_require_failure(#cond, __FILE__, __LINE__,  \
+                                               (msg));                     \
+  } while (0)
+
+#define DS_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::diffserve::util::throw_check_failure(#cond, __FILE__, __LINE__,  \
+                                             (msg));                     \
+  } while (0)

@@ -1,0 +1,46 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace diffserve::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns)
+    : path_(path), out_(path), n_columns_(columns.size()) {
+  DS_REQUIRE(!columns.empty(), "CSV needs at least one column");
+  DS_REQUIRE(out_.good(), "cannot open CSV file: " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << columns[i];
+  }
+  out_ << "\n";
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  DS_REQUIRE(cells.size() == n_columns_, "row width mismatch in " + path_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << cells[i];
+  }
+  out_ << "\n";
+  ++rows_;
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format(v));
+  add_row(formatted);
+}
+
+std::string CsvWriter::format(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace diffserve::util

@@ -1,0 +1,40 @@
+// CSV emission for experiment results.
+//
+// Every bench binary writes its series both to stdout (the rows the paper
+// plots) and to a CSV file so plots can be regenerated without re-running.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace diffserve::util {
+
+/// Row-oriented CSV writer. Columns are fixed at construction; rows are
+/// appended with exactly that many cells. Numeric cells are formatted with
+/// enough precision to round-trip.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+  std::size_t rows_written() const { return rows_; }
+
+  /// Format a double compactly but losslessly.
+  static std::string format(double v);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t n_columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace diffserve::util

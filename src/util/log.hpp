@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The serving system logs controller decisions, allocation changes, and
+// worker lifecycle events. Default level is kWarn so tests and benches stay
+// quiet; examples raise it to kInfo to narrate what the system is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace diffserve::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line: "[level] [component] message".
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style helper: LogMessage(kInfo, "controller") << "demand=" << d;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace diffserve::util
+
+#define DS_LOG(level, component) \
+  ::diffserve::util::LogMessage(level, component)
+#define DS_LOG_INFO(component) \
+  DS_LOG(::diffserve::util::LogLevel::kInfo, component)
+#define DS_LOG_DEBUG(component) \
+  DS_LOG(::diffserve::util::LogLevel::kDebug, component)
+#define DS_LOG_WARN(component) \
+  DS_LOG(::diffserve::util::LogLevel::kWarn, component)

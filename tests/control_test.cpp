@@ -1,0 +1,229 @@
+// Tests for the control plane: performance models, the MILP and
+// exhaustive allocators (cross-checked against each other over a demand
+// sweep), ablation variants, and the controller loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/allocator.hpp"
+#include "control/allocator_variants.hpp"
+#include "control/controller.hpp"
+#include "control/exhaustive_allocator.hpp"
+#include "control/milp_allocator.hpp"
+#include "models/model_repository.hpp"
+
+namespace diffserve::control {
+namespace {
+
+// A synthetic but realistic allocation input modeled on Cascade 1:
+// light ~ SD-Turbo + EfficientNet, heavy ~ SDv1.5.
+AllocationInput cascade1_input(double demand, int workers = 16,
+                               double slo = 5.0) {
+  AllocationInput in;
+  in.demand_qps = demand;
+  in.total_workers = workers;
+  in.slo_seconds = slo;
+  const auto repo = models::ModelRepository::with_paper_catalog();
+  const auto disc = repo.model(models::catalog::kEfficientNet).latency;
+  in.light = StagePerfModel(
+      repo.model(models::catalog::kSdTurbo).latency, &disc);
+  in.heavy =
+      StagePerfModel(repo.model(models::catalog::kSdV15).latency, nullptr);
+  // A smooth synthetic confidence CDF: thresholds t with f(t) = t^1.5,
+  // capped at 0.65 like the controller's default grid.
+  for (int k = 0; k <= 50; ++k) {
+    const double f = 0.65 * k / 50.0;
+    in.threshold_grid.push_back({std::pow(f, 1.0 / 1.5), f});
+  }
+  return in;
+}
+
+TEST(StagePerfModel, LatencyAndThroughput) {
+  const auto repo = models::ModelRepository::with_paper_catalog();
+  const auto disc = repo.model(models::catalog::kEfficientNet).latency;
+  StagePerfModel light(repo.model(models::catalog::kSdTurbo).latency, &disc);
+  EXPECT_NEAR(light.execution_latency(1), 0.11, 1e-9);  // 0.10 + 0.01
+  EXPECT_NEAR(light.stage_latency(1), 1.5 * 0.11, 1e-9);
+  EXPECT_GT(light.throughput(8), light.throughput(1));
+}
+
+TEST(LittlesLaw, BasicCases) {
+  EXPECT_NEAR(littles_law_delay(10.0, 2.0), 5.0, 1e-12);
+  EXPECT_EQ(littles_law_delay(10.0, 0.0), 0.0);  // idle: no estimate
+  EXPECT_EQ(littles_law_delay(-1.0, 2.0), 0.0);  // clamped
+}
+
+TEST(Exhaustive, DecisionSatisfiesPaperConstraints) {
+  ExhaustiveAllocator alloc;
+  const auto in = cascade1_input(10.0);
+  const auto d = alloc.allocate(in);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_TRUE(satisfies_constraints(in, d.light_workers, d.heavy_workers,
+                                    d.light_batch, d.heavy_batch,
+                                    d.deferral_fraction));
+}
+
+TEST(Exhaustive, LowDemandMaximizesThreshold) {
+  ExhaustiveAllocator alloc;
+  const auto in = cascade1_input(2.0);
+  const auto d = alloc.allocate(in);
+  ASSERT_TRUE(d.feasible);
+  // With ample capacity the threshold should hit the top of the grid.
+  EXPECT_NEAR(d.threshold, in.threshold_grid.back().threshold, 1e-9);
+}
+
+TEST(Exhaustive, HighDemandLowersThreshold) {
+  ExhaustiveAllocator alloc;
+  const auto lo = alloc.allocate(cascade1_input(5.0));
+  const auto hi = alloc.allocate(cascade1_input(25.0));
+  ASSERT_TRUE(lo.feasible);
+  ASSERT_TRUE(hi.feasible);
+  EXPECT_LT(hi.threshold, lo.threshold);
+  EXPECT_LT(hi.deferral_fraction, lo.deferral_fraction);
+}
+
+TEST(Exhaustive, OverloadFallsBackGracefully) {
+  ExhaustiveAllocator alloc;
+  const auto d = alloc.allocate(cascade1_input(500.0, /*workers=*/4));
+  EXPECT_FALSE(d.feasible);
+  EXPECT_LE(d.light_workers + d.heavy_workers, 4);
+  EXPECT_GE(d.light_workers, 1);
+}
+
+TEST(Exhaustive, OverloadFallbackBatchesFitTheSlo) {
+  const auto in = cascade1_input(500.0, 4);
+  const auto d = overload_fallback(in);
+  EXPECT_LE(in.heavy.stage_latency(d.heavy_batch) +
+                in.light.stage_latency(d.light_batch),
+            in.slo_seconds + 1e-9);
+}
+
+class MilpMatchesExhaustive : public ::testing::TestWithParam<double> {};
+
+TEST_P(MilpMatchesExhaustive, SameThresholdAcrossDemands) {
+  const double demand = GetParam();
+  const auto in = cascade1_input(demand);
+  ExhaustiveAllocator oracle;
+  MilpAllocator milp;  // continuous-deferral formulation
+  const auto a = oracle.allocate(in);
+  const auto b = milp.allocate(in);
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    // Both maximize the threshold; they must agree on it (modulo grid
+    // rounding of the continuous solution).
+    EXPECT_NEAR(a.deferral_fraction, b.deferral_fraction, 0.015)
+        << "demand " << demand;
+    EXPECT_TRUE(satisfies_constraints(in, b.light_workers, b.heavy_workers,
+                                      b.light_batch, b.heavy_batch,
+                                      b.deferral_fraction));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DemandSweep, MilpMatchesExhaustive,
+                         ::testing::Values(1.0, 3.0, 6.0, 9.0, 12.0, 15.0,
+                                           18.0, 22.0, 26.0, 30.0));
+
+TEST(Milp, GridFormulationMatchesContinuous) {
+  const auto in = cascade1_input(12.0);
+  MilpAllocator fast(MilpAllocator::Formulation::kContinuousDeferral);
+  MilpAllocator grid(MilpAllocator::Formulation::kThresholdGrid);
+  const auto a = fast.allocate(in);
+  const auto b = grid.allocate(in);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_NEAR(a.deferral_fraction, b.deferral_fraction, 0.015);
+}
+
+TEST(Milp, BuildProblemHasPaperConstraints) {
+  const auto in = cascade1_input(10.0);
+  const auto p = MilpAllocator::build_problem(
+      in, MilpAllocator::Formulation::kThresholdGrid);
+  // 6 light batches*2 + 6 heavy*2 + 51 thresholds = 75 variables.
+  EXPECT_EQ(p.num_variables(), 75u);
+  EXPECT_TRUE(p.has_integer_variables());
+}
+
+TEST(Milp, QueueBacklogTriggersRelaxedResolve) {
+  auto in = cascade1_input(10.0);
+  // A transient backlog that makes Eq. 1 unsatisfiable as observed.
+  in.heavy_queue_length = 100.0;
+  in.heavy_arrival_rate = 5.0;  // q2 = 20 s >> SLO
+  MilpAllocator milp;
+  const auto d = milp.allocate(in);
+  // Must still produce a capacity plan rather than the overload fallback.
+  EXPECT_TRUE(d.feasible);
+  EXPECT_GT(d.heavy_workers, 0);
+}
+
+TEST(StaticThreshold, PinsTheGrid) {
+  const auto in = cascade1_input(6.0);
+  const double target = in.threshold_grid[20].threshold;
+  StaticThresholdAllocator alloc(std::make_unique<ExhaustiveAllocator>(),
+                                 target);
+  const auto d = alloc.allocate(in);
+  EXPECT_NEAR(d.threshold, target, 1e-9);
+  // Even at low demand the threshold cannot rise above the pin.
+  const auto d2 = alloc.allocate(cascade1_input(1.0));
+  EXPECT_NEAR(d2.threshold, target, 1e-9);
+}
+
+TEST(NoQueueModel, IgnoresRealQueueObservations) {
+  auto in = cascade1_input(8.0);
+  in.heavy_queue_length = 1000.0;  // would dominate Little's law
+  in.heavy_arrival_rate = 1.0;
+  NoQueueModelAllocator alloc(std::make_unique<ExhaustiveAllocator>());
+  const auto d = alloc.allocate(in);
+  // The heuristic replaces the backlog with 2x exec, so a feasible plan
+  // still comes out.
+  EXPECT_TRUE(d.feasible);
+}
+
+TEST(AimdBatching, IncreasesOnCalmDecreasesOnViolations) {
+  AimdBatchAllocator alloc(std::make_unique<ExhaustiveAllocator>());
+  auto in = cascade1_input(8.0);
+  in.recent_violation_ratio = 0.0;
+  alloc.allocate(in);
+  const int after_calm = alloc.current_light_batch();
+  EXPECT_GT(after_calm, 1);  // stepped up from 1
+  in.recent_violation_ratio = 0.5;
+  alloc.allocate(in);
+  EXPECT_LT(alloc.current_light_batch(), after_calm);
+}
+
+TEST(AimdBatching, NeverStepsPastSloInfeasibleBatch) {
+  AimdBatchAllocator alloc(std::make_unique<ExhaustiveAllocator>());
+  auto in = cascade1_input(8.0);
+  in.recent_violation_ratio = 0.0;
+  for (int i = 0; i < 20; ++i) alloc.allocate(in);
+  // Heavy batches above 2 blow the 5 s SLO (1.5 * e2(4) > 5 s).
+  EXPECT_LE(in.heavy.stage_latency(alloc.current_heavy_batch()),
+            in.slo_seconds);
+}
+
+TEST(AllocationInput, ProvisionedDemandAppliesLambda) {
+  AllocationInput in;
+  in.demand_qps = 10.0;
+  in.over_provision = 1.05;
+  EXPECT_NEAR(in.provisioned_demand(), 10.5, 1e-12);
+}
+
+TEST(Decision, SolveTimeIsMeasured) {
+  ExhaustiveAllocator e;
+  MilpAllocator m;
+  const auto in = cascade1_input(10.0);
+  EXPECT_GE(e.allocate(in).solve_time_ms, 0.0);
+  EXPECT_GT(m.allocate(in).solve_time_ms, 0.0);
+}
+
+TEST(Milp, SolveTimeWithinControlBudget) {
+  // §4.5 reports ~10 ms with Gurobi; allow generous slack for CI noise but
+  // keep it within the same order of magnitude.
+  MilpAllocator m;
+  const auto in = cascade1_input(14.0);
+  m.allocate(in);  // warm up
+  const auto d = m.allocate(in);
+  EXPECT_LT(d.solve_time_ms, 150.0);
+}
+
+}  // namespace
+}  // namespace diffserve::control

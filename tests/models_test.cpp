@@ -1,0 +1,152 @@
+// Tests for the model repository and latency profiles against the paper's
+// published numbers.
+#include <gtest/gtest.h>
+
+#include "models/latency_profile.hpp"
+#include "models/model_repository.hpp"
+
+namespace diffserve::models {
+namespace {
+
+TEST(LatencyProfile, AffineMatchesBaseAtBatchOne) {
+  const auto p = LatencyProfile::affine(1.78);
+  EXPECT_NEAR(p.execution_latency(1), 1.78, 1e-12);
+}
+
+TEST(LatencyProfile, LatencyMonotoneInBatch) {
+  const auto p = LatencyProfile::affine(0.1);
+  double prev = 0.0;
+  for (const int b : p.batch_sizes()) {
+    EXPECT_GT(p.execution_latency(b), prev);
+    prev = p.execution_latency(b);
+  }
+}
+
+TEST(LatencyProfile, ThroughputImprovesWithBatching) {
+  const auto p = LatencyProfile::affine(1.0, 0.3);
+  EXPECT_GT(p.throughput(32), p.throughput(1));
+  EXPECT_NEAR(p.peak_throughput(), p.throughput(32), 1e-12);
+}
+
+TEST(LatencyProfile, MinBatchForThroughput) {
+  const auto p = LatencyProfile::affine(1.0, 0.3);
+  // T(1) = 1.0; T(2) = 2/1.7 ~ 1.18
+  EXPECT_EQ(p.min_batch_for_throughput(1.1), 2);
+  EXPECT_EQ(p.min_batch_for_throughput(0.5), 1);
+  EXPECT_EQ(p.min_batch_for_throughput(1000.0), -1);
+}
+
+TEST(LatencyProfile, ExplicitMeasurements) {
+  LatencyProfile p(std::map<int, double>{{1, 0.5}, {4, 1.0}});
+  EXPECT_TRUE(p.supports(4));
+  EXPECT_FALSE(p.supports(2));
+  EXPECT_EQ(p.max_batch_size(), 4);
+  EXPECT_THROW(p.execution_latency(2), std::invalid_argument);
+}
+
+TEST(LatencyProfile, RejectsInvalid) {
+  EXPECT_THROW(LatencyProfile(std::map<int, double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(LatencyProfile(std::map<int, double>{{1, -0.5}}),
+               std::invalid_argument);
+  // Non-monotone batch latency is physically impossible.
+  EXPECT_THROW(LatencyProfile(std::map<int, double>{{1, 2.0}, {2, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(LatencyProfile::affine(0.0), std::invalid_argument);
+}
+
+TEST(Repository, PaperCatalogLatencies) {
+  const auto repo = ModelRepository::with_paper_catalog();
+  // §4.1 measured single-image latencies on A100-80GB.
+  EXPECT_NEAR(repo.model(catalog::kSdTurbo).latency.execution_latency(1),
+              0.10, 1e-9);
+  EXPECT_NEAR(repo.model(catalog::kSdV15).latency.execution_latency(1),
+              1.78, 1e-9);
+  EXPECT_NEAR(repo.model(catalog::kSdxs).latency.execution_latency(1), 0.05,
+              1e-9);
+  EXPECT_NEAR(
+      repo.model(catalog::kSdxlLightning).latency.execution_latency(1), 0.5,
+      1e-9);
+  EXPECT_NEAR(repo.model(catalog::kSdxl).latency.execution_latency(1), 6.0,
+              1e-9);
+  // §4.4 discriminator latencies: 10 / 2 / 5 ms.
+  EXPECT_NEAR(
+      repo.model(catalog::kEfficientNet).latency.execution_latency(1), 0.010,
+      1e-9);
+  EXPECT_NEAR(repo.model(catalog::kResNet).latency.execution_latency(1),
+              0.002, 1e-9);
+  EXPECT_NEAR(repo.model(catalog::kViT).latency.execution_latency(1), 0.005,
+              1e-9);
+}
+
+TEST(Repository, PaperCascades) {
+  const auto repo = ModelRepository::with_paper_catalog();
+  const auto& c1 = repo.cascade(catalog::kCascade1);
+  EXPECT_EQ(c1.light_model, catalog::kSdTurbo);
+  EXPECT_EQ(c1.heavy_model, catalog::kSdV15);
+  EXPECT_EQ(c1.slo_seconds, 5.0);
+  const auto& c3 = repo.cascade(catalog::kCascade3);
+  EXPECT_EQ(c3.light_model, catalog::kSdxlLightning);
+  EXPECT_EQ(c3.heavy_model, catalog::kSdxl);
+  EXPECT_EQ(c3.slo_seconds, 15.0);
+}
+
+TEST(Repository, QualityTiersOrderHeavierModelsHigher) {
+  const auto repo = ModelRepository::with_paper_catalog();
+  EXPECT_LT(repo.model(catalog::kSdTurbo).quality_tier,
+            repo.model(catalog::kSdV15).quality_tier);
+  EXPECT_LT(repo.model(catalog::kSdxs).quality_tier,
+            repo.model(catalog::kSdTurbo).quality_tier);
+  EXPECT_LT(repo.model(catalog::kSdxlLightning).quality_tier,
+            repo.model(catalog::kSdxl).quality_tier);
+}
+
+TEST(Repository, DuplicateRegistrationRejected) {
+  ModelRepository repo;
+  repo.register_model({"m", ModelKind::kDiffusion,
+                       LatencyProfile::affine(1.0), 1, 512});
+  EXPECT_THROW(repo.register_model({"m", ModelKind::kDiffusion,
+                                    LatencyProfile::affine(1.0), 1, 512}),
+               std::invalid_argument);
+}
+
+TEST(Repository, CascadeValidation) {
+  ModelRepository repo;
+  repo.register_model({"light", ModelKind::kDiffusion,
+                       LatencyProfile::affine(0.1), 1, 512});
+  repo.register_model({"heavy", ModelKind::kDiffusion,
+                       LatencyProfile::affine(1.0), 2, 512});
+  repo.register_model({"disc", ModelKind::kDiscriminator,
+                       LatencyProfile::affine(0.01), 0, 512});
+  // Unknown member.
+  EXPECT_THROW(repo.register_cascade({"c", "light", "missing", "disc", 5.0}),
+               std::invalid_argument);
+  // Discriminator must have the right kind.
+  EXPECT_THROW(repo.register_cascade({"c", "light", "heavy", "heavy", 5.0}),
+               std::invalid_argument);
+  // Valid.
+  EXPECT_NO_THROW(
+      repo.register_cascade({"c", "light", "heavy", "disc", 5.0}));
+  EXPECT_EQ(repo.cascade("c").heavy_model, "heavy");
+}
+
+TEST(Repository, UnknownLookupsThrow) {
+  const auto repo = ModelRepository::with_paper_catalog();
+  EXPECT_THROW(repo.model("nope"), std::invalid_argument);
+  EXPECT_THROW(repo.cascade("nope"), std::invalid_argument);
+  EXPECT_FALSE(repo.has_model("nope"));
+}
+
+TEST(Repository, CatalogListsAllNames) {
+  const auto repo = ModelRepository::with_paper_catalog();
+  EXPECT_EQ(repo.model_names().size(), 8u);
+  EXPECT_EQ(repo.cascade_names().size(), 3u);
+}
+
+TEST(StandardBatchSizes, PowersOfTwoUpTo32) {
+  EXPECT_EQ(standard_batch_sizes(),
+            (std::vector<int>{1, 2, 4, 8, 16, 32}));
+}
+
+}  // namespace
+}  // namespace diffserve::models

@@ -1,0 +1,179 @@
+// Tests for the nn substrate: softmax, analytical-vs-numerical gradients,
+// training convergence, and classifier metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.hpp"
+#include "nn/metrics.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::nn {
+namespace {
+
+TEST(Softmax, SumsToOneAndOrders) {
+  const auto p = softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  const auto p = softmax({1000.0, 1001.0});
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(Dense, ForwardMatchesHandComputation) {
+  util::Rng rng(1);
+  Dense layer(2, 1, Activation::kLinear, rng);
+  // Overwrite weights via backward-free training is awkward; instead check
+  // linearity: f(2x) - f(0) == 2 (f(x) - f(0)).
+  const auto f0 = layer.forward({0.0, 0.0});
+  const auto f1 = layer.forward({1.0, 2.0});
+  const auto f2 = layer.forward({2.0, 4.0});
+  EXPECT_NEAR(f2[0] - f0[0], 2.0 * (f1[0] - f0[0]), 1e-12);
+}
+
+TEST(Dense, ReluClampsNegativePreactivations) {
+  util::Rng rng(2);
+  Dense layer(3, 8, Activation::kRelu, rng);
+  const auto out = layer.forward({1.0, -2.0, 0.5});
+  for (double v : out) EXPECT_GE(v, 0.0);
+}
+
+TEST(Dense, BackwardMatchesNumericalGradient) {
+  // Scalar loss L = sum(outputs); check dL/dinput numerically.
+  util::Rng rng(3);
+  Dense layer(4, 3, Activation::kRelu, rng);
+  const std::vector<double> x = {0.3, -0.7, 1.1, 0.2};
+
+  layer.forward(x);
+  const auto grad_in = layer.backward({1.0, 1.0, 1.0});
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x;
+    auto xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    double lp = 0.0, lm = 0.0;
+    for (const double v : layer.forward(xp)) lp += v;
+    for (const double v : layer.forward(xm)) lm += v;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, 1e-4) << "input index " << i;
+  }
+}
+
+TEST(Dense, ParameterCount) {
+  util::Rng rng(4);
+  Dense layer(10, 5, Activation::kLinear, rng);
+  EXPECT_EQ(layer.parameter_count(), 10u * 5u + 5u);
+}
+
+TEST(Mlp, RequiresTwoOutputs) {
+  EXPECT_THROW(MlpClassifier({4, 3}, 1), std::invalid_argument);
+  EXPECT_NO_THROW(MlpClassifier({4, 3, 2}, 1));
+}
+
+TEST(Mlp, LearnsLinearlySeparableData) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    x.push_back({a, b});
+    y.push_back(a + b > 0.0 ? 1 : 0);
+  }
+  MlpClassifier model({2, 8, 2}, 7);
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  const auto report = model.train(x, y, cfg);
+  EXPECT_GT(report.final_train_accuracy, 0.95);
+  // Loss decreases.
+  EXPECT_LT(report.epoch_losses.back(), report.epoch_losses.front());
+}
+
+TEST(Mlp, LearnsXorWithHiddenLayer) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  util::Rng rng(6);
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.uniform() > 0.5 ? 1.0 : 0.0;
+    const double b = rng.uniform() > 0.5 ? 1.0 : 0.0;
+    x.push_back({a, b});
+    y.push_back(static_cast<int>(a) ^ static_cast<int>(b));
+  }
+  MlpClassifier model({2, 16, 2}, 11);
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.adam.lr = 5e-3;
+  const auto report = model.train(x, y, cfg);
+  EXPECT_GT(report.final_train_accuracy, 0.95);
+}
+
+TEST(Mlp, PredictionIsProbability) {
+  MlpClassifier model({3, 4, 2}, 1);
+  const double p = model.predict_real_probability({0.1, 0.2, 0.3});
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(Mlp, DeterministicWithoutInputNoise) {
+  MlpClassifier model({3, 4, 2}, 1);
+  const std::vector<double> x = {0.5, -0.5, 1.0};
+  EXPECT_EQ(model.predict_real_probability(x),
+            model.predict_real_probability(x));
+}
+
+TEST(Metrics, AccuracyKnownCase) {
+  EXPECT_NEAR(accuracy({0.9, 0.2, 0.7, 0.4}, {1, 0, 0, 1}), 0.5, 1e-12);
+}
+
+TEST(Metrics, AucPerfectAndInverted) {
+  EXPECT_NEAR(roc_auc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0, 1e-12);
+  EXPECT_NEAR(roc_auc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0, 1e-12);
+}
+
+TEST(Metrics, AucRandomScoresNearHalf) {
+  util::Rng rng(9);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(Metrics, AucHandlesTies) {
+  // All scores identical -> AUC is exactly 0.5 by the tie convention.
+  EXPECT_NEAR(roc_auc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5, 1e-12);
+}
+
+TEST(Metrics, AucNeedsBothClasses) {
+  EXPECT_THROW(roc_auc({0.1, 0.2}, {1, 1}), std::invalid_argument);
+}
+
+TEST(Metrics, EceZeroForPerfectCalibration) {
+  // Scores equal to empirical frequency in each bin.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 1000; ++i) {
+    scores.push_back(0.75);
+    labels.push_back(i % 4 != 0 ? 1 : 0);  // 75% positive
+  }
+  EXPECT_NEAR(expected_calibration_error(scores, labels), 0.0, 1e-9);
+}
+
+TEST(Metrics, EceLargeForOverconfidence) {
+  std::vector<double> scores(100, 0.99);
+  std::vector<int> labels(100, 0);
+  EXPECT_GT(expected_calibration_error(scores, labels), 0.9);
+}
+
+}  // namespace
+}  // namespace diffserve::nn

@@ -1,0 +1,386 @@
+// Tests for the serving data path: worker batching and drop policy, the
+// cascade router, the metrics sink, and system reconfiguration.
+#include <gtest/gtest.h>
+
+#include "discriminator/discriminator.hpp"
+#include "models/model_repository.hpp"
+#include "quality/fid.hpp"
+#include "quality/workload.hpp"
+#include "serving/router.hpp"
+#include "serving/sink.hpp"
+#include "serving/system.hpp"
+#include "serving/worker.hpp"
+#include "sim/simulation.hpp"
+
+namespace diffserve::serving {
+namespace {
+
+models::LatencyProfile unit_profile() {
+  return models::LatencyProfile(std::map<int, double>{{1, 1.0}, {2, 1.5},
+                                                      {4, 2.5}});
+}
+
+Query make_query(std::uint64_t seq, double arrival, double deadline,
+                 double stage_deadline) {
+  Query q;
+  q.seq = seq;
+  q.prompt_id = static_cast<quality::QueryId>(seq % 50);
+  q.arrival_time = arrival;
+  q.deadline = deadline;
+  q.stage_deadline = stage_deadline;
+  return q;
+}
+
+WorkerConfig basic_config(int batch) {
+  WorkerConfig cfg;
+  cfg.model_name = "m";
+  cfg.profile = unit_profile();
+  cfg.batch_size = batch;
+  cfg.quality_tier = 1;
+  return cfg;
+}
+
+TEST(Worker, FullBatchStartsImmediately) {
+  sim::Simulation sim;
+  SimWorker w(sim, 0, /*load_delay=*/0.0);
+  std::vector<std::vector<Query>> batches;
+  w.set_callbacks(
+      [&](SimWorker&, std::vector<Query>&& b) { batches.push_back(b); },
+      nullptr);
+  w.configure(basic_config(2));
+  w.enqueue(make_query(0, 0.0, 100.0, 100.0));
+  w.enqueue(make_query(1, 0.0, 100.0, 100.0));
+  sim.run_until(1.6);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 2u);
+  EXPECT_EQ(w.queries_processed(), 2u);
+}
+
+TEST(Worker, UnderfilledBatchLaunchesByTimeout) {
+  sim::Simulation sim;
+  SimWorker w(sim, 0, 0.0);
+  std::vector<double> completion_times;
+  w.set_callbacks(
+      [&](SimWorker&, std::vector<Query>&& b) {
+        for (auto& q : b) {
+          (void)q;
+          completion_times.push_back(sim.now());
+        }
+      },
+      nullptr);
+  w.configure(basic_config(4));  // e(4) = 2.5
+  sim.schedule_at(0.0, [&] { w.enqueue(make_query(0, 0.0, 100.0, 100.0)); });
+  sim.run_until(10.0);
+  // Launch capped at oldest + exec = 2.5, completes at 5.0.
+  ASSERT_EQ(completion_times.size(), 1u);
+  EXPECT_NEAR(completion_times[0], 5.0, 1e-9);
+}
+
+TEST(Worker, TightDeadlineForcesEarlyLaunch) {
+  sim::Simulation sim;
+  SimWorker w(sim, 0, 0.0);
+  std::vector<double> completions;
+  w.set_callbacks(
+      [&](SimWorker&, std::vector<Query>&& b) {
+        for (std::size_t i = 0; i < b.size(); ++i)
+          completions.push_back(sim.now());
+      },
+      nullptr);
+  w.configure(basic_config(4));  // e(4) = 2.5
+  // Stage deadline 3.0: must launch by 0.5 to make it.
+  sim.schedule_at(0.0, [&] { w.enqueue(make_query(0, 0.0, 3.0, 3.0)); });
+  sim.run_until(10.0);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_NEAR(completions[0], 3.0, 1e-9);
+}
+
+TEST(Worker, DropsOverdueQueriesAtBatchStart) {
+  sim::Simulation sim;
+  SimWorker w(sim, 0, 0.0);
+  std::size_t completed = 0, dropped = 0;
+  w.set_callbacks(
+      [&](SimWorker&, std::vector<Query>&& b) { completed += b.size(); },
+      [&](SimWorker&, Query&&) { ++dropped; });
+  w.configure(basic_config(1));  // e(1) = 1.0
+  // Three queries at t=0; each takes 1s serially; the third would finish
+  // at 3.0 but its stage deadline is 2.5 -> dropped.
+  sim.schedule_at(0.0, [&] {
+    w.enqueue(make_query(0, 0.0, 2.5, 2.5));
+    w.enqueue(make_query(1, 0.0, 2.5, 2.5));
+    w.enqueue(make_query(2, 0.0, 2.5, 2.5));
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(completed, 2u);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(w.queries_dropped(), 1u);
+}
+
+TEST(Worker, ModelChangeEvictsQueueAndDelays) {
+  sim::Simulation sim;
+  SimWorker w(sim, 0, /*load_delay=*/2.0);
+  std::size_t completed = 0;
+  w.set_callbacks(
+      [&](SimWorker&, std::vector<Query>&& b) { completed += b.size(); },
+      nullptr);
+  w.configure(basic_config(1));
+  sim.run_until(2.0);  // initial load done
+  auto cfg2 = basic_config(1);
+  cfg2.model_name = "other";
+  Query stuck = make_query(9, 2.0, 100.0, 100.0);
+  w.enqueue(stuck);
+  // Worker is executing (busy) — reconfigure now.
+  const auto evicted = w.configure(cfg2);
+  EXPECT_EQ(evicted.size(), 0u);  // the query already started (busy)
+  sim.run_until(20.0);
+  EXPECT_EQ(completed, 1u);
+}
+
+TEST(Worker, EvictionReturnsQueuedQueries) {
+  sim::Simulation sim;
+  SimWorker w(sim, 0, 1.0);
+  w.set_callbacks([](SimWorker&, std::vector<Query>&&) {}, nullptr);
+  w.configure(basic_config(4));
+  // Still loading until t=1; queue three.
+  w.enqueue(make_query(0, 0.0, 100.0, 100.0));
+  w.enqueue(make_query(1, 0.0, 100.0, 100.0));
+  auto cfg2 = basic_config(4);
+  cfg2.model_name = "other";
+  const auto evicted = w.configure(cfg2);
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(w.queue_length(), 0u);
+}
+
+TEST(Worker, SameModelBatchChangeKeepsQueue) {
+  sim::Simulation sim;
+  SimWorker w(sim, 0, 10.0);
+  w.set_callbacks([](SimWorker&, std::vector<Query>&&) {}, nullptr);
+  w.configure(basic_config(1));
+  w.enqueue(make_query(0, 0.0, 100.0, 100.0));
+  const auto evicted = w.configure(basic_config(2));
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(w.queue_length(), 1u);
+}
+
+TEST(Worker, RejectsUnsupportedBatch) {
+  sim::Simulation sim;
+  SimWorker w(sim, 0, 0.0);
+  auto cfg = basic_config(3);  // not in profile
+  EXPECT_THROW(w.configure(cfg), std::invalid_argument);
+}
+
+// --- integration fixtures over a real (small) cascade environment ------
+
+class ServingIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new quality::Workload(600);
+    scorer_ = new quality::FidScorer(*workload_);
+    repo_ = new models::ModelRepository(
+        models::ModelRepository::with_paper_catalog());
+    discriminator::DiscriminatorConfig dc;
+    dc.train_queries = 400;
+    dc.epochs = 3;
+    disc_ = new discriminator::Discriminator(
+        discriminator::train_discriminator(*workload_, 2, 5, dc));
+  }
+  static void TearDownTestSuite() {
+    delete disc_;
+    delete repo_;
+    delete scorer_;
+    delete workload_;
+  }
+
+  static quality::Workload* workload_;
+  static quality::FidScorer* scorer_;
+  static models::ModelRepository* repo_;
+  static discriminator::Discriminator* disc_;
+};
+
+quality::Workload* ServingIntegration::workload_ = nullptr;
+quality::FidScorer* ServingIntegration::scorer_ = nullptr;
+models::ModelRepository* ServingIntegration::repo_ = nullptr;
+discriminator::Discriminator* ServingIntegration::disc_ = nullptr;
+
+TEST_F(ServingIntegration, CascadeServesAndDefers) {
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.total_workers = 4;
+  cfg.slo_seconds = 5.0;
+  cfg.model_load_delay = 0.1;
+  ServingSystem system(sim, *workload_, *repo_,
+                       repo_->cascade(models::catalog::kCascade1), disc_,
+                       *scorer_, cfg);
+  AllocationPlan plan;
+  plan.mode = RoutingMode::kCascade;
+  plan.light_workers = 1;
+  plan.heavy_workers = 3;
+  plan.light_batch = 1;
+  plan.heavy_batch = 1;
+  plan.threshold = 0.5;
+  system.apply(plan);
+
+  std::vector<double> arrivals;
+  for (int i = 0; i < 40; ++i) arrivals.push_back(0.5 + i * 0.5);
+  system.inject_arrivals(arrivals);
+  sim.run_until(60.0);
+  sim.run_all();
+
+  const auto& sink = system.sink();
+  EXPECT_EQ(sink.total(), 40u);
+  EXPECT_GT(sink.completed(), 30u);
+  // Both branches exercised: some light-served, some deferred.
+  EXPECT_GT(sink.light_served_fraction(), 0.0);
+  EXPECT_LT(sink.light_served_fraction(), 1.0);
+  EXPECT_GT(sink.overall_fid(), 0.0);
+}
+
+TEST_F(ServingIntegration, ThresholdZeroServesEverythingLight) {
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.total_workers = 2;
+  cfg.slo_seconds = 5.0;
+  cfg.model_load_delay = 0.1;
+  ServingSystem system(sim, *workload_, *repo_,
+                       repo_->cascade(models::catalog::kCascade1), disc_,
+                       *scorer_, cfg);
+  AllocationPlan plan;
+  plan.light_workers = 2;
+  plan.heavy_workers = 0;
+  plan.threshold = 0.0;
+  system.apply(plan);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 20; ++i) arrivals.push_back(0.2 + i * 0.3);
+  system.inject_arrivals(arrivals);
+  sim.run_until(30.0);
+  sim.run_all();
+  EXPECT_EQ(system.sink().completed(), 20u);
+  EXPECT_EQ(system.sink().light_served_fraction(), 1.0);
+}
+
+TEST_F(ServingIntegration, DirectModeSplitsByProbability) {
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.total_workers = 8;
+  cfg.slo_seconds = 10.0;
+  cfg.model_load_delay = 0.1;
+  cfg.seed = 99;
+  ServingSystem system(sim, *workload_, *repo_,
+                       repo_->cascade(models::catalog::kCascade1), disc_,
+                       *scorer_, cfg);
+  AllocationPlan plan;
+  plan.mode = RoutingMode::kDirect;
+  plan.light_workers = 2;
+  plan.heavy_workers = 6;
+  plan.p_heavy = 0.5;
+  system.apply(plan);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 200; ++i) arrivals.push_back(0.1 + i * 0.4);
+  system.inject_arrivals(arrivals);
+  sim.run_until(120.0);
+  sim.run_all();
+  const double light_frac = system.sink().light_served_fraction();
+  EXPECT_NEAR(light_frac, 0.5, 0.12);
+}
+
+TEST_F(ServingIntegration, ReconfigurationPreservesQueries) {
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.total_workers = 4;
+  cfg.slo_seconds = 20.0;
+  cfg.model_load_delay = 0.2;
+  ServingSystem system(sim, *workload_, *repo_,
+                       repo_->cascade(models::catalog::kCascade1), disc_,
+                       *scorer_, cfg);
+  AllocationPlan plan;
+  plan.light_workers = 3;
+  plan.heavy_workers = 1;
+  plan.threshold = 0.3;
+  system.apply(plan);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 30; ++i) arrivals.push_back(0.1 * i);
+  system.inject_arrivals(arrivals);
+  // Mid-stream, flip the split; queued queries must be re-routed, not lost.
+  sim.schedule_at(1.5, [&] {
+    AllocationPlan p2 = plan;
+    p2.light_workers = 1;
+    p2.heavy_workers = 3;
+    system.apply(p2);
+  });
+  sim.run_until(60.0);
+  sim.run_all();
+  EXPECT_EQ(system.sink().total(), 30u);  // nothing vanished
+}
+
+TEST_F(ServingIntegration, SinkMetrics) {
+  MetricsSink sink(*workload_, *scorer_);
+  Query q = make_query(0, 0.0, 5.0, 5.0);
+  sink.complete(q, 2, 1.0);  // on time
+  Query late = make_query(1, 0.0, 5.0, 5.0);
+  sink.complete(late, 5, 6.0);  // late
+  Query dropped = make_query(2, 0.0, 5.0, 5.0);
+  sink.drop(dropped, 7.0);
+  EXPECT_EQ(sink.total(), 3u);
+  EXPECT_NEAR(sink.violation_ratio(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sink.mean_latency(), 3.5, 1e-12);
+  EXPECT_NEAR(sink.light_served_fraction(), 1.0, 1e-12);  // none deferred
+}
+
+TEST_F(ServingIntegration, SinkTimelineWindows) {
+  MetricsSink sink(*workload_, *scorer_);
+  for (int i = 0; i < 100; ++i) {
+    Query q = make_query(static_cast<std::uint64_t>(i), i * 0.5,
+                         i * 0.5 + 5.0, 0.0);
+    sink.complete(q, 2, i * 0.5 + 1.0);
+  }
+  const auto timeline = sink.timeline(10.0, 8);
+  ASSERT_GE(timeline.size(), 5u);
+  for (const auto& pt : timeline) {
+    EXPECT_GE(pt.violation_ratio, 0.0);
+    EXPECT_LE(pt.violation_ratio, 1.0);
+    if (pt.samples >= 8) EXPECT_GT(pt.fid, 0.0);
+  }
+}
+
+TEST_F(ServingIntegration, PlanExceedingClusterRejected) {
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.total_workers = 2;
+  ServingSystem system(sim, *workload_, *repo_,
+                       repo_->cascade(models::catalog::kCascade1), disc_,
+                       *scorer_, cfg);
+  AllocationPlan plan;
+  plan.light_workers = 2;
+  plan.heavy_workers = 2;
+  EXPECT_THROW(system.apply(plan), std::invalid_argument);
+}
+
+TEST_F(ServingIntegration, SparesJoinLightPool) {
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.total_workers = 6;
+  ServingSystem system(sim, *workload_, *repo_,
+                       repo_->cascade(models::catalog::kCascade1), disc_,
+                       *scorer_, cfg);
+  AllocationPlan plan;
+  plan.light_workers = 1;
+  plan.heavy_workers = 2;
+  system.apply(plan);
+  EXPECT_EQ(system.balancer().light_stats().workers, 4);  // 1 + 3 spares
+  EXPECT_EQ(system.balancer().heavy_stats().workers, 2);
+}
+
+TEST_F(ServingIntegration, ExecLatencyIncludesDiscriminator) {
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.total_workers = 2;
+  ServingSystem system(sim, *workload_, *repo_,
+                       repo_->cascade(models::catalog::kCascade1), disc_,
+                       *scorer_, cfg);
+  const auto& light =
+      repo_->model(models::catalog::kSdTurbo).latency.execution_latency(1);
+  EXPECT_GT(system.light_exec_latency(1), light);
+  EXPECT_NEAR(system.heavy_exec_latency(1), 1.78, 1e-9);
+}
+
+}  // namespace
+}  // namespace diffserve::serving

@@ -1,0 +1,169 @@
+// Tests for the discrete-event engine: ordering, FIFO tie-breaking,
+// cancellation, periodic series, and clock semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace diffserve::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, FifoWithinSameTimestamp) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(4.5, [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, 4.5);
+}
+
+TEST(Simulation, ScheduleInUsesDelay) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(1.5, [&] { seen = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(seen, 3.5);
+}
+
+TEST(Simulation, RunUntilStopsAndSetsClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 3.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RunUntilExecutesEventExactlyAtBoundary) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(3.0, [&] { fired = true; });
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const auto h = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, DoubleCancelReturnsFalse) {
+  Simulation sim;
+  const auto h = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulation, CancelInvalidHandleIsNoop) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulation, PeriodicFiresAtInterval) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.every(2.0, [&] { times.push_back(sim.now()); });
+  sim.run_until(7.0);
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(Simulation, PeriodicCancelStopsSeries) {
+  Simulation sim;
+  int count = 0;
+  const auto h = sim.every(1.0, [&] { ++count; });
+  sim.run_until(3.5);
+  EXPECT_EQ(count, 3);
+  sim.cancel(h);
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, PeriodicCanCancelItself) {
+  Simulation sim;
+  int count = 0;
+  EventHandle h{};
+  h = sim.every(1.0, [&] {
+    ++count;
+    if (count == 2) sim.cancel(h);
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, StepExecutesOne) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, PastSchedulingThrows) {
+  Simulation sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.5, chain);
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.5, 2.5, 3.5}));
+}
+
+TEST(Simulation, ExecutedCounterCounts) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i + 1.0, [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.executed(), 5u);
+}
+
+TEST(Simulation, RunAllGuardsAgainstRunaway) {
+  Simulation sim;
+  // A self-perpetuating chain should trip the max_events guard.
+  std::function<void()> forever = [&] { sim.schedule_in(0.1, forever); };
+  sim.schedule_at(0.0, forever);
+  EXPECT_THROW(sim.run_all(1000), std::logic_error);
+}
+
+}  // namespace
+}  // namespace diffserve::sim

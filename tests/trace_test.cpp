@@ -1,0 +1,177 @@
+// Tests for traces: interpolation, shape-preserving scaling, file I/O,
+// Azure-like generation, and the three arrival processes (including a
+// parameterized property sweep: realized arrivals match the trace
+// integral).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "trace/arrivals.hpp"
+#include "trace/rate_trace.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::trace {
+namespace {
+
+TEST(RateTrace, LinearInterpolation) {
+  RateTrace t({0.0, 10.0, 20.0});
+  EXPECT_EQ(t.qps_at(0.0), 0.0);
+  EXPECT_EQ(t.qps_at(0.5), 5.0);
+  EXPECT_EQ(t.qps_at(1.0), 10.0);
+  EXPECT_EQ(t.qps_at(1.5), 15.0);
+  EXPECT_EQ(t.qps_at(99.0), 20.0);  // clamps past the end
+  EXPECT_EQ(t.duration(), 2.0);
+}
+
+TEST(RateTrace, ConstantTrace) {
+  const auto t = RateTrace::constant(5.0, 30.0);
+  EXPECT_EQ(t.qps_at(0.0), 5.0);
+  EXPECT_EQ(t.qps_at(15.5), 5.0);
+  EXPECT_NEAR(t.total_queries(), 5.0 * t.duration(), 1e-9);
+}
+
+TEST(RateTrace, ScaledToHitsTargets) {
+  RateTrace t({2.0, 4.0, 8.0});
+  const auto s = t.scaled_to(10.0, 40.0);
+  EXPECT_NEAR(s.min_qps(), 10.0, 1e-12);
+  EXPECT_NEAR(s.max_qps(), 40.0, 1e-12);
+  // Shape preservation: the middle point keeps its relative position.
+  EXPECT_NEAR(s.samples()[1], 10.0 + (4.0 - 2.0) / 6.0 * 30.0, 1e-9);
+}
+
+TEST(RateTrace, ScaledByFactor) {
+  RateTrace t({1.0, 2.0});
+  const auto s = t.scaled_by(3.0);
+  EXPECT_EQ(s.samples()[0], 3.0);
+  EXPECT_EQ(s.samples()[1], 6.0);
+}
+
+TEST(RateTrace, SaveLoadRoundTrip) {
+  RateTrace t({1.5, 2.5, 3.5, 2.0});
+  const std::string path = "/tmp/ds_trace_test.txt";
+  t.save(path);
+  const auto loaded = RateTrace::load(path);
+  ASSERT_EQ(loaded.samples().size(), t.samples().size());
+  for (std::size_t i = 0; i < t.samples().size(); ++i)
+    EXPECT_NEAR(loaded.samples()[i], t.samples()[i], 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(RateTrace, AzureLikeRespectsBoundsAndDuration) {
+  const auto t = RateTrace::azure_like(4.0, 32.0, 360.0, 7);
+  EXPECT_NEAR(t.min_qps(), 4.0, 1e-9);
+  EXPECT_NEAR(t.max_qps(), 32.0, 1e-9);
+  EXPECT_GE(t.duration(), 360.0);
+  // The peak sits in the middle portion of the trace, not at the edges.
+  double peak_time = 0.0, peak = -1.0;
+  for (double x = 0.0; x <= t.duration(); x += 1.0) {
+    if (t.qps_at(x) > peak) {
+      peak = t.qps_at(x);
+      peak_time = x;
+    }
+  }
+  EXPECT_GT(peak_time, 0.25 * t.duration());
+  EXPECT_LT(peak_time, 0.85 * t.duration());
+}
+
+TEST(RateTrace, AzureLikeDeterministicPerSeed) {
+  const auto a = RateTrace::azure_like(4.0, 32.0, 100.0, 5);
+  const auto b = RateTrace::azure_like(4.0, 32.0, 100.0, 5);
+  const auto c = RateTrace::azure_like(4.0, 32.0, 100.0, 6);
+  EXPECT_EQ(a.samples(), b.samples());
+  EXPECT_NE(a.samples(), c.samples());
+}
+
+TEST(RateTrace, RejectsInvalid) {
+  EXPECT_THROW(RateTrace({1.0}), std::invalid_argument);
+  EXPECT_THROW(RateTrace({1.0, -2.0}), std::invalid_argument);
+  EXPECT_THROW(RateTrace::load("/nonexistent/path.txt"),
+               std::invalid_argument);
+}
+
+TEST(Arrivals, DeterministicSpacingOnConstantTrace) {
+  const auto t = RateTrace::constant(2.0, 10.0);
+  util::Rng rng(1);
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kDeterministic;
+  const auto a = generate_arrivals(t, rng, cfg);
+  ASSERT_GE(a.size(), 2u);
+  EXPECT_NEAR(a[1] - a[0], 0.5, 1e-9);
+  EXPECT_NEAR(static_cast<double>(a.size()), 20.0, 1.0);
+}
+
+TEST(Arrivals, SortedAndInRange) {
+  const auto t = RateTrace::azure_like(2.0, 10.0, 60.0, 3);
+  util::Rng rng(2);
+  const auto a = generate_arrivals(t, rng);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i], a[i - 1]);
+  EXPECT_GE(a.front(), 0.0);
+  EXPECT_LT(a.back(), t.duration());
+}
+
+class ArrivalCountProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ArrivalCountProperty, PoissonCountMatchesIntegral) {
+  const auto [seed, peak] = GetParam();
+  const auto t =
+      RateTrace::azure_like(2.0, static_cast<double>(peak), 120.0,
+                            static_cast<std::uint64_t>(seed));
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7 + 1);
+  const auto a = generate_arrivals(t, rng);
+  const double expected = t.total_queries();
+  // Within 4 sigma of the Poisson count.
+  EXPECT_NEAR(static_cast<double>(a.size()), expected,
+              4.0 * std::sqrt(expected) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPeaks, ArrivalCountProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(8, 16, 32)));
+
+TEST(Arrivals, BurstyPreservesMeanRate) {
+  const auto t = RateTrace::constant(10.0, 200.0);
+  util::Rng rng(5);
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kBursty;
+  cfg.burstiness = 2.0;
+  const auto a = generate_arrivals(t, rng, cfg);
+  EXPECT_NEAR(static_cast<double>(a.size()), 2000.0, 250.0);
+}
+
+TEST(Arrivals, BurstyIsBurstier) {
+  // Compare coefficient of variation of inter-arrival gaps.
+  const auto t = RateTrace::constant(10.0, 300.0);
+  auto cv = [](const std::vector<double>& a) {
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      const double g = a[i] - a[i - 1];
+      sum += g;
+      sq += g * g;
+    }
+    const double n = static_cast<double>(a.size() - 1);
+    const double mean = sum / n;
+    return std::sqrt(sq / n - mean * mean) / mean;
+  };
+  util::Rng rng1(7), rng2(7);
+  ArrivalConfig bursty;
+  bursty.kind = ArrivalKind::kBursty;
+  bursty.burstiness = 3.0;
+  const double cv_poisson = cv(generate_arrivals(t, rng1));
+  const double cv_bursty = cv(generate_arrivals(t, rng2, bursty));
+  EXPECT_GT(cv_bursty, cv_poisson);
+}
+
+TEST(Arrivals, InvalidBurstConfigThrows) {
+  const auto t = RateTrace::constant(1.0, 10.0);
+  util::Rng rng(1);
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kBursty;
+  cfg.burstiness = 0.5;
+  EXPECT_THROW(generate_arrivals(t, rng, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace diffserve::trace
