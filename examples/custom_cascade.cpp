@@ -69,7 +69,7 @@ int main() {
                                   repo.cascade("flash-studio"), &disc,
                                   scorer, sys);
     control::Controller controller(
-        sim, system, std::make_unique<control::MilpAllocator>(), profile);
+        system.engine(), std::make_unique<control::MilpAllocator>(), profile);
 
     util::Rng rng(5);
     const auto tr = trace::RateTrace::azure_like(3.0, 14.0, 180.0, 7);

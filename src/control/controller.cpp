@@ -5,12 +5,11 @@
 
 namespace diffserve::control {
 
-Controller::Controller(sim::Simulation& sim, serving::ServingSystem& system,
+Controller::Controller(engine::CascadeEngine& engine,
                        std::unique_ptr<Allocator> allocator,
                        discriminator::DeferralProfile offline_profile,
                        ControllerConfig cfg)
-    : sim_(sim),
-      system_(system),
+    : engine_(engine),
       allocator_(std::move(allocator)),
       profile_(std::move(offline_profile), cfg.online_profile_capacity),
       cfg_(cfg),
@@ -18,20 +17,41 @@ Controller::Controller(sim::Simulation& sim, serving::ServingSystem& system,
   DS_REQUIRE(allocator_ != nullptr, "controller needs an allocator");
   DS_REQUIRE(cfg_.period_seconds > 0.0, "control period must be positive");
   // Feed every data-path confidence into the online deferral profile.
-  system_.balancer().set_confidence_observer(
-      [this](double c) { profile_.observe(c); });
+  engine_.set_confidence_observer([this](double c) {
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    profile_.observe(c);
+  });
 }
 
 void Controller::start() {
   if (cfg_.initial_demand_guess > 0.0)
     demand_holt_.observe(cfg_.initial_demand_guess);
+  running_.store(true);
+  next_tick_time_ = engine_.backend().now();
   tick();  // provision immediately rather than serving blind for a period
-  tick_handle_ = sim_.every(cfg_.period_seconds, [this] { tick(); });
+  schedule_next_tick();
 }
 
 void Controller::stop() {
-  if (tick_handle_.valid()) sim_.cancel(tick_handle_);
+  running_.store(false);
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  if (tick_handle_.valid()) engine_.backend().cancel(tick_handle_);
   tick_handle_ = {};
+}
+
+void Controller::schedule_next_tick() {
+  // Anchor ticks to absolute times so allocator solve time does not
+  // stretch the control period on wall-clock backends (the DES executes
+  // ticks in zero simulated time, so both backends tick at t0 + k*period).
+  next_tick_time_ += cfg_.period_seconds;
+  const double delay = next_tick_time_ - engine_.backend().now();
+  const auto handle = engine_.backend().defer(delay, [this] {
+    if (!running_.load()) return;
+    tick();
+    schedule_next_tick();
+  });
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  tick_handle_ = handle;
 }
 
 AllocationInput Controller::snapshot_input() const {
@@ -39,27 +59,28 @@ AllocationInput Controller::snapshot_input() const {
   // Forecast past the observation + actuation lag so ramps are covered.
   in.demand_qps = demand_holt_.forecast(cfg_.forecast_horizon_periods);
   in.over_provision = cfg_.over_provision;
-  in.slo_seconds = system_.config().slo_seconds;
-  in.total_workers = system_.config().total_workers;
+  in.slo_seconds = engine_.config().slo_seconds;
+  in.total_workers = engine_.config().total_workers;
 
-  const auto light = system_.balancer().light_stats();
-  const auto heavy = system_.balancer().heavy_stats();
+  const auto light = engine_.light_stats();
+  const auto heavy = engine_.heavy_stats();
   in.light_queue_length = light.total_queue_length;
   in.light_arrival_rate = light.arrival_rate;
   in.heavy_queue_length = heavy.total_queue_length;
   in.heavy_arrival_rate = heavy.arrival_rate;
-  in.recent_violation_ratio =
-      system_.sink().recent_violation_ratio(sim_.now());
-  in.threshold_grid = profile_.grid(cfg_.threshold_grid_points,
-                                    cfg_.max_deferral_fraction);
+  in.recent_violation_ratio = engine_.recent_violation_ratio();
+  {
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    in.threshold_grid = profile_.grid(cfg_.threshold_grid_points,
+                                      cfg_.max_deferral_fraction);
+  }
 
-  // Stage performance models from the repository profiles currently in use.
-  const auto& plan = system_.plan();
-  (void)plan;
+  // Stage performance models from the engine's §3.3 latency math (single
+  // source of truth for both backends).
   std::map<int, double> light_lat, heavy_lat;
   for (const int b : models::standard_batch_sizes()) {
-    light_lat[b] = system_.light_exec_latency(b);
-    heavy_lat[b] = system_.heavy_exec_latency(b);
+    light_lat[b] = engine_.light_exec_latency(b);
+    heavy_lat[b] = engine_.heavy_exec_latency(b);
   }
   in.light =
       StagePerfModel(models::LatencyProfile(std::move(light_lat)), nullptr);
@@ -69,33 +90,38 @@ AllocationInput Controller::snapshot_input() const {
 }
 
 void Controller::tick() {
-  const double observed = system_.balancer().demand_rate();
-  if (sim_.now() > 0.0) demand_holt_.observe(observed);
+  const double now = engine_.backend().now();
+  const double observed = engine_.demand_rate();
+  // The first tick fires before any arrivals; folding its empty-window
+  // observation into the estimate would decay the initial demand guess
+  // (and, on a wall-clock backend, `now` is never exactly 0).
+  if (!first_tick_) demand_holt_.observe(observed);
+  first_tick_ = false;
 
   const AllocationInput in = snapshot_input();
   const AllocationDecision d = allocator_->allocate(in);
   apply_decision(d);
 
-  history_.push_back({sim_.now(), in.demand_qps, observed,
+  history_.push_back({now, in.demand_qps, observed,
                       in.recent_violation_ratio, d});
   DS_LOG_DEBUG("controller")
-      << "t=" << sim_.now() << " demand=" << in.demand_qps
+      << "t=" << now << " demand=" << in.demand_qps
       << " x1=" << d.light_workers << " x2=" << d.heavy_workers
       << " b1=" << d.light_batch << " b2=" << d.heavy_batch
       << " thr=" << d.threshold << (d.feasible ? "" : " (overload)");
 }
 
 void Controller::apply_decision(const AllocationDecision& d) {
-  serving::AllocationPlan plan;
-  plan.mode = d.direct_mode ? serving::RoutingMode::kDirect
-                            : serving::RoutingMode::kCascade;
+  engine::AllocationPlan plan;
+  plan.mode = d.direct_mode ? engine::RoutingMode::kDirect
+                            : engine::RoutingMode::kCascade;
   plan.light_workers = d.light_workers;
   plan.heavy_workers = d.heavy_workers;
   plan.light_batch = d.light_batch;
   plan.heavy_batch = d.heavy_batch;
   plan.threshold = d.threshold;
   plan.p_heavy = d.p_heavy;
-  system_.apply(plan);
+  engine_.apply(plan);
 }
 
 }  // namespace diffserve::control

@@ -1,20 +1,26 @@
 // The DiffServe Controller (§3.1, §3.3).
 //
-// Every control period it: (1) snapshots runtime statistics from the load
-// balancer and workers (demand, queue lengths, arrival rates, recent
+// Every control period it: (1) snapshots runtime statistics from the
+// engine (demand, per-pool queue lengths and arrival rates, recent
 // violations), (2) refreshes the demand estimate with an EWMA and the
 // deferral profile f(t) with live confidence observations, (3) asks its
-// Allocator for the new configuration, and (4) applies the plan to the
-// serving system. Decisions are recorded for the timeline figures.
+// Allocator for the new configuration, and (4) applies the plan through
+// the engine. Decisions are recorded for the timeline figures.
+//
+// The controller is backend-agnostic: it observes one CascadeEngine and
+// schedules its periodic tick through the engine's ExecutionBackend, so
+// the same control loop runs over the discrete-event simulator and the
+// threaded testbed.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "control/allocator.hpp"
 #include "discriminator/deferral_profile.hpp"
-#include "serving/system.hpp"
-#include "sim/simulation.hpp"
+#include "engine/engine.hpp"
 #include "stats/ewma.hpp"
 
 namespace diffserve::control {
@@ -42,12 +48,13 @@ struct ControllerConfig {
 
 class Controller {
  public:
-  Controller(sim::Simulation& sim, serving::ServingSystem& system,
+  Controller(engine::CascadeEngine& engine,
              std::unique_ptr<Allocator> allocator,
              discriminator::DeferralProfile offline_profile,
              ControllerConfig cfg = {});
 
-  /// Apply the initial plan and register the periodic control tick.
+  /// Apply the initial plan and schedule the periodic control tick on the
+  /// engine's backend.
   void start();
   /// Stop the periodic tick.
   void stop();
@@ -68,15 +75,27 @@ class Controller {
  private:
   AllocationInput snapshot_input() const;
   void apply_decision(const AllocationDecision& d);
+  void schedule_next_tick();
 
-  sim::Simulation& sim_;
-  serving::ServingSystem& system_;
+  engine::CascadeEngine& engine_;
   std::unique_ptr<Allocator> allocator_;
   discriminator::OnlineDeferralProfile profile_;
+  /// Confidence observations arrive from the engine's data path, which a
+  /// concurrent backend runs on worker threads; ticks read the profile
+  /// from the timer thread.
+  mutable std::mutex profile_mu_;
   ControllerConfig cfg_;
 
   stats::HoltEwma demand_holt_;
-  sim::EventHandle tick_handle_{};
+  bool first_tick_ = true;
+  /// Absolute time of the most recently scheduled tick; the chain anchors
+  /// to t0 + k*period so solve time never stretches the control period.
+  double next_tick_time_ = 0.0;
+  /// Written by the re-arm callback on the backend's timer thread, read
+  /// by stop() on the caller's thread.
+  std::mutex tick_mu_;
+  engine::TimerHandle tick_handle_{};
+  std::atomic<bool> running_{false};
   std::vector<Snapshot> history_;
 };
 

@@ -88,7 +88,7 @@ ExperimentResult run_experiment(const CascadeEnvironment& env,
   ctrl_cfg.over_provision = cfg.over_provision;
   if (ctrl_cfg.initial_demand_guess <= 0.0)
     ctrl_cfg.initial_demand_guess = cfg.trace.qps_at(0.0);
-  control::Controller controller(sim, system, make_allocator(env, cfg),
+  control::Controller controller(system.engine(), make_allocator(env, cfg),
                                  env.offline_profile(), ctrl_cfg);
 
   util::Rng arrival_rng(cfg.arrival_seed);
@@ -110,7 +110,7 @@ ExperimentResult run_experiment(const CascadeEnvironment& env,
   r.mean_latency = sink.mean_latency();
   r.p99_latency = sink.completed() ? sink.latency_percentile(99.0) : 0.0;
   r.light_served_fraction = sink.light_served_fraction();
-  r.submitted = system.balancer().submitted();
+  r.submitted = system.engine().submitted();
   r.completed = sink.completed();
   r.dropped = sink.dropped();
   r.overall_fid = sink.completed() >= 2 ? sink.overall_fid() : -1.0;

@@ -10,7 +10,8 @@
 
 #include "control/controller.hpp"
 #include "core/environment.hpp"
-#include "serving/sink.hpp"
+#include "engine/metrics_sink.hpp"
+#include "serving/system.hpp"
 #include "trace/arrivals.hpp"
 #include "trace/rate_trace.hpp"
 
@@ -67,7 +68,7 @@ struct ExperimentResult {
   std::size_t completed = 0;
   std::size_t dropped = 0;
   double mean_solve_ms = 0.0;
-  std::vector<serving::MetricsSink::TimelinePoint> timeline;
+  std::vector<engine::MetricsSink::TimelinePoint> timeline;
   std::vector<control::Controller::Snapshot> control_history;
 };
 

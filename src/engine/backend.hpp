@@ -1,0 +1,54 @@
+// Execution substrate interface.
+//
+// The CascadeEngine holds all serving *policy* (admission, cascade
+// deferral, batching, reconfiguration, metrics); an ExecutionBackend
+// supplies the *substrate*: a clock, deferred callbacks, batch execution,
+// and the locking discipline. The discrete-event simulator and the
+// threaded wall-clock testbed are two implementations of this interface,
+// which is how the repo reproduces the paper's §4.3 simulator-vs-testbed
+// fidelity check from a single policy implementation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace diffserve::engine {
+
+/// Opaque handle for cancelling a deferred callback.
+struct TimerHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Current time in trace seconds.
+  virtual double now() const = 0;
+
+  /// Invoke `fn` after `delay_seconds` of trace time. Implementations must
+  /// not invoke `fn` synchronously from inside this call (the engine may
+  /// hold its state guard).
+  virtual TimerHandle defer(double delay_seconds,
+                            std::function<void()> fn) = 0;
+  /// Cancel a deferred callback; returns false if it already fired or was
+  /// cancelled. A benign race is allowed: a callback concurrently in
+  /// flight may still run, so engine callbacks must tolerate staleness.
+  virtual bool cancel(TimerHandle h) = 0;
+
+  /// Occupy `worker_id` for `exec_seconds` of trace time, then invoke
+  /// `done`. The engine guarantees at most one in-flight execution per
+  /// worker. `done` must not be invoked synchronously.
+  virtual void execute(int worker_id, double exec_seconds,
+                       std::function<void()> done) = 0;
+
+  /// Lock protecting the engine's mutable state. Single-threaded backends
+  /// (the DES) return an empty lock; concurrent backends return a held
+  /// lock on a real mutex. The engine acquires this at every public entry
+  /// point and inside every backend callback.
+  virtual std::unique_lock<std::mutex> guard() = 0;
+};
+
+}  // namespace diffserve::engine

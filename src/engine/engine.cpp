@@ -1,0 +1,485 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace diffserve::engine {
+
+CascadeEngine::CascadeEngine(ExecutionBackend& backend,
+                             const quality::Workload& workload,
+                             const models::ModelRepository& repo,
+                             const models::CascadeSpec& cascade,
+                             const discriminator::Discriminator* disc,
+                             const quality::FidScorer& scorer,
+                             EngineConfig cfg)
+    : backend_(backend),
+      workload_(workload),
+      repo_(repo),
+      cascade_(cascade),
+      disc_(disc),
+      cfg_(cfg),
+      sink_(workload, scorer),
+      rng_(cfg.seed) {
+  DS_REQUIRE(cfg_.total_workers >= 1, "need at least one worker");
+  light_tier_ = repo_.model(cascade_.light_model).quality_tier;
+  heavy_tier_ = repo_.model(cascade_.heavy_model).quality_tier;
+  workers_.resize(static_cast<std::size_t>(cfg_.total_workers));
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    workers_[i].id = static_cast<int>(i);
+}
+
+double CascadeEngine::light_exec_latency(int batch) const {
+  const auto& light = repo_.model(cascade_.light_model);
+  const auto& disc = repo_.model(cascade_.discriminator);
+  return light.latency.execution_latency(batch) +
+         disc.latency.execution_latency(batch);
+}
+
+double CascadeEngine::heavy_exec_latency(int batch) const {
+  return repo_.model(cascade_.heavy_model).latency.execution_latency(batch);
+}
+
+double CascadeEngine::exec_seconds(const WorkerSlot& w) const {
+  return w.profile.execution_latency(w.batch_size) +
+         (w.has_extra ? w.extra_profile.execution_latency(w.batch_size)
+                      : 0.0);
+}
+
+void CascadeEngine::disarm_timer_locked(WorkerSlot& w) {
+  if (!w.timer_armed) return;
+  backend_.cancel(w.timer);
+  w.timer_armed = false;
+  // The epoch bump keeps a concurrently in-flight timer callback (which a
+  // concurrent backend may still deliver) from disarming a newer timer.
+  ++w.timer_epoch;
+}
+
+// ---- reconfiguration ------------------------------------------------------
+
+void CascadeEngine::apply(const AllocationPlan& plan) {
+  auto g = backend_.guard();
+  int n_light = plan.light_workers;
+  int n_heavy = plan.heavy_workers;
+  DS_REQUIRE(n_light >= 0 && n_heavy >= 0, "negative worker counts");
+  DS_REQUIRE(n_light + n_heavy <= cfg_.total_workers,
+             "plan exceeds cluster size");
+
+  // Spare workers join the light pool (or heavy if the plan has no light
+  // pool at all) — the resource manager never idles a GPU.
+  const int spare = cfg_.total_workers - n_light - n_heavy;
+  if (n_light > 0 || n_heavy == 0)
+    n_light += spare;
+  else
+    n_heavy += spare;
+
+  // Stable role assignment: workers already in a role keep it while the
+  // quota allows, minimizing model reloads.
+  std::vector<Role> desired(workers_.size(), Role::kIdle);
+  int remaining_light = n_light, remaining_heavy = n_heavy;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].role == Role::kLight && remaining_light > 0) {
+      desired[i] = Role::kLight;
+      --remaining_light;
+    } else if (workers_[i].role == Role::kHeavy && remaining_heavy > 0) {
+      desired[i] = Role::kHeavy;
+      --remaining_heavy;
+    }
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (desired[i] != Role::kIdle) continue;
+    if (remaining_light > 0) {
+      desired[i] = Role::kLight;
+      --remaining_light;
+    } else if (remaining_heavy > 0) {
+      desired[i] = Role::kHeavy;
+      --remaining_heavy;
+    }
+  }
+
+  // Validate before mutating any engine state so a bad plan leaves the
+  // previous configuration intact.
+  DS_REQUIRE(plan.light_batch >= 1 && plan.heavy_batch >= 1,
+             "batch size must be >= 1");
+  if (n_light > 0)
+    DS_REQUIRE(
+        repo_.model(cascade_.light_model).latency.supports(plan.light_batch),
+        "light batch size not in latency profile");
+  if (n_heavy > 0)
+    DS_REQUIRE(
+        repo_.model(cascade_.heavy_model).latency.supports(plan.heavy_batch),
+        "heavy batch size not in latency profile");
+
+  plan_ = plan;
+  heavy_reserve_ =
+      plan.mode == RoutingMode::kCascade && n_heavy > 0
+          ? cfg_.heavy_reserve_factor * heavy_exec_latency(plan.heavy_batch)
+          : 0.0;
+
+  std::vector<Query> evicted;
+  bool model_changed = false;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (desired[i] == Role::kIdle) continue;
+    const std::string before = workers_[i].model_name;
+    const bool was_configured = workers_[i].configured;
+    auto out = configure_locked(workers_[i], desired[i]);
+    if (!was_configured || workers_[i].model_name != before)
+      model_changed = true;
+    for (auto& q : out) evicted.push_back(std::move(q));
+  }
+  if (model_changed) ++reconfigurations_;
+  if (!evicted.empty()) resubmit_locked(std::move(evicted));
+
+  DS_LOG_DEBUG("engine") << "applied plan: light=" << n_light
+                         << " heavy=" << n_heavy << " b1=" << plan.light_batch
+                         << " b2=" << plan.heavy_batch
+                         << " t=" << plan.threshold;
+}
+
+std::vector<Query> CascadeEngine::configure_locked(WorkerSlot& w, Role role) {
+  const auto& model = repo_.model(role == Role::kLight ? cascade_.light_model
+                                                       : cascade_.heavy_model);
+  const int batch =
+      role == Role::kLight ? plan_.light_batch : plan_.heavy_batch;
+  DS_REQUIRE(batch >= 1, "batch size must be >= 1");
+  DS_REQUIRE(model.latency.supports(batch),
+             "batch size not in latency profile");
+
+  const bool model_change = !w.configured || model.name != w.model_name;
+  w.model_name = model.name;
+  w.profile = model.latency;
+  w.quality_tier = model.quality_tier;
+  w.has_extra = role == Role::kLight && plan_.mode == RoutingMode::kCascade;
+  if (w.has_extra)
+    w.extra_profile = repo_.model(cascade_.discriminator).latency;
+  w.batch_size = batch;
+  w.role = role;
+  w.configured = true;
+
+  const std::size_t i = static_cast<std::size_t>(w.id);
+  std::vector<Query> evicted;
+  if (model_change) {
+    // Queued work targeted the old model; hand it back for re-routing.
+    evicted.reserve(w.queue.size());
+    for (auto& e : w.queue) evicted.push_back(std::move(e.query));
+    w.queue.clear();
+    disarm_timer_locked(w);
+    // Loading starts once any in-flight batch finishes; if idle, now.
+    const double now = backend_.now();
+    const double start = w.busy ? w.ready_at : now;
+    w.ready_at = std::max(w.ready_at, start + cfg_.model_load_delay);
+    // Wake up when the load completes in case work arrives meanwhile.
+    // Scheduled even for a busy worker: its batch-completion callback runs
+    // before ready_at and would otherwise leave queued queries stranded
+    // with no timer armed.
+    backend_.defer(w.ready_at - now, [this, i] {
+      auto g = backend_.guard();
+      maybe_start_batch_locked(i);
+    });
+  } else {
+    // Same model: batch-size change applies immediately.
+    maybe_start_batch_locked(i);
+  }
+  return evicted;
+}
+
+AllocationPlan CascadeEngine::plan() const {
+  auto g = backend_.guard();
+  return plan_;
+}
+
+// ---- admission & routing --------------------------------------------------
+
+Query CascadeEngine::submit_next() {
+  auto g = backend_.guard();
+  Query q;
+  q.seq = next_seq_++;
+  q.prompt_id = static_cast<quality::QueryId>(q.seq % workload_.size());
+  q.arrival_time = backend_.now();
+  q.deadline = q.arrival_time + cfg_.slo_seconds;
+  submit_locked(q);
+  return q;
+}
+
+void CascadeEngine::submit(Query q) {
+  auto g = backend_.guard();
+  submit_locked(std::move(q));
+}
+
+void CascadeEngine::submit_locked(Query q) {
+  ++submitted_;
+  demand_.add(backend_.now());
+  if (plan_.mode == RoutingMode::kDirect && rng_.bernoulli(plan_.p_heavy)) {
+    q.stage = Stage::kHeavy;
+    q.stage_deadline = q.deadline;
+    route_heavy_locked(std::move(q));
+    return;
+  }
+  q.stage = Stage::kLight;
+  // In cascade mode, leave room for the possible heavy pass.
+  q.stage_deadline =
+      plan_.mode == RoutingMode::kCascade
+          ? std::max(q.deadline - heavy_reserve_, q.arrival_time)
+          : q.deadline;
+  route_light_locked(std::move(q));
+}
+
+void CascadeEngine::resubmit_locked(std::vector<Query>&& queries) {
+  for (auto& q : queries) {
+    if (q.stage == Stage::kHeavy)
+      route_heavy_locked(std::move(q));
+    else
+      route_light_locked(std::move(q));
+  }
+}
+
+CascadeEngine::WorkerSlot* CascadeEngine::shortest_queue_locked(Role role) {
+  WorkerSlot* best = nullptr;
+  std::size_t best_len = 0;
+  for (auto& w : workers_) {
+    if (w.role != role || !w.configured) continue;
+    const std::size_t len = w.queue.size() + (w.busy ? 1 : 0);
+    if (best == nullptr || len < best_len) {
+      best = &w;
+      best_len = len;
+    }
+  }
+  return best;
+}
+
+void CascadeEngine::route_light_locked(Query q) {
+  WorkerSlot* w = shortest_queue_locked(Role::kLight);
+  if (w == nullptr) {
+    // No lightweight capacity (e.g. Clipper-Heavy): go straight to heavy.
+    if (shortest_queue_locked(Role::kHeavy) != nullptr) {
+      q.stage = Stage::kHeavy;
+      q.stage_deadline = q.deadline;
+      route_heavy_locked(std::move(q));
+      return;
+    }
+    sink_.drop(q, backend_.now());
+    return;
+  }
+  enqueue_locked(*w, std::move(q));
+}
+
+void CascadeEngine::route_heavy_locked(Query q) {
+  WorkerSlot* w = shortest_queue_locked(Role::kHeavy);
+  if (w == nullptr) {
+    // No heavyweight capacity. A deferred query still has a light image —
+    // serve it best-effort; a direct-mode query falls back to light.
+    if (q.deferred) {
+      sink_.complete(q, light_tier_, backend_.now());
+      return;
+    }
+    if (shortest_queue_locked(Role::kLight) != nullptr) {
+      q.stage = Stage::kLight;
+      q.stage_deadline = q.deadline;
+      route_light_locked(std::move(q));
+      return;
+    }
+    sink_.drop(q, backend_.now());
+    return;
+  }
+  enqueue_locked(*w, std::move(q));
+}
+
+void CascadeEngine::enqueue_locked(WorkerSlot& w, Query q) {
+  DS_REQUIRE(w.configured, "enqueue on unconfigured worker");
+  const double now = backend_.now();
+  w.arrivals.add(now);
+  w.queue.push_back({std::move(q), now});
+  maybe_start_batch_locked(static_cast<std::size_t>(w.id));
+}
+
+// ---- batch formation ------------------------------------------------------
+
+void CascadeEngine::maybe_start_batch_locked(std::size_t i) {
+  WorkerSlot& w = workers_[i];
+  if (!w.configured || w.busy || w.queue.empty()) return;
+  const double now = backend_.now();
+  if (now < w.ready_at) return;  // model still loading
+
+  const int b = w.batch_size;
+  if (static_cast<int>(w.queue.size()) >= b) {
+    disarm_timer_locked(w);
+    start_batch_locked(i);
+    return;
+  }
+
+  // Under-filled: lazy batching, capped. Launch at the earlier of (a) the
+  // latest time that still meets the tightest stage deadline and (b) one
+  // execution period after the oldest enqueue (so light queries are not
+  // held to the edge of their deadline just to fill a batch).
+  const double exec = exec_seconds(w);
+  double tightest = w.queue.front().query.stage_deadline;
+  double oldest = w.queue.front().at;
+  for (const auto& e : w.queue) {
+    tightest = std::min(tightest, e.query.stage_deadline);
+    oldest = std::min(oldest, e.at);
+  }
+  const double launch_at =
+      std::min(tightest - exec - cfg_.launch_slack_seconds, oldest + exec);
+
+  if (launch_at <= now) {
+    disarm_timer_locked(w);
+    start_batch_locked(i);
+    return;
+  }
+  if (w.timer_armed && w.timer_at <= launch_at + 1e-12) return;  // already set
+  disarm_timer_locked(w);
+  w.timer_at = launch_at;
+  w.timer_armed = true;
+  const std::uint64_t epoch = ++w.timer_epoch;
+  w.timer = backend_.defer(launch_at - now, [this, i, epoch] {
+    auto g = backend_.guard();
+    WorkerSlot& slot = workers_[i];
+    // A concurrent backend may deliver a timer the engine cancelled (or
+    // superseded) a moment ago; re-evaluating the batch is harmless, but
+    // only the matching epoch may disarm.
+    if (slot.timer_epoch == epoch) slot.timer_armed = false;
+    maybe_start_batch_locked(i);
+  });
+}
+
+void CascadeEngine::start_batch_locked(std::size_t i) {
+  WorkerSlot& w = workers_[i];
+  DS_CHECK(!w.busy && !w.queue.empty(), "start_batch preconditions");
+  const int b = w.batch_size;
+  const double exec = exec_seconds(w);
+  const double now = backend_.now();
+  const double done_at = now + exec;
+
+  // Fill the batch, preemptively dropping queries that cannot finish by
+  // their stage deadline even if launched right now (counted as SLO
+  // violations, §4.1).
+  std::vector<Query> batch;
+  batch.reserve(static_cast<std::size_t>(b));
+  while (!w.queue.empty() && static_cast<int>(batch.size()) < b) {
+    Query q = std::move(w.queue.front().query);
+    w.queue.pop_front();
+    if (done_at > q.stage_deadline) {
+      ++w.dropped;
+      sink_.drop(q, now);
+      continue;
+    }
+    batch.push_back(std::move(q));
+  }
+  if (batch.empty()) {
+    // Everything at the head was overdue; try again with what remains.
+    if (!w.queue.empty()) maybe_start_batch_locked(i);
+    return;
+  }
+
+  w.busy = true;
+  w.ready_at = std::max(w.ready_at, done_at);
+  ++w.batches;
+  w.processed += batch.size();
+
+  const bool was_light = w.role == Role::kLight;
+  const int tier = was_light ? light_tier_ : heavy_tier_;
+  backend_.execute(
+      w.id, exec,
+      [this, i, tier, was_light, batch = std::move(batch)]() mutable {
+        auto g = backend_.guard();
+        finish_batch_locked(i, batch, tier, was_light);
+      });
+}
+
+void CascadeEngine::finish_batch_locked(std::size_t i,
+                                        std::vector<Query>& batch,
+                                        int served_tier, bool was_light) {
+  WorkerSlot& w = workers_[i];
+  w.busy = false;
+  const double now = backend_.now();
+  if (!was_light || plan_.mode == RoutingMode::kDirect) {
+    for (auto& q : batch) sink_.complete(q, served_tier, now);
+  } else {
+    // Cascade: score the light image with the discriminator.
+    DS_CHECK(disc_ != nullptr, "cascade mode requires a discriminator");
+    for (auto& q : batch) {
+      const auto feature =
+          workload_.generated_feature(q.prompt_id, served_tier);
+      q.confidence = disc_->confidence(feature);
+      if (confidence_observer_) confidence_observer_(q.confidence);
+      if (q.confidence >= plan_.threshold) {
+        sink_.complete(q, served_tier, now);
+      } else {
+        q.deferred = true;
+        q.stage = Stage::kHeavy;
+        q.stage_deadline = q.deadline;
+        route_heavy_locked(std::move(q));
+      }
+    }
+  }
+  maybe_start_batch_locked(i);
+}
+
+// ---- observers & statistics -----------------------------------------------
+
+void CascadeEngine::set_confidence_observer(
+    std::function<void(double)> observer) {
+  auto g = backend_.guard();
+  confidence_observer_ = std::move(observer);
+}
+
+double CascadeEngine::demand_rate() const {
+  auto g = backend_.guard();
+  return demand_.rate(backend_.now());
+}
+
+PoolStats CascadeEngine::pool_stats_locked(Role role) const {
+  PoolStats s;
+  const double now = backend_.now();
+  for (const auto& w : workers_) {
+    if (w.role != role) continue;
+    s.total_queue_length += static_cast<double>(w.queue.size());
+    s.arrival_rate += w.arrivals.rate(now);
+    ++s.workers;
+  }
+  return s;
+}
+
+PoolStats CascadeEngine::light_stats() const {
+  auto g = backend_.guard();
+  return pool_stats_locked(Role::kLight);
+}
+
+PoolStats CascadeEngine::heavy_stats() const {
+  auto g = backend_.guard();
+  return pool_stats_locked(Role::kHeavy);
+}
+
+std::uint64_t CascadeEngine::submitted() const {
+  auto g = backend_.guard();
+  return submitted_;
+}
+
+std::size_t CascadeEngine::reconfigurations() const {
+  auto g = backend_.guard();
+  return reconfigurations_;
+}
+
+double CascadeEngine::recent_violation_ratio() const {
+  auto g = backend_.guard();
+  return sink_.recent_violation_ratio(backend_.now());
+}
+
+CascadeEngine::WorkerInfo CascadeEngine::worker_info(std::size_t i) const {
+  auto g = backend_.guard();
+  const WorkerSlot& w = workers_[i];
+  WorkerInfo info;
+  info.configured = w.configured;
+  info.heavy = w.role == Role::kHeavy;
+  info.busy = w.busy;
+  info.batch_size = w.batch_size;
+  info.queue_length = w.queue.size();
+  info.batches = w.batches;
+  info.processed = w.processed;
+  info.dropped = w.dropped;
+  return info;
+}
+
+}  // namespace diffserve::engine

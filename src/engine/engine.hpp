@@ -1,0 +1,194 @@
+// CascadeEngine: the backend-agnostic serving policy.
+//
+// One engine instance holds everything the paper's Load Balancer, Workers,
+// and metrics pipeline decide (§3.1): query admission, JSQ routing,
+// confidence-threshold deferral, deadline-aware batch formation with
+// preemptive drops, heavy-reserve SLO accounting, AllocationPlan
+// application with stable role assignment and queue eviction, and the
+// MetricsSink. Time, deferred callbacks, batch execution, and locking come
+// from an ExecutionBackend, so the discrete-event simulator and the
+// threaded wall-clock testbed run literally the same policy code — the
+// property behind the §4.3 simulator-vs-testbed fidelity claim.
+//
+// Concurrency contract: every public method acquires the backend's guard;
+// `_locked` internals assume it is held. Backend callbacks (batch
+// completion, batching timers) re-enter through guarded wrappers. The
+// latency accessors and tier/config getters read immutable state and need
+// no guard.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "discriminator/discriminator.hpp"
+#include "engine/backend.hpp"
+#include "engine/metrics_sink.hpp"
+#include "engine/plan.hpp"
+#include "engine/query.hpp"
+#include "models/model_repository.hpp"
+#include "quality/fid.hpp"
+#include "quality/workload.hpp"
+#include "stats/window.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::engine {
+
+/// Aggregate queue/arrival statistics over one worker pool (controller
+/// input).
+struct PoolStats {
+  double total_queue_length = 0.0;
+  double arrival_rate = 0.0;  ///< summed over the pool's workers
+  int workers = 0;
+};
+
+class CascadeEngine {
+ public:
+  CascadeEngine(ExecutionBackend& backend, const quality::Workload& workload,
+                const models::ModelRepository& repo,
+                const models::CascadeSpec& cascade,
+                const discriminator::Discriminator* disc,
+                const quality::FidScorer& scorer, EngineConfig cfg);
+
+  /// Reconfigure the cluster; evicted queries are re-routed (never
+  /// dropped). Counts one reconfiguration per applied plan that changes at
+  /// least one worker's hosted model.
+  void apply(const AllocationPlan& plan);
+  AllocationPlan plan() const;
+
+  /// Admit a query arriving now: sequence number, cycled prompt, and
+  /// deadline are filled in by the engine. Returns the admitted query.
+  Query submit_next();
+  /// Admit an externally constructed query (arrival_time/deadline set).
+  void submit(Query q);
+
+  /// Observer invoked with every confidence score computed on the data
+  /// path (feeds the controller's online deferral profile). May be called
+  /// from backend worker threads; the observer must be thread-safe when
+  /// the backend is concurrent.
+  void set_confidence_observer(std::function<void(double)> observer);
+
+  // --- runtime statistics for the controller -----------------------------
+  /// Arrival rate into the system over the stats window (QPS).
+  double demand_rate() const;
+  PoolStats light_stats() const;
+  PoolStats heavy_stats() const;
+  std::uint64_t submitted() const;
+  /// Applied plans that changed at least one worker's hosted model.
+  std::size_t reconfigurations() const;
+  /// Guarded read of the sink's sliding-window violation ratio.
+  double recent_violation_ratio() const;
+
+  /// Stage execution latencies under the cascade's profiles — the single
+  /// source of truth for the §3.3 latency math (used by the controller's
+  /// performance model and by both backends' batch execution).
+  double light_exec_latency(int batch) const;  ///< incl. discriminator
+  double heavy_exec_latency(int batch) const;
+
+  int light_tier() const { return light_tier_; }
+  int heavy_tier() const { return heavy_tier_; }
+  const models::CascadeSpec& cascade() const { return cascade_; }
+  const EngineConfig& config() const { return cfg_; }
+  ExecutionBackend& backend() const { return backend_; }
+
+  /// The sink is written under the guard; read it freely once the backend
+  /// has quiesced (post-run), or through recent_violation_ratio() live.
+  MetricsSink& sink() { return sink_; }
+  const MetricsSink& sink() const { return sink_; }
+
+  // --- worker introspection (tests, benches) -----------------------------
+  std::size_t worker_count() const { return workers_.size(); }
+  struct WorkerInfo {
+    bool configured = false;
+    bool heavy = false;
+    bool busy = false;
+    int batch_size = 0;
+    std::size_t queue_length = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t dropped = 0;
+  };
+  WorkerInfo worker_info(std::size_t i) const;
+
+ private:
+  enum class Role { kIdle, kLight, kHeavy };
+
+  struct Enqueued {
+    Query query;
+    double at;  ///< enqueue time (drives the batch-wait cap)
+  };
+
+  /// Per-worker policy state; the substrate behind it (event queue or
+  /// thread) lives in the backend.
+  struct WorkerSlot {
+    int id = 0;
+    Role role = Role::kIdle;
+    bool configured = false;
+    std::string model_name;
+    models::LatencyProfile profile;
+    /// Added to every batch's execution time (discriminator pass on light
+    /// workers), as a function of batch size.
+    models::LatencyProfile extra_profile;
+    bool has_extra = false;
+    int batch_size = 1;
+    int quality_tier = 0;
+
+    std::deque<Enqueued> queue;
+    bool busy = false;
+    double ready_at = 0.0;  ///< model-load completion time
+    TimerHandle timer{};
+    bool timer_armed = false;
+    double timer_at = 0.0;
+    /// Bumped on every arm/disarm so a timer callback racing a cancel in a
+    /// concurrent backend can detect it is stale.
+    std::uint64_t timer_epoch = 0;
+
+    stats::SlidingWindowCounter arrivals{20.0};
+    std::uint64_t batches = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  // Internals: the guard is held by the caller.
+  void submit_locked(Query q);
+  void resubmit_locked(std::vector<Query>&& queries);
+  void route_light_locked(Query q);
+  void route_heavy_locked(Query q);
+  WorkerSlot* shortest_queue_locked(Role role);
+  void enqueue_locked(WorkerSlot& w, Query q);
+  void disarm_timer_locked(WorkerSlot& w);
+  void maybe_start_batch_locked(std::size_t i);
+  void start_batch_locked(std::size_t i);
+  void finish_batch_locked(std::size_t i, std::vector<Query>& batch,
+                           int served_tier, bool was_light);
+  /// Reconfigure one worker; returns queries evicted on a model change.
+  std::vector<Query> configure_locked(WorkerSlot& w, Role role);
+  double exec_seconds(const WorkerSlot& w) const;
+  PoolStats pool_stats_locked(Role role) const;
+
+  ExecutionBackend& backend_;
+  const quality::Workload& workload_;
+  const models::ModelRepository& repo_;
+  models::CascadeSpec cascade_;
+  const discriminator::Discriminator* disc_;  ///< null in pure-direct setups
+  EngineConfig cfg_;
+
+  int light_tier_ = 0;
+  int heavy_tier_ = 0;
+
+  MetricsSink sink_;
+  util::Rng rng_;
+  std::vector<WorkerSlot> workers_;
+  AllocationPlan plan_;
+  double heavy_reserve_ = 0.0;
+  std::function<void(double)> confidence_observer_;
+
+  stats::SlidingWindowCounter demand_{12.0};
+  std::uint64_t submitted_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t reconfigurations_ = 0;
+};
+
+}  // namespace diffserve::engine

@@ -1,11 +1,11 @@
-#include "serving/sink.hpp"
+#include "engine/metrics_sink.hpp"
 
 #include <algorithm>
 
 #include "linalg/gaussian.hpp"
 #include "util/check.hpp"
 
-namespace diffserve::serving {
+namespace diffserve::engine {
 
 MetricsSink::MetricsSink(const quality::Workload& workload,
                          const quality::FidScorer& scorer)
@@ -114,4 +114,4 @@ std::vector<MetricsSink::TimelinePoint> MetricsSink::timeline(
   return out;
 }
 
-}  // namespace diffserve::serving
+}  // namespace diffserve::engine

@@ -1,4 +1,5 @@
-// Terminal metrics collection.
+// Terminal metrics collection — the single sink shared by every execution
+// backend.
 //
 // Receives every completed or dropped query, materializes the served
 // image's feature vector, and produces the two paper metrics: response
@@ -10,13 +11,13 @@
 
 #include <vector>
 
+#include "engine/query.hpp"
 #include "quality/fid.hpp"
 #include "quality/workload.hpp"
-#include "serving/query.hpp"
 #include "stats/streaming.hpp"
 #include "stats/window.hpp"
 
-namespace diffserve::serving {
+namespace diffserve::engine {
 
 class MetricsSink {
  public:
@@ -79,4 +80,4 @@ class MetricsSink {
   stats::SlidingWindowRatio recent_{20.0};
 };
 
-}  // namespace diffserve::serving
+}  // namespace diffserve::engine

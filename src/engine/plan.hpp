@@ -1,0 +1,43 @@
+// The controller's output and the engine's static configuration — shared
+// by every execution backend.
+#pragma once
+
+#include <cstdint>
+
+namespace diffserve::engine {
+
+/// How the engine assigns arriving queries to stages.
+///   * kCascade — DiffServe and DiffServe-Static: light first, deferral on
+///     low confidence (§3.1).
+///   * kDirect  — Clipper-Light/Heavy and Proteus: each query goes to
+///     exactly one model; Proteus picks heavy with probability p_heavy.
+enum class RoutingMode { kCascade, kDirect };
+
+/// The controller's output: worker split, batch sizes, and routing
+/// parameters (§3.3's x1, x2, b1, b2, t).
+struct AllocationPlan {
+  RoutingMode mode = RoutingMode::kCascade;
+  int light_workers = 0;
+  int heavy_workers = 0;
+  int light_batch = 1;
+  int heavy_batch = 1;
+  double threshold = 0.5;  ///< cascade confidence threshold
+  double p_heavy = 0.0;    ///< direct-mode heavy probability
+};
+
+struct EngineConfig {
+  int total_workers = 16;
+  double slo_seconds = 5.0;
+  double model_load_delay = 1.0;
+  /// Light-stage reserve = factor * e_heavy(b2): time kept for a deferral.
+  double heavy_reserve_factor = 1.25;
+  /// Arm under-filled batch timers this long (trace seconds) before the
+  /// last feasible launch instant. The DES fires timers exactly on time
+  /// and leaves this 0; wall-clock backends set it to their scheduling
+  /// jitter so deadline-boundary queries are not tipped into drops by
+  /// timer lateness.
+  double launch_slack_seconds = 0.0;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace diffserve::engine

@@ -1,4 +1,6 @@
-// Query lifecycle types shared across the serving data path.
+// Query lifecycle types shared across the serving data path. These are
+// backend-agnostic: the same Query travels through the discrete-event
+// simulator and the threaded testbed.
 #pragma once
 
 #include <cstdint>
@@ -6,7 +8,7 @@
 
 #include "quality/workload.hpp"
 
-namespace diffserve::serving {
+namespace diffserve::engine {
 
 /// Which cascade stage a query currently occupies.
 enum class Stage { kLight, kHeavy };
@@ -20,7 +22,7 @@ struct Query {
 
   Stage stage = Stage::kLight;
   /// Latest completion time for the *current stage* that still leaves room
-  /// for any downstream stage (set by the router on each hop).
+  /// for any downstream stage (set by the engine on each hop).
   double stage_deadline = 0.0;
 
   /// Discriminator confidence of the light-model output (set after the
@@ -38,4 +40,4 @@ struct Completion {
   std::vector<double> image_feature;   ///< empty when dropped
 };
 
-}  // namespace diffserve::serving
+}  // namespace diffserve::engine

@@ -3,90 +3,221 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
-#include "discriminator/deferral_profile.hpp"
-#include "serving/query.hpp"
-#include "stats/ewma.hpp"
-#include "stats/window.hpp"
+#include "control/controller.hpp"
+#include "engine/engine.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/trace_clock.hpp"
 
 namespace diffserve::runtime {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-using serving::Query;
-using serving::Stage;
-
-/// Shared wall clock expressed in trace seconds.
-class TraceClock {
+/// ExecutionBackend over real threads and the compressed wall clock: a
+/// timer thread delivers deferred callbacks, one executor thread per
+/// worker sleeps for each batch's profiled latency, and the guard is a
+/// real mutex serializing all engine state.
+class ThreadedBackend final : public engine::ExecutionBackend {
  public:
-  explicit TraceClock(double time_scale) : scale_(time_scale) {
-    DS_REQUIRE(time_scale > 0.0, "time scale must be positive");
-    start_ = Clock::now();
+  ThreadedBackend(const util::TraceClock& clock, int workers)
+      : clock_(clock) {
+    executors_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+      executors_.push_back(std::make_unique<Executor>());
   }
-  double now() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count() *
-           scale_;
+  ~ThreadedBackend() override { stop(); }
+
+  void start() {
+    timer_thread_ = std::thread([this] { timer_main(); });
+    for (auto& ex : executors_)
+      ex->thread = std::thread([this, e = ex.get()] { executor_main(*e); });
   }
-  /// Sleep for `trace_seconds` of trace time.
-  void sleep_for(double trace_seconds) const {
-    if (trace_seconds <= 0.0) return;
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(trace_seconds / scale_));
+
+  /// Joins all threads; in-flight batches (including follow-on batches
+  /// they trigger) finish and deliver their completions first. Idempotent.
+  void stop() {
+    if (stop_.load()) return;
+    // Quiesce before signalling stop: a finishing light batch can
+    // dispatch a follow-on heavy batch, which must still be accepted and
+    // executed rather than lost to an already-joined executor thread.
+    // Bounded so a wedged pipeline cannot hang shutdown.
+    const auto quiesce_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    for (;;) {
+      bool active = false;
+      for (auto& ex : executors_) {
+        std::lock_guard<std::mutex> lk(ex->mu);
+        active = active || ex->has_job || ex->busy;
+      }
+      if (!active || std::chrono::steady_clock::now() > quiesce_deadline)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (stop_.exchange(true)) return;
+    {
+      std::lock_guard<std::mutex> lk(timer_mu_);
+      timer_cv_.notify_all();
+    }
+    for (auto& ex : executors_) {
+      std::lock_guard<std::mutex> lk(ex->mu);
+      ex->cv.notify_all();
+    }
+    if (timer_thread_.joinable()) timer_thread_.join();
+    for (auto& ex : executors_)
+      if (ex->thread.joinable()) ex->thread.join();
   }
-  /// Sleep until the given trace time.
-  void sleep_until(double trace_time) const {
-    const double delta = trace_time - now();
-    if (delta > 0.0) sleep_for(delta);
+
+  double now() const override { return clock_.now(); }
+
+  std::unique_lock<std::mutex> guard() override {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
+  engine::TimerHandle defer(double delay_seconds,
+                            std::function<void()> fn) override {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    const std::uint64_t id = next_id_++;
+    heap_.push({clock_.now() + std::max(delay_seconds, 0.0), id});
+    fns_[id] = std::move(fn);
+    timer_cv_.notify_one();
+    return {id};
+  }
+
+  bool cancel(engine::TimerHandle h) override {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    return fns_.erase(h.id) > 0;
+  }
+
+  void execute(int worker_id, double exec_seconds,
+               std::function<void()> done) override {
+    Executor& ex = *executors_[static_cast<std::size_t>(worker_id)];
+    std::lock_guard<std::mutex> lk(ex.mu);
+    if (stop_.load()) return;  // shutting down: executor may be gone
+    DS_CHECK(!ex.has_job, "worker already executing");
+    // Absolute due time, stamped at dispatch: the executor sleeps *until*
+    // it rather than *for* the latency, so hand-off latency does not
+    // accumulate into batch lateness (which the engine would count as
+    // SLO violations).
+    ex.due = clock_.now() + exec_seconds;
+    ex.done = std::move(done);
+    ex.has_job = true;
+    ex.cv.notify_one();
   }
 
  private:
-  double scale_;
-  Clock::time_point start_;
-};
+  struct TimerEntry {
+    double at;
+    std::uint64_t id;
+  };
+  struct TimerCompare {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      return a.at > b.at;  // min-heap on due time
+    }
+  };
+  struct Executor {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool has_job = false;
+    bool busy = false;  ///< picked up and sleeping/delivering (for stop())
+    double due = 0.0;   ///< absolute trace time the batch finishes
+    std::function<void()> done;
+    std::thread thread;
+  };
 
-struct WorkerState {
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Query> queue;
-  // Configuration (guarded by mu).
-  bool is_heavy = false;
-  int batch_size = 1;
-  std::uint64_t config_epoch = 0;
-  double ready_at = 0.0;  ///< model-load completion (trace time)
-
-  std::size_t queue_length() const {
-    std::lock_guard<std::mutex> lock(mu);
-    return queue.size();
+  void timer_main() {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::unique_lock<std::mutex> lk(timer_mu_);
+        for (;;) {
+          if (stop_.load()) return;
+          // Cancelled entries stay in the heap; skip them here.
+          while (!heap_.empty() && fns_.find(heap_.top().id) == fns_.end())
+            heap_.pop();
+          if (heap_.empty()) {
+            timer_cv_.wait_for(lk, std::chrono::milliseconds(2));
+            continue;
+          }
+          const double due = heap_.top().at;
+          const double now = clock_.now();
+          if (due <= now) {
+            const std::uint64_t id = heap_.top().id;
+            heap_.pop();
+            auto it = fns_.find(id);
+            fn = std::move(it->second);
+            fns_.erase(it);
+            break;
+          }
+          // Wake at the due time, capped so stop/new-timer are noticed.
+          timer_cv_.wait_for(
+              lk, std::min<std::chrono::duration<double>>(
+                      clock_.wall_duration(due - now),
+                      std::chrono::milliseconds(2)));
+        }
+      }
+      fn();  // acquires the engine guard internally
+    }
   }
+
+  void executor_main(Executor& ex) {
+    for (;;) {
+      std::function<void()> done;
+      double due = 0.0;
+      {
+        std::unique_lock<std::mutex> lk(ex.mu);
+        ex.cv.wait(lk, [&] { return ex.has_job || stop_.load(); });
+        if (!ex.has_job) return;  // stopping
+        due = ex.due;
+        done = std::move(ex.done);
+        ex.has_job = false;
+        ex.busy = true;
+      }
+      clock_.sleep_until(due);
+      done();  // acquires the engine guard internally
+      {
+        std::lock_guard<std::mutex> lk(ex.mu);
+        ex.busy = false;
+      }
+    }
+  }
+
+  const util::TraceClock& clock_;
+  std::mutex mu_;  ///< the engine guard
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerCompare>
+      heap_;
+  std::unordered_map<std::uint64_t, std::function<void()>> fns_;
+  std::uint64_t next_id_ = 1;
+  std::thread timer_thread_;
+
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::atomic<bool> stop_{false};
 };
 
-struct SharedState {
-  std::mutex sink_mu;
-  std::vector<serving::Completion> completions;
-  std::size_t dropped = 0;
-  std::size_t late = 0;
-  std::size_t light_served = 0;
-  double latency_sum = 0.0;
+/// Non-owning adapter: the Controller owns its allocator, but run_threaded
+/// borrows one from the caller.
+class BorrowedAllocator final : public control::Allocator {
+ public:
+  explicit BorrowedAllocator(control::Allocator& inner) : inner_(inner) {}
+  control::AllocationDecision allocate(
+      const control::AllocationInput& input) override {
+    return inner_.allocate(input);
+  }
+  std::string name() const override { return inner_.name(); }
 
-  std::mutex stats_mu;
-  stats::SlidingWindowCounter demand{12.0};
-  std::size_t submitted = 0;
-
-  std::mutex plan_mu;
-  double threshold = 0.5;
-  double heavy_reserve = 0.0;
-  std::vector<int> light_pool;  // worker ids
-  std::vector<int> heavy_pool;
-
-  std::atomic<bool> stop{false};
+ private:
+  control::Allocator& inner_;
 };
 
 }  // namespace
@@ -98,331 +229,57 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   DS_REQUIRE(cfg.total_workers >= 2, "need at least two workers");
   const double slo =
       cfg.slo_seconds > 0.0 ? cfg.slo_seconds : env.default_slo();
-  const auto& repo = env.repository();
-  const auto& cascade = env.cascade();
-  const auto& light_model = repo.model(cascade.light_model);
-  const auto& heavy_model = repo.model(cascade.heavy_model);
-  const auto& disc_model = repo.model(cascade.discriminator);
-  const int light_tier = env.light_tier();
-  const int heavy_tier = env.heavy_tier();
 
-  TraceClock clock(cfg.time_scale);
-  SharedState shared;
-  std::vector<std::unique_ptr<WorkerState>> workers;
-  for (int i = 0; i < cfg.total_workers; ++i)
-    workers.push_back(std::make_unique<WorkerState>());
+  util::TraceClock clock(cfg.time_scale);
+  ThreadedBackend backend(clock, cfg.total_workers);
 
-  auto light_exec = [&](int b) {
-    return light_model.latency.execution_latency(b) +
-           disc_model.latency.execution_latency(b);
-  };
-  auto heavy_exec = [&](int b) {
-    return heavy_model.latency.execution_latency(b);
-  };
+  engine::EngineConfig ecfg;
+  ecfg.total_workers = cfg.total_workers;
+  ecfg.slo_seconds = slo;
+  ecfg.model_load_delay = cfg.model_load_delay;
+  ecfg.heavy_reserve_factor = cfg.heavy_reserve_factor;
+  // Wall-clock timer jitter scales with the time compression; absorb it so
+  // deadline-boundary batches launch in time (the DES needs no slack).
+  ecfg.launch_slack_seconds = cfg.launch_slack_wall_seconds * cfg.time_scale;
+  engine::CascadeEngine eng(backend, env.workload(), env.repository(),
+                            env.cascade(), &env.disc(), env.scorer(), ecfg);
 
-  auto record_completion = [&](const Query& q, int tier, double t_done) {
-    std::lock_guard<std::mutex> lock(shared.sink_mu);
-    serving::Completion c;
-    c.query = q;
-    c.completion_time = t_done;
-    c.served_tier = tier;
-    c.image_feature = env.workload().generated_feature(q.prompt_id, tier);
-    shared.completions.push_back(std::move(c));
-    if (t_done > q.deadline) ++shared.late;
-    if (!q.deferred) ++shared.light_served;
-    shared.latency_sum += t_done - q.arrival_time;
-  };
-  auto record_drop = [&](const Query&) {
-    std::lock_guard<std::mutex> lock(shared.sink_mu);
-    ++shared.dropped;
-  };
+  control::ControllerConfig ccfg;
+  ccfg.period_seconds = cfg.control_period;
+  ccfg.over_provision = cfg.over_provision;
+  ccfg.max_deferral_fraction = cfg.max_deferral_fraction;
+  ccfg.initial_demand_guess = trace.qps_at(0.0);
+  control::Controller controller(
+      eng, std::make_unique<BorrowedAllocator>(allocator),
+      env.offline_profile(), ccfg);
 
-  // JSQ over a pool snapshot; returns nullptr if the pool is empty.
-  auto shortest = [&](const std::vector<int>& pool) -> WorkerState* {
-    WorkerState* best = nullptr;
-    std::size_t best_len = 0;
-    for (const int id : pool) {
-      const std::size_t len = workers[static_cast<std::size_t>(id)]->queue_length();
-      if (best == nullptr || len < best_len) {
-        best = workers[static_cast<std::size_t>(id)].get();
-        best_len = len;
-      }
-    }
-    return best;
-  };
-
-  auto route_heavy = [&](Query q) {
-    std::vector<int> pool;
-    {
-      std::lock_guard<std::mutex> lock(shared.plan_mu);
-      pool = shared.heavy_pool;
-    }
-    if (WorkerState* w = shortest(pool)) {
-      std::lock_guard<std::mutex> lock(w->mu);
-      w->queue.push_back(std::move(q));
-      w->cv.notify_one();
-    } else if (q.deferred) {
-      record_completion(q, light_tier, clock.now());  // best-effort light
-    } else {
-      record_drop(q);
-    }
-  };
-
-  auto route_light = [&](Query q) {
-    std::vector<int> pool;
-    double reserve;
-    {
-      std::lock_guard<std::mutex> lock(shared.plan_mu);
-      pool = shared.light_pool;
-      reserve = shared.heavy_reserve;
-    }
-    q.stage = Stage::kLight;
-    q.stage_deadline = std::max(q.deadline - reserve, q.arrival_time);
-    if (WorkerState* w = shortest(pool)) {
-      std::lock_guard<std::mutex> lock(w->mu);
-      w->queue.push_back(std::move(q));
-      w->cv.notify_one();
-    } else {
-      q.stage = Stage::kHeavy;
-      q.stage_deadline = q.deadline;
-      route_heavy(std::move(q));
-    }
-  };
-
-  // ---- worker threads ------------------------------------------------
-  std::atomic<std::size_t> reconfigs{0};
-  auto worker_main = [&](int id) {
-    WorkerState& self = *workers[static_cast<std::size_t>(id)];
-    for (;;) {
-      std::vector<Query> batch;
-      bool heavy;
-      int b;
-      {
-        std::unique_lock<std::mutex> lock(self.mu);
-        self.cv.wait_for(lock, std::chrono::milliseconds(2), [&] {
-          return !self.queue.empty() || shared.stop.load();
-        });
-        if (shared.stop.load() && self.queue.empty()) return;
-        if (self.queue.empty()) continue;
-        heavy = self.is_heavy;
-        b = self.batch_size;
-        const double exec = heavy ? heavy_exec(b) : light_exec(b);
-        // Lazy batching with the same caps as the DES worker.
-        double tightest = self.queue.front().stage_deadline;
-        for (const auto& q : self.queue)
-          tightest = std::min(tightest, q.stage_deadline);
-        const double now = clock.now();
-        if (static_cast<int>(self.queue.size()) < b &&
-            tightest - exec > now && now < self.ready_at) {
-          continue;  // still loading the model
-        }
-        if (static_cast<int>(self.queue.size()) < b &&
-            tightest - exec > now) {
-          continue;  // wait for more queries (cv poll loop)
-        }
-        if (now < self.ready_at) continue;
-        const double done_at = now + exec;
-        while (!self.queue.empty() &&
-               static_cast<int>(batch.size()) < b) {
-          Query q = std::move(self.queue.front());
-          self.queue.pop_front();
-          if (done_at > q.stage_deadline) {
-            record_drop(q);
-            continue;
-          }
-          batch.push_back(std::move(q));
-        }
-      }
-      if (batch.empty()) continue;
-      const int eb = b;
-      clock.sleep_for(heavy ? heavy_exec(eb) : light_exec(eb));
-      const double t_done = clock.now();
-      if (heavy) {
-        for (auto& q : batch) record_completion(q, heavy_tier, t_done);
-        continue;
-      }
-      double threshold;
-      {
-        std::lock_guard<std::mutex> lock(shared.plan_mu);
-        threshold = shared.threshold;
-      }
-      for (auto& q : batch) {
-        const auto feature =
-            env.workload().generated_feature(q.prompt_id, light_tier);
-        q.confidence = env.disc().confidence(feature);
-        if (q.confidence >= threshold) {
-          record_completion(q, light_tier, t_done);
-        } else {
-          q.deferred = true;
-          q.stage = Stage::kHeavy;
-          q.stage_deadline = q.deadline;
-          route_heavy(std::move(q));
-        }
-      }
-    }
-  };
-
-  // ---- controller ------------------------------------------------------
-  control::StagePerfModel light_perf(light_model.latency,
-                                     &disc_model.latency);
-  control::StagePerfModel heavy_perf(heavy_model.latency, nullptr);
-  stats::HoltEwma demand_holt(0.4, 0.3);
-  demand_holt.observe(trace.qps_at(0.0));
-
-  auto apply_plan = [&](const control::AllocationDecision& d) {
-    int n_light = d.light_workers;
-    int n_heavy = d.heavy_workers;
-    const int spare = cfg.total_workers - n_light - n_heavy;
-    if (n_light > 0 || n_heavy == 0)
-      n_light += spare;
-    else
-      n_heavy += spare;
-    std::vector<int> light_pool, heavy_pool;
-    std::vector<Query> evicted;
-    const double now = clock.now();
-    // Stable-ish: first n_light ids light, rest heavy (ids are stable so
-    // role churn is limited to the boundary).
-    for (int id = 0; id < cfg.total_workers; ++id) {
-      WorkerState& w = *workers[static_cast<std::size_t>(id)];
-      const bool want_heavy = id >= n_light && n_heavy > 0;
-      std::lock_guard<std::mutex> lock(w.mu);
-      if (w.is_heavy != want_heavy) {
-        w.ready_at = now + cfg.model_load_delay;
-        for (auto& q : w.queue) evicted.push_back(std::move(q));
-        w.queue.clear();
-        ++reconfigs;
-      }
-      w.is_heavy = want_heavy;
-      w.batch_size = want_heavy ? d.heavy_batch : d.light_batch;
-      ++w.config_epoch;
-      (want_heavy ? heavy_pool : light_pool).push_back(id);
-    }
-    {
-      std::lock_guard<std::mutex> lock(shared.plan_mu);
-      shared.light_pool = std::move(light_pool);
-      shared.heavy_pool = std::move(heavy_pool);
-      shared.threshold = d.threshold;
-      shared.heavy_reserve =
-          n_heavy > 0
-              ? cfg.heavy_reserve_factor * heavy_exec(d.heavy_batch)
-              : 0.0;
-    }
-    for (auto& q : evicted) {
-      if (q.stage == Stage::kHeavy)
-        route_heavy(std::move(q));
-      else
-        route_light(std::move(q));
-    }
-  };
-
-  discriminator::OnlineDeferralProfile online(env.offline_profile(), 4000);
-  auto controller_main = [&](double horizon) {
-    double next_tick = 0.0;
-    while (!shared.stop.load()) {
-      clock.sleep_until(next_tick);
-      if (shared.stop.load()) break;
-      const double now = clock.now();
-      double observed;
-      {
-        std::lock_guard<std::mutex> lock(shared.stats_mu);
-        observed = shared.demand.rate(now);
-      }
-      if (now > 0.0) demand_holt.observe(observed);
-
-      control::AllocationInput in;
-      in.demand_qps = demand_holt.forecast(2.0);
-      in.over_provision = cfg.over_provision;
-      in.slo_seconds = slo;
-      in.total_workers = cfg.total_workers;
-      in.threshold_grid =
-          env.offline_profile().grid(51, cfg.max_deferral_fraction);
-      in.light = light_perf;
-      in.heavy = heavy_perf;
-      double lq = 0.0, hq = 0.0;
-      {
-        std::lock_guard<std::mutex> lock(shared.plan_mu);
-        for (const int id : shared.light_pool)
-          lq += static_cast<double>(
-              workers[static_cast<std::size_t>(id)]->queue_length());
-        for (const int id : shared.heavy_pool)
-          hq += static_cast<double>(
-              workers[static_cast<std::size_t>(id)]->queue_length());
-      }
-      in.light_queue_length = lq;
-      in.light_arrival_rate = observed;
-      in.heavy_queue_length = hq;
-      in.heavy_arrival_rate = observed * 0.5;  // coarse: refined by relax
-      apply_plan(allocator.allocate(in));
-      next_tick = now + cfg.control_period;
-      (void)horizon;
-    }
-  };
-
-  // ---- client ----------------------------------------------------------
   util::Rng rng(cfg.arrival_seed);
   const auto arrivals = trace::generate_arrivals(trace, rng, cfg.arrivals);
 
-  auto client_main = [&] {
-    std::uint64_t seq = 0;
-    for (const double t : arrivals) {
-      clock.sleep_until(t);
-      Query q;
-      q.seq = seq;
-      q.prompt_id =
-          static_cast<quality::QueryId>(seq % env.workload().size());
-      q.arrival_time = clock.now();
-      q.deadline = q.arrival_time + slo;
-      ++seq;
-      {
-        std::lock_guard<std::mutex> lock(shared.stats_mu);
-        shared.demand.add(q.arrival_time);
-        ++shared.submitted;
-      }
-      route_light(std::move(q));
-    }
-  };
+  backend.start();
+  controller.start();
 
-  // ---- run ---------------------------------------------------------------
-  std::thread controller_thread(controller_main, 2.0);
-  std::vector<std::thread> worker_threads;
-  worker_threads.reserve(static_cast<std::size_t>(cfg.total_workers));
-  for (int i = 0; i < cfg.total_workers; ++i)
-    worker_threads.emplace_back(worker_main, i);
+  // The client: replay arrivals in compressed wall time.
+  for (const double t : arrivals) {
+    clock.sleep_until(t);
+    eng.submit_next();
+  }
 
-  std::thread client_thread(client_main);
-  client_thread.join();
   // Drain: give in-flight queries until trace end + SLO + margin.
   clock.sleep_until(trace.duration() + slo + 5.0);
-  shared.stop.store(true);
-  for (auto& w : workers) w->cv.notify_all();
-  for (auto& t : worker_threads) t.join();
-  controller_thread.join();
+  controller.stop();
+  backend.stop();
 
-  // ---- results -------------------------------------------------------------
   RuntimeResult r;
-  r.submitted = shared.submitted;
-  r.completed = shared.completions.size();
-  r.dropped = shared.dropped;
-  r.reconfigurations = reconfigs.load();
-  const std::size_t total = r.completed + r.dropped;
-  r.violation_ratio =
-      total ? static_cast<double>(shared.late + shared.dropped) /
-                  static_cast<double>(total)
-            : 0.0;
-  r.mean_latency = r.completed ? shared.latency_sum /
-                                     static_cast<double>(r.completed)
-                               : 0.0;
-  r.light_served_fraction =
-      r.completed ? static_cast<double>(shared.light_served) /
-                        static_cast<double>(r.completed)
-                  : 0.0;
-  if (r.completed >= 2) {
-    linalg::GaussianAccumulator acc(env.workload().config().feature_dim);
-    for (const auto& c : shared.completions) acc.add(c.image_feature);
-    r.overall_fid = env.scorer().fid(acc.stats());
-  } else {
-    r.overall_fid = -1.0;
-  }
+  const auto& sink = eng.sink();
+  r.submitted = eng.submitted();
+  r.completed = sink.completed();
+  r.dropped = sink.dropped();
+  r.reconfigurations = eng.reconfigurations();
+  r.violation_ratio = sink.violation_ratio();
+  r.mean_latency = sink.mean_latency();
+  r.light_served_fraction = sink.light_served_fraction();
+  r.overall_fid = r.completed >= 2 ? sink.overall_fid() : -1.0;
   return r;
 }
 

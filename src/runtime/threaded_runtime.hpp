@@ -3,13 +3,14 @@
 // The paper validates its simulator against a 16-GPU cluster testbed whose
 // artifact also supports *simulated execution* of the diffusion models
 // (sleeping for the profiled latency instead of running the GPU kernels,
-// Appendix A.5). This module is that testbed: real client / worker /
-// controller threads exchanging queries through locked queues, timed by
-// the wall clock — only the model execution is a scaled sleep. It shares
-// the allocators, routing policy, quality model, and metrics code with the
-// discrete-event simulator, so the §4.3 simulator-vs-testbed fidelity
-// comparison (0.56% FID, 1.1% SLO difference in the paper) is reproduced
-// by running the same trace through both and diffing the results.
+// Appendix A.5). This module is that testbed: a ThreadedBackend — real
+// timer and worker threads timed by the wall clock (util::TraceClock) —
+// plugged under the same engine::CascadeEngine and control::Controller
+// that drive the discrete-event simulator. Because routing, deferral,
+// batching, reconfiguration, and metrics are the engine's single policy
+// implementation, the §4.3 simulator-vs-testbed fidelity comparison
+// (0.56% FID, 1.1% SLO difference in the paper) is reproduced by running
+// the same trace through both backends and diffing the results.
 //
 // `time_scale` compresses wall time: a trace second lasts 1/time_scale
 // wall seconds and every sleep shrinks accordingly. Latencies are recorded
@@ -36,6 +37,9 @@ struct RuntimeConfig {
   double max_deferral_fraction = 0.55;
   double over_provision = 1.05;
   double model_load_delay = 1.0;     ///< trace seconds
+  /// Batch timers are armed this much wall time early (scaled into trace
+  /// seconds by time_scale) to absorb OS scheduling jitter.
+  double launch_slack_wall_seconds = 0.004;
   std::uint64_t arrival_seed = 1;
   trace::ArrivalConfig arrivals;
 };

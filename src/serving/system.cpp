@@ -1,10 +1,5 @@
 #include "serving/system.hpp"
 
-#include <algorithm>
-
-#include "util/check.hpp"
-#include "util/log.hpp"
-
 namespace diffserve::serving {
 
 ServingSystem::ServingSystem(sim::Simulation& sim,
@@ -15,137 +10,12 @@ ServingSystem::ServingSystem(sim::Simulation& sim,
                              const quality::FidScorer& scorer,
                              SystemConfig cfg)
     : sim_(sim),
-      workload_(workload),
-      repo_(repo),
-      cascade_(cascade),
-      cfg_(cfg) {
-  DS_REQUIRE(cfg_.total_workers >= 1, "need at least one worker");
-  light_tier_ = repo_.model(cascade_.light_model).quality_tier;
-  heavy_tier_ = repo_.model(cascade_.heavy_model).quality_tier;
-
-  sink_ = std::make_unique<MetricsSink>(workload_, scorer);
-  balancer_ = std::make_unique<LoadBalancer>(
-      sim_, workload_, disc, light_tier_, heavy_tier_, *sink_, cfg_.seed);
-
-  workers_.reserve(static_cast<std::size_t>(cfg_.total_workers));
-  for (int i = 0; i < cfg_.total_workers; ++i)
-    workers_.push_back(
-        std::make_unique<SimWorker>(sim_, i, cfg_.model_load_delay));
-  roles_.assign(workers_.size(), Role::kIdle);
-}
-
-double ServingSystem::light_exec_latency(int batch) const {
-  const auto& light = repo_.model(cascade_.light_model);
-  const auto& disc = repo_.model(cascade_.discriminator);
-  return light.latency.execution_latency(batch) +
-         disc.latency.execution_latency(batch);
-}
-
-double ServingSystem::heavy_exec_latency(int batch) const {
-  return repo_.model(cascade_.heavy_model).latency.execution_latency(batch);
-}
-
-void ServingSystem::apply(const AllocationPlan& plan) {
-  int n_light = plan.light_workers;
-  int n_heavy = plan.heavy_workers;
-  DS_REQUIRE(n_light >= 0 && n_heavy >= 0, "negative worker counts");
-  DS_REQUIRE(n_light + n_heavy <= cfg_.total_workers,
-             "plan exceeds cluster size");
-
-  // Spare workers join the light pool (or heavy if the plan has no light
-  // pool at all) — the resource manager never idles a GPU.
-  const int spare = cfg_.total_workers - n_light - n_heavy;
-  if (n_light > 0 || n_heavy == 0)
-    n_light += spare;
-  else
-    n_heavy += spare;
-
-  // Stable role assignment: workers already in a role keep it while the
-  // quota allows, minimizing model reloads.
-  std::vector<Role> desired(workers_.size(), Role::kIdle);
-  int remaining_light = n_light, remaining_heavy = n_heavy;
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (roles_[i] == Role::kLight && remaining_light > 0) {
-      desired[i] = Role::kLight;
-      --remaining_light;
-    } else if (roles_[i] == Role::kHeavy && remaining_heavy > 0) {
-      desired[i] = Role::kHeavy;
-      --remaining_heavy;
-    }
-  }
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (desired[i] != Role::kIdle) continue;
-    if (remaining_light > 0) {
-      desired[i] = Role::kLight;
-      --remaining_light;
-    } else if (remaining_heavy > 0) {
-      desired[i] = Role::kHeavy;
-      --remaining_heavy;
-    }
-  }
-
-  const auto& light_model = repo_.model(cascade_.light_model);
-  const auto& heavy_model = repo_.model(cascade_.heavy_model);
-  const auto& disc_model = repo_.model(cascade_.discriminator);
-
-  WorkerConfig light_cfg;
-  light_cfg.model_name = light_model.name;
-  light_cfg.profile = light_model.latency;
-  light_cfg.quality_tier = light_model.quality_tier;
-  light_cfg.batch_size = plan.light_batch;
-  if (plan.mode == RoutingMode::kCascade) {
-    light_cfg.extra_profile = disc_model.latency;
-    light_cfg.has_extra = true;
-  }
-
-  WorkerConfig heavy_cfg;
-  heavy_cfg.model_name = heavy_model.name;
-  heavy_cfg.profile = heavy_model.latency;
-  heavy_cfg.quality_tier = heavy_model.quality_tier;
-  heavy_cfg.batch_size = plan.heavy_batch;
-
-  std::vector<Query> evicted;
-  std::vector<SimWorker*> light_pool, heavy_pool;
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (desired[i] == Role::kIdle) continue;
-    const auto& cfg = desired[i] == Role::kLight ? light_cfg : heavy_cfg;
-    auto out = workers_[i]->configure(cfg);
-    for (auto& q : out) evicted.push_back(std::move(q));
-    (desired[i] == Role::kLight ? light_pool : heavy_pool)
-        .push_back(workers_[i].get());
-    roles_[i] = desired[i];
-  }
-
-  RouterConfig rc;
-  rc.mode = plan.mode;
-  rc.threshold = plan.threshold;
-  rc.p_heavy = plan.p_heavy;
-  rc.heavy_reserve =
-      plan.mode == RoutingMode::kCascade && !heavy_pool.empty()
-          ? cfg_.heavy_reserve_factor * heavy_exec_latency(plan.heavy_batch)
-          : 0.0;
-
-  balancer_->set_pools(std::move(light_pool), std::move(heavy_pool));
-  balancer_->set_config(rc);
-  plan_ = plan;
-  if (!evicted.empty()) balancer_->resubmit(std::move(evicted));
-
-  DS_LOG_DEBUG("system") << "applied plan: light=" << n_light
-                         << " heavy=" << n_heavy << " b1=" << plan.light_batch
-                         << " b2=" << plan.heavy_batch
-                         << " t=" << plan.threshold;
-}
+      backend_(sim),
+      engine_(backend_, workload, repo, cascade, disc, scorer, cfg) {}
 
 void ServingSystem::inject_arrivals(const std::vector<double>& times) {
-  for (const double t : times) {
-    const std::uint64_t seq = next_seq_++;
-    Query q;
-    q.seq = seq;
-    q.prompt_id = static_cast<quality::QueryId>(seq % workload_.size());
-    q.arrival_time = t;
-    q.deadline = t + cfg_.slo_seconds;
-    sim_.schedule_at(t, [this, q]() mutable { balancer_->submit(q); });
-  }
+  for (const double t : times)
+    sim_.schedule_at(t, [this] { engine_.submit_next(); });
 }
 
 }  // namespace diffserve::serving

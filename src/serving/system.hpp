@@ -1,45 +1,59 @@
-// End-to-end serving system assembly for the discrete-event simulator:
-// a cluster of workers, the load balancer, and the metrics sink, wired to
-// one cascade. The controller (src/control) reconfigures it through
-// AllocationPlan; baselines reuse the same machinery with different plans
-// and routing modes.
+// Discrete-event execution backend.
+//
+// This module is the DES side of the engine/backend split: a
+// SimulationBackend that maps the ExecutionBackend interface onto the
+// event queue of sim::Simulation, plus the ServingSystem facade that
+// assembles a CascadeEngine over it and schedules trace arrivals. All
+// serving *policy* (routing, deferral, batching, reconfiguration,
+// metrics) lives in src/engine/; this file only supplies the substrate.
 #pragma once
 
-#include <memory>
+#include <functional>
 #include <vector>
 
 #include "discriminator/discriminator.hpp"
+#include "engine/engine.hpp"
 #include "models/model_repository.hpp"
 #include "quality/fid.hpp"
 #include "quality/workload.hpp"
-#include "serving/router.hpp"
-#include "serving/sink.hpp"
-#include "serving/worker.hpp"
 #include "sim/simulation.hpp"
 
 namespace diffserve::serving {
 
-/// The controller's output: worker split, batch sizes, and routing
-/// parameters (§3.3's x1, x2, b1, b2, t).
-struct AllocationPlan {
-  RoutingMode mode = RoutingMode::kCascade;
-  int light_workers = 0;
-  int heavy_workers = 0;
-  int light_batch = 1;
-  int heavy_batch = 1;
-  double threshold = 0.5;  ///< cascade confidence threshold
-  double p_heavy = 0.0;    ///< direct-mode heavy probability
+// Shared policy types, re-exported for the DES-facing API.
+using engine::AllocationPlan;
+using engine::Query;
+using engine::RoutingMode;
+using SystemConfig = engine::EngineConfig;
+
+/// ExecutionBackend over the discrete-event simulator. Single-threaded:
+/// the guard is an empty lock, defer/execute are event-queue entries.
+class SimulationBackend final : public engine::ExecutionBackend {
+ public:
+  explicit SimulationBackend(sim::Simulation& sim) : sim_(sim) {}
+
+  double now() const override { return sim_.now(); }
+  engine::TimerHandle defer(double delay_seconds,
+                            std::function<void()> fn) override {
+    const auto h = sim_.schedule_in(std::max(delay_seconds, 0.0),
+                                    std::move(fn));
+    return {h.id};
+  }
+  bool cancel(engine::TimerHandle h) override { return sim_.cancel({h.id}); }
+  void execute(int /*worker_id*/, double exec_seconds,
+               std::function<void()> done) override {
+    sim_.schedule_in(exec_seconds, std::move(done));
+  }
+  std::unique_lock<std::mutex> guard() override { return {}; }
+
+ private:
+  sim::Simulation& sim_;
 };
 
-struct SystemConfig {
-  int total_workers = 16;
-  double slo_seconds = 5.0;
-  double model_load_delay = 1.0;
-  /// Light-stage reserve = factor * e_heavy(b2): time kept for a deferral.
-  double heavy_reserve_factor = 1.25;
-  std::uint64_t seed = 1;
-};
-
+/// End-to-end DES serving assembly: one CascadeEngine on a
+/// SimulationBackend. The controller (src/control) reconfigures it through
+/// the engine; baselines reuse the same machinery with different plans and
+/// routing modes.
 class ServingSystem {
  public:
   ServingSystem(sim::Simulation& sim, const quality::Workload& workload,
@@ -48,50 +62,36 @@ class ServingSystem {
                 const discriminator::Discriminator* disc,
                 const quality::FidScorer& scorer, SystemConfig cfg);
 
+  engine::CascadeEngine& engine() { return engine_; }
+  const engine::CascadeEngine& engine() const { return engine_; }
+
   /// Reconfigure the cluster; evicted queries are re-routed automatically.
-  void apply(const AllocationPlan& plan);
-  const AllocationPlan& plan() const { return plan_; }
+  void apply(const AllocationPlan& plan) { engine_.apply(plan); }
+  AllocationPlan plan() const { return engine_.plan(); }
 
   /// Schedule query submissions at the given arrival times. Prompts cycle
   /// through the workload deterministically.
   void inject_arrivals(const std::vector<double>& times);
 
-  LoadBalancer& balancer() { return *balancer_; }
-  const LoadBalancer& balancer() const { return *balancer_; }
-  MetricsSink& sink() { return *sink_; }
-  const MetricsSink& sink() const { return *sink_; }
-  const SystemConfig& config() const { return cfg_; }
+  engine::MetricsSink& sink() { return engine_.sink(); }
+  const engine::MetricsSink& sink() const { return engine_.sink(); }
+  const SystemConfig& config() const { return engine_.config(); }
 
-  /// Stage execution latencies under the current profiles (used by the
-  /// controller's performance model).
-  double light_exec_latency(int batch) const;  ///< incl. discriminator
-  double heavy_exec_latency(int batch) const;
-
-  int light_tier() const { return light_tier_; }
-  int heavy_tier() const { return heavy_tier_; }
-  const models::CascadeSpec& cascade() const { return cascade_; }
-
-  std::size_t worker_count() const { return workers_.size(); }
-  const SimWorker& worker(std::size_t i) const { return *workers_[i]; }
+  double light_exec_latency(int batch) const {
+    return engine_.light_exec_latency(batch);
+  }
+  double heavy_exec_latency(int batch) const {
+    return engine_.heavy_exec_latency(batch);
+  }
+  int light_tier() const { return engine_.light_tier(); }
+  int heavy_tier() const { return engine_.heavy_tier(); }
+  const models::CascadeSpec& cascade() const { return engine_.cascade(); }
+  std::size_t worker_count() const { return engine_.worker_count(); }
 
  private:
-  enum class Role { kIdle, kLight, kHeavy };
-
   sim::Simulation& sim_;
-  const quality::Workload& workload_;
-  const models::ModelRepository& repo_;
-  models::CascadeSpec cascade_;
-  SystemConfig cfg_;
-
-  int light_tier_ = 0;
-  int heavy_tier_ = 0;
-
-  std::unique_ptr<MetricsSink> sink_;
-  std::unique_ptr<LoadBalancer> balancer_;
-  std::vector<std::unique_ptr<SimWorker>> workers_;
-  std::vector<Role> roles_;
-  AllocationPlan plan_;
-  std::uint64_t next_seq_ = 0;
+  SimulationBackend backend_;
+  engine::CascadeEngine engine_;
 };
 
 }  // namespace diffserve::serving

@@ -1,0 +1,56 @@
+// Shared wall clock expressed in trace seconds.
+//
+// The threaded testbed replays traces in compressed wall time: a trace
+// second lasts 1/time_scale wall seconds and every sleep shrinks
+// accordingly (Appendix A.5's simulated execution). Latencies are recorded
+// in trace seconds, so results are directly comparable with the
+// discrete-event simulator.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace diffserve::util {
+
+class TraceClock {
+ public:
+  using WallClock = std::chrono::steady_clock;
+
+  explicit TraceClock(double time_scale) : scale_(time_scale) {
+    DS_REQUIRE(time_scale > 0.0, "time scale must be positive");
+    start_ = WallClock::now();
+  }
+
+  double time_scale() const { return scale_; }
+
+  /// Current trace time (seconds).
+  double now() const {
+    return std::chrono::duration<double>(WallClock::now() - start_).count() *
+           scale_;
+  }
+
+  /// Wall-clock duration corresponding to `trace_seconds` (for cv waits).
+  std::chrono::duration<double> wall_duration(double trace_seconds) const {
+    return std::chrono::duration<double>(trace_seconds / scale_);
+  }
+
+  /// Sleep for `trace_seconds` of trace time.
+  void sleep_for(double trace_seconds) const {
+    if (trace_seconds <= 0.0) return;
+    std::this_thread::sleep_for(wall_duration(trace_seconds));
+  }
+
+  /// Sleep until the given trace time.
+  void sleep_until(double trace_time) const {
+    const double delta = trace_time - now();
+    if (delta > 0.0) sleep_for(delta);
+  }
+
+ private:
+  double scale_;
+  WallClock::time_point start_;
+};
+
+}  // namespace diffserve::util

@@ -1,24 +1,20 @@
-// Tests for the serving data path: worker batching and drop policy, the
-// cascade router, the metrics sink, and system reconfiguration.
+// Tests for the DES serving path: engine batch formation and drop policy,
+// cascade routing, the metrics sink, and system reconfiguration — all
+// exercised through the SimulationBackend (the policy itself lives in
+// src/engine/ and is shared with the threaded testbed).
 #include <gtest/gtest.h>
 
 #include "discriminator/discriminator.hpp"
+#include "engine/engine.hpp"
+#include "engine/metrics_sink.hpp"
 #include "models/model_repository.hpp"
 #include "quality/fid.hpp"
 #include "quality/workload.hpp"
-#include "serving/router.hpp"
-#include "serving/sink.hpp"
 #include "serving/system.hpp"
-#include "serving/worker.hpp"
 #include "sim/simulation.hpp"
 
 namespace diffserve::serving {
 namespace {
-
-models::LatencyProfile unit_profile() {
-  return models::LatencyProfile(std::map<int, double>{{1, 1.0}, {2, 1.5},
-                                                      {4, 2.5}});
-}
 
 Query make_query(std::uint64_t seq, double arrival, double deadline,
                  double stage_deadline) {
@@ -31,141 +27,106 @@ Query make_query(std::uint64_t seq, double arrival, double deadline,
   return q;
 }
 
-WorkerConfig basic_config(int batch) {
-  WorkerConfig cfg;
-  cfg.model_name = "m";
-  cfg.profile = unit_profile();
-  cfg.batch_size = batch;
-  cfg.quality_tier = 1;
-  return cfg;
+// --- batch-policy tests over a synthetic unit cascade -------------------
+//
+// Light model "m" has e(1)=1, e(2)=1.5, e(4)=2.5; direct mode with
+// p_heavy=0 sends every query through it with no discriminator pass, so
+// completion times expose the engine's batching decisions exactly.
+
+models::ModelRepository unit_repo() {
+  models::ModelRepository repo;
+  repo.register_model({"m", models::ModelKind::kDiffusion,
+                       models::LatencyProfile(std::map<int, double>{
+                           {1, 1.0}, {2, 1.5}, {4, 2.5}}),
+                       /*tier=*/1, 512});
+  repo.register_model({"h", models::ModelKind::kDiffusion,
+                       models::LatencyProfile::affine(1.0), /*tier=*/2, 512});
+  repo.register_model({"d", models::ModelKind::kDiscriminator,
+                       models::LatencyProfile::affine(0.01), 0, 512});
+  repo.register_cascade({"unit", "m", "h", "d", 100.0});
+  return repo;
 }
 
-TEST(Worker, FullBatchStartsImmediately) {
-  sim::Simulation sim;
-  SimWorker w(sim, 0, /*load_delay=*/0.0);
-  std::vector<std::vector<Query>> batches;
-  w.set_callbacks(
-      [&](SimWorker&, std::vector<Query>&& b) { batches.push_back(b); },
-      nullptr);
-  w.configure(basic_config(2));
-  w.enqueue(make_query(0, 0.0, 100.0, 100.0));
-  w.enqueue(make_query(1, 0.0, 100.0, 100.0));
-  sim.run_until(1.6);
-  ASSERT_EQ(batches.size(), 1u);
-  EXPECT_EQ(batches[0].size(), 2u);
-  EXPECT_EQ(w.queries_processed(), 2u);
+class UnitHarness {
+ public:
+  explicit UnitHarness(double slo, int total_workers = 1)
+      : repo_(unit_repo()) {
+    SystemConfig cfg;
+    cfg.total_workers = total_workers;
+    cfg.slo_seconds = slo;
+    cfg.model_load_delay = 0.0;
+    system_ = std::make_unique<ServingSystem>(sim_, workload_, repo_,
+                                              repo_.cascade("unit"), nullptr,
+                                              scorer_, cfg);
+  }
+
+  void apply_direct(int light_batch) {
+    AllocationPlan plan;
+    plan.mode = RoutingMode::kDirect;
+    plan.light_workers = system_->config().total_workers;
+    plan.heavy_workers = 0;
+    plan.light_batch = light_batch;
+    system_->apply(plan);
+  }
+
+  sim::Simulation sim_;
+  quality::Workload workload_{60};
+  quality::FidScorer scorer_{workload_};
+  models::ModelRepository repo_;
+  std::unique_ptr<ServingSystem> system_;
+};
+
+TEST(EngineBatching, FullBatchStartsImmediately) {
+  UnitHarness h(/*slo=*/100.0);
+  h.apply_direct(/*light_batch=*/2);
+  h.system_->inject_arrivals({0.0, 0.0});
+  h.sim_.run_until(1.6);
+  // e(2) = 1.5: both queries complete together at 1.5.
+  EXPECT_EQ(h.system_->sink().completed(), 2u);
+  EXPECT_NEAR(h.system_->sink().mean_latency(), 1.5, 1e-9);
+  EXPECT_EQ(h.system_->engine().worker_info(0).processed, 2u);
 }
 
-TEST(Worker, UnderfilledBatchLaunchesByTimeout) {
-  sim::Simulation sim;
-  SimWorker w(sim, 0, 0.0);
-  std::vector<double> completion_times;
-  w.set_callbacks(
-      [&](SimWorker&, std::vector<Query>&& b) {
-        for (auto& q : b) {
-          (void)q;
-          completion_times.push_back(sim.now());
-        }
-      },
-      nullptr);
-  w.configure(basic_config(4));  // e(4) = 2.5
-  sim.schedule_at(0.0, [&] { w.enqueue(make_query(0, 0.0, 100.0, 100.0)); });
-  sim.run_until(10.0);
+TEST(EngineBatching, UnderfilledBatchLaunchesByTimeout) {
+  UnitHarness h(100.0);
+  h.apply_direct(4);  // e(4) = 2.5
+  h.system_->inject_arrivals({0.0});
+  h.sim_.run_until(10.0);
+  h.sim_.run_all();
   // Launch capped at oldest + exec = 2.5, completes at 5.0.
-  ASSERT_EQ(completion_times.size(), 1u);
-  EXPECT_NEAR(completion_times[0], 5.0, 1e-9);
+  ASSERT_EQ(h.system_->sink().completed(), 1u);
+  EXPECT_NEAR(h.system_->sink().mean_latency(), 5.0, 1e-9);
 }
 
-TEST(Worker, TightDeadlineForcesEarlyLaunch) {
-  sim::Simulation sim;
-  SimWorker w(sim, 0, 0.0);
-  std::vector<double> completions;
-  w.set_callbacks(
-      [&](SimWorker&, std::vector<Query>&& b) {
-        for (std::size_t i = 0; i < b.size(); ++i)
-          completions.push_back(sim.now());
-      },
-      nullptr);
-  w.configure(basic_config(4));  // e(4) = 2.5
-  // Stage deadline 3.0: must launch by 0.5 to make it.
-  sim.schedule_at(0.0, [&] { w.enqueue(make_query(0, 0.0, 3.0, 3.0)); });
-  sim.run_until(10.0);
-  ASSERT_EQ(completions.size(), 1u);
-  EXPECT_NEAR(completions[0], 3.0, 1e-9);
+TEST(EngineBatching, TightDeadlineForcesEarlyLaunch) {
+  UnitHarness h(/*slo=*/3.0);
+  h.apply_direct(4);  // e(4) = 2.5
+  // Deadline 3.0: must launch by 0.5 to make it.
+  h.system_->inject_arrivals({0.0});
+  h.sim_.run_until(10.0);
+  ASSERT_EQ(h.system_->sink().completed(), 1u);
+  EXPECT_NEAR(h.system_->sink().mean_latency(), 3.0, 1e-9);
 }
 
-TEST(Worker, DropsOverdueQueriesAtBatchStart) {
-  sim::Simulation sim;
-  SimWorker w(sim, 0, 0.0);
-  std::size_t completed = 0, dropped = 0;
-  w.set_callbacks(
-      [&](SimWorker&, std::vector<Query>&& b) { completed += b.size(); },
-      [&](SimWorker&, Query&&) { ++dropped; });
-  w.configure(basic_config(1));  // e(1) = 1.0
+TEST(EngineBatching, DropsOverdueQueriesAtBatchStart) {
+  UnitHarness h(/*slo=*/2.5);
+  h.apply_direct(1);  // e(1) = 1.0
   // Three queries at t=0; each takes 1s serially; the third would finish
-  // at 3.0 but its stage deadline is 2.5 -> dropped.
-  sim.schedule_at(0.0, [&] {
-    w.enqueue(make_query(0, 0.0, 2.5, 2.5));
-    w.enqueue(make_query(1, 0.0, 2.5, 2.5));
-    w.enqueue(make_query(2, 0.0, 2.5, 2.5));
-  });
-  sim.run_until(10.0);
-  EXPECT_EQ(completed, 2u);
-  EXPECT_EQ(dropped, 1u);
-  EXPECT_EQ(w.queries_dropped(), 1u);
+  // at 3.0 but its deadline is 2.5 -> dropped.
+  h.system_->inject_arrivals({0.0, 0.0, 0.0});
+  h.sim_.run_until(10.0);
+  EXPECT_EQ(h.system_->sink().completed(), 2u);
+  EXPECT_EQ(h.system_->sink().dropped(), 1u);
+  EXPECT_EQ(h.system_->engine().worker_info(0).dropped, 1u);
 }
 
-TEST(Worker, ModelChangeEvictsQueueAndDelays) {
-  sim::Simulation sim;
-  SimWorker w(sim, 0, /*load_delay=*/2.0);
-  std::size_t completed = 0;
-  w.set_callbacks(
-      [&](SimWorker&, std::vector<Query>&& b) { completed += b.size(); },
-      nullptr);
-  w.configure(basic_config(1));
-  sim.run_until(2.0);  // initial load done
-  auto cfg2 = basic_config(1);
-  cfg2.model_name = "other";
-  Query stuck = make_query(9, 2.0, 100.0, 100.0);
-  w.enqueue(stuck);
-  // Worker is executing (busy) — reconfigure now.
-  const auto evicted = w.configure(cfg2);
-  EXPECT_EQ(evicted.size(), 0u);  // the query already started (busy)
-  sim.run_until(20.0);
-  EXPECT_EQ(completed, 1u);
-}
-
-TEST(Worker, EvictionReturnsQueuedQueries) {
-  sim::Simulation sim;
-  SimWorker w(sim, 0, 1.0);
-  w.set_callbacks([](SimWorker&, std::vector<Query>&&) {}, nullptr);
-  w.configure(basic_config(4));
-  // Still loading until t=1; queue three.
-  w.enqueue(make_query(0, 0.0, 100.0, 100.0));
-  w.enqueue(make_query(1, 0.0, 100.0, 100.0));
-  auto cfg2 = basic_config(4);
-  cfg2.model_name = "other";
-  const auto evicted = w.configure(cfg2);
-  EXPECT_EQ(evicted.size(), 2u);
-  EXPECT_EQ(w.queue_length(), 0u);
-}
-
-TEST(Worker, SameModelBatchChangeKeepsQueue) {
-  sim::Simulation sim;
-  SimWorker w(sim, 0, 10.0);
-  w.set_callbacks([](SimWorker&, std::vector<Query>&&) {}, nullptr);
-  w.configure(basic_config(1));
-  w.enqueue(make_query(0, 0.0, 100.0, 100.0));
-  const auto evicted = w.configure(basic_config(2));
-  EXPECT_TRUE(evicted.empty());
-  EXPECT_EQ(w.queue_length(), 1u);
-}
-
-TEST(Worker, RejectsUnsupportedBatch) {
-  sim::Simulation sim;
-  SimWorker w(sim, 0, 0.0);
-  auto cfg = basic_config(3);  // not in profile
-  EXPECT_THROW(w.configure(cfg), std::invalid_argument);
+TEST(EngineBatching, RejectsUnsupportedBatch) {
+  UnitHarness h(100.0);
+  AllocationPlan plan;
+  plan.mode = RoutingMode::kDirect;
+  plan.light_workers = 1;
+  plan.light_batch = 3;  // not in the profile {1, 2, 4}
+  EXPECT_THROW(h.system_->apply(plan), std::invalid_argument);
 }
 
 // --- integration fixtures over a real (small) cascade environment ------
@@ -309,10 +270,11 @@ TEST_F(ServingIntegration, ReconfigurationPreservesQueries) {
   sim.run_until(60.0);
   sim.run_all();
   EXPECT_EQ(system.sink().total(), 30u);  // nothing vanished
+  EXPECT_EQ(system.engine().reconfigurations(), 2u);  // initial + flip
 }
 
 TEST_F(ServingIntegration, SinkMetrics) {
-  MetricsSink sink(*workload_, *scorer_);
+  engine::MetricsSink sink(*workload_, *scorer_);
   Query q = make_query(0, 0.0, 5.0, 5.0);
   sink.complete(q, 2, 1.0);  // on time
   Query late = make_query(1, 0.0, 5.0, 5.0);
@@ -326,7 +288,7 @@ TEST_F(ServingIntegration, SinkMetrics) {
 }
 
 TEST_F(ServingIntegration, SinkTimelineWindows) {
-  MetricsSink sink(*workload_, *scorer_);
+  engine::MetricsSink sink(*workload_, *scorer_);
   for (int i = 0; i < 100; ++i) {
     Query q = make_query(static_cast<std::uint64_t>(i), i * 0.5,
                          i * 0.5 + 5.0, 0.0);
@@ -365,8 +327,8 @@ TEST_F(ServingIntegration, SparesJoinLightPool) {
   plan.light_workers = 1;
   plan.heavy_workers = 2;
   system.apply(plan);
-  EXPECT_EQ(system.balancer().light_stats().workers, 4);  // 1 + 3 spares
-  EXPECT_EQ(system.balancer().heavy_stats().workers, 2);
+  EXPECT_EQ(system.engine().light_stats().workers, 4);  // 1 + 3 spares
+  EXPECT_EQ(system.engine().heavy_stats().workers, 2);
 }
 
 TEST_F(ServingIntegration, ExecLatencyIncludesDiscriminator) {
