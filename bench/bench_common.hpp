@@ -1,12 +1,16 @@
 // Shared helpers for the figure-reproduction bench binaries: consistent
 // stdout tables plus CSV output next to the binary so plots can be
-// regenerated without re-running.
+// regenerated without re-running, environment construction, and the
+// timeline/summary row boilerplate every figure main repeats.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <sys/stat.h>
+#include <vector>
 
+#include "core/environment.hpp"
+#include "core/experiment.hpp"
 #include "util/csv.hpp"
 
 namespace diffserve::bench {
@@ -23,6 +27,99 @@ inline std::string csv_path(const std::string& name) {
 
 inline void banner(const char* figure, const char* caption) {
   std::printf("\n=== %s — %s ===\n", figure, caption);
+}
+
+/// Environment with the given evaluation-set size over a catalog cascade
+/// (defaults to the paper's Cascade 1).
+inline core::CascadeEnvironment make_env(
+    std::size_t workload_queries,
+    const std::string& cascade = models::catalog::kCascade1) {
+  core::EnvironmentConfig ec;
+  ec.cascade = cascade;
+  ec.workload_queries = workload_queries;
+  return core::CascadeEnvironment(ec);
+}
+
+/// Aligned stdout table mirrored row-for-row into a CSV file; prints the
+/// `[csv] path` footer on destruction. Keeps figure mains declarative:
+/// construct with the columns, call row() per experiment.
+class ReportTable {
+ public:
+  ReportTable(const std::string& csv_name, std::vector<std::string> columns,
+              std::vector<int> widths = {})
+      : csv_(csv_path(csv_name), columns), widths_(std::move(widths)) {
+    if (widths_.empty())
+      for (const auto& c : columns)
+        widths_.push_back(static_cast<int>(c.size()) + 4 < 10
+                              ? 10
+                              : static_cast<int>(c.size()) + 4);
+    for (std::size_t i = 0; i < columns.size(); ++i)
+      std::printf("%-*s ", widths_[i], columns[i].c_str());
+    std::printf("\n");
+  }
+  ~ReportTable() { std::printf("[csv] %s\n", csv_.path().c_str()); }
+
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      std::printf("%-*s ", widths_[i], cells[i].c_str());
+    std::printf("\n");
+    csv_.add_row(cells);
+  }
+  void row(const std::vector<double>& cells) {
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (const double v : cells) formatted.push_back(fmt(v));
+    row(formatted);
+  }
+
+  /// Compact cell formatting (shorter than CsvWriter's lossless format —
+  /// these cells also render in the stdout table).
+  static std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+  }
+
+  util::CsvWriter& csv() { return csv_; }
+
+ private:
+  util::CsvWriter csv_;
+  std::vector<int> widths_;
+};
+
+/// The one-line summary every comparison figure prints per experiment:
+/// approach, FID, violation ratio, mean latency, light-served share.
+inline const std::vector<std::string>& summary_columns() {
+  static const std::vector<std::string> cols = {
+      "approach", "fid", "violation_ratio", "mean_latency", "light_pct"};
+  return cols;
+}
+
+inline std::vector<std::string> summary_cells(
+    const core::ExperimentResult& r) {
+  return {r.approach, ReportTable::fmt(r.overall_fid),
+          ReportTable::fmt(r.violation_ratio),
+          ReportTable::fmt(r.mean_latency),
+          ReportTable::fmt(100.0 * r.light_served_fraction)};
+}
+
+/// Timeline rows (Figure 5/8 shape): per window time, demand, FID,
+/// violation ratio, and the threshold sampled from the nearest control
+/// snapshot at or before the window.
+inline void add_timeline_rows(util::CsvWriter& csv,
+                              const core::ExperimentResult& r,
+                              const trace::RateTrace& tr) {
+  for (const auto& pt : r.timeline) {
+    double threshold = 0.0;
+    for (const auto& h : r.control_history)
+      if (h.time <= pt.time) threshold = h.decision.threshold();
+    csv.add_row(std::vector<std::string>{
+        r.approach, util::CsvWriter::format(pt.time),
+        util::CsvWriter::format(tr.qps_at(pt.time)),
+        util::CsvWriter::format(pt.fid),
+        util::CsvWriter::format(pt.violation_ratio),
+        util::CsvWriter::format(threshold)});
+  }
 }
 
 }  // namespace diffserve::bench

@@ -5,32 +5,26 @@
 // single points. Expected shape: DiffServe's curve sits lower-left
 // (Pareto-optimal) at every load.
 #include "bench_common.hpp"
-#include "core/environment.hpp"
-#include "core/experiment.hpp"
 
 using namespace diffserve;
 
 int main() {
-  core::EnvironmentConfig ec;
-  ec.workload_queries = 3000;
-  core::CascadeEnvironment env(ec);
+  const auto env = bench::make_env(3000);
 
   const double loads[] = {8.0, 16.0, 24.0};  // low / medium / high QPS
   const char* load_names[] = {"low", "medium", "high"};
   const double over_provision_sweep[] = {0.85, 0.95, 1.05, 1.2, 1.4};
 
-  util::CsvWriter csv(bench::csv_path("fig04_static"),
-                      {"load", "approach", "over_provision",
-                       "violation_ratio", "fid"});
+  bench::ReportTable table(
+      "fig04_static",
+      {"load", "approach", "over_provision", "violation_ratio", "fid"},
+      {8, 20, 16, 16, 8});
 
   for (int li = 0; li < 3; ++li) {
     bench::banner("Figure 4",
                   (std::string(load_names[li]) + " load, " +
                    std::to_string(loads[li]) + " QPS")
                       .c_str());
-    std::printf("%-18s %-8s %-12s %-8s\n", "approach", "lambda",
-                "violations", "FID");
-
     core::RunConfig rc;
     rc.total_workers = 16;
     rc.trace = trace::RateTrace::constant(loads[li], 180.0);
@@ -39,12 +33,10 @@ int main() {
          {core::Approach::kClipperLight, core::Approach::kClipperHeavy}) {
       rc.approach = approach;
       const auto r = run_experiment(env, rc);
-      std::printf("%-18s %-8s %-12.3f %-8.2f\n", r.approach.c_str(), "-",
-                  r.violation_ratio, r.overall_fid);
-      csv.add_row(std::vector<std::string>{
+      table.row(std::vector<std::string>{
           load_names[li], r.approach, "-",
-          util::CsvWriter::format(r.violation_ratio),
-          util::CsvWriter::format(r.overall_fid)});
+          bench::ReportTable::fmt(r.violation_ratio),
+          bench::ReportTable::fmt(r.overall_fid)});
     }
     for (const auto approach :
          {core::Approach::kProteus, core::Approach::kDiffServe}) {
@@ -52,16 +44,13 @@ int main() {
         rc.approach = approach;
         rc.over_provision = lambda;
         const auto r = run_experiment(env, rc);
-        std::printf("%-18s %-8.2f %-12.3f %-8.2f\n", r.approach.c_str(),
-                    lambda, r.violation_ratio, r.overall_fid);
-        csv.add_row(std::vector<std::string>{
-            load_names[li], r.approach, util::CsvWriter::format(lambda),
-            util::CsvWriter::format(r.violation_ratio),
-            util::CsvWriter::format(r.overall_fid)});
+        table.row(std::vector<std::string>{
+            load_names[li], r.approach, bench::ReportTable::fmt(lambda),
+            bench::ReportTable::fmt(r.violation_ratio),
+            bench::ReportTable::fmt(r.overall_fid)});
       }
       rc.over_provision = 1.05;
     }
   }
-  std::printf("[csv] %s\n", bench::csv_path("fig04_static").c_str());
   return 0;
 }

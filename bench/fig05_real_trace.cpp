@@ -5,53 +5,31 @@
 // Clipper-Heavy violates massively at peak; DiffServe-Static violates at
 // peak because its fixed threshold cannot back off.
 #include "bench_common.hpp"
-#include "core/environment.hpp"
-#include "core/experiment.hpp"
 
 using namespace diffserve;
 
 int main() {
-  core::EnvironmentConfig ec;
-  ec.workload_queries = 5000;
-  core::CascadeEnvironment env(ec);
+  const auto env = bench::make_env(5000);
 
   // The artifact's trace_4to32qps family for 16 workers.
   const auto tr = trace::RateTrace::azure_like(4.0, 32.0, 360.0, 3);
   tr.save(bench::results_dir() + "/trace_4to32qps.txt");
 
-  util::CsvWriter csv(bench::csv_path("fig05_timeline"),
-                      {"approach", "time", "demand_qps", "fid",
-                       "violation_ratio", "threshold"});
+  util::CsvWriter timeline_csv(bench::csv_path("fig05_timeline"),
+                               {"approach", "time", "demand_qps", "fid",
+                                "violation_ratio", "threshold"});
 
   bench::banner("Figure 5", "Azure-like trace 4->32 QPS, Cascade 1, 16 GPUs");
-  std::printf("%-18s %-8s %-12s %-10s %-10s %-10s\n", "approach", "FID",
-              "violations", "mean_lat", "light%", "solve_ms");
-
+  bench::ReportTable table("fig05_summary", bench::summary_columns());
   for (const auto approach : core::comparison_approaches()) {
     core::RunConfig rc;
     rc.approach = approach;
     rc.total_workers = 16;
     rc.trace = tr;
     const auto r = run_experiment(env, rc);
-    std::printf("%-18s %-8.2f %-12.3f %-10.2f %-10.2f %-10.2f\n",
-                r.approach.c_str(), r.overall_fid, r.violation_ratio,
-                r.mean_latency, 100.0 * r.light_served_fraction,
-                r.mean_solve_ms);
-
-    // Timeline rows (threshold sampled from the nearest control snapshot).
-    for (const auto& pt : r.timeline) {
-      double threshold = 0.0;
-      for (const auto& h : r.control_history)
-        if (h.time <= pt.time) threshold = h.decision.threshold;
-      csv.add_row(std::vector<std::string>{
-          r.approach, util::CsvWriter::format(pt.time),
-          util::CsvWriter::format(tr.qps_at(pt.time)),
-          util::CsvWriter::format(pt.fid),
-          util::CsvWriter::format(pt.violation_ratio),
-          util::CsvWriter::format(threshold)});
-    }
+    table.row(bench::summary_cells(r));
+    bench::add_timeline_rows(timeline_csv, r, tr);
   }
-
   std::printf("[csv] %s\n", bench::csv_path("fig05_timeline").c_str());
   return 0;
 }

@@ -4,24 +4,19 @@
 // quality off-peak, AIMD suffers markedly higher violations, and dropping
 // the queuing model under-estimates delays.
 #include "bench_common.hpp"
-#include "core/environment.hpp"
-#include "core/experiment.hpp"
 
 using namespace diffserve;
 
 int main() {
-  core::EnvironmentConfig ec;
-  ec.workload_queries = 4000;
-  core::CascadeEnvironment env(ec);
+  const auto env = bench::make_env(4000);
   const auto tr = trace::RateTrace::azure_like(4.0, 32.0, 360.0, 3);
 
-  util::CsvWriter csv(bench::csv_path("fig08_ablation"),
-                      {"approach", "time", "demand_qps", "fid",
-                       "violation_ratio", "threshold"});
+  util::CsvWriter timeline_csv(bench::csv_path("fig08_ablation"),
+                               {"approach", "time", "demand_qps", "fid",
+                                "violation_ratio", "threshold"});
 
   bench::banner("Figure 8", "resource allocation ablation, Cascade 1");
-  std::printf("%-20s %-8s %-12s %-10s\n", "variant", "FID", "violations",
-              "light%");
+  bench::ReportTable table("fig08_summary", bench::summary_columns());
   for (const auto approach :
        {core::Approach::kDiffServe, core::Approach::kAblationStaticThreshold,
         core::Approach::kAblationNoQueueModel,
@@ -31,20 +26,8 @@ int main() {
     rc.total_workers = 16;
     rc.trace = tr;
     const auto r = run_experiment(env, rc);
-    std::printf("%-20s %-8.2f %-12.3f %-10.2f\n", r.approach.c_str(),
-                r.overall_fid, r.violation_ratio,
-                100.0 * r.light_served_fraction);
-    for (const auto& pt : r.timeline) {
-      double threshold = 0.0;
-      for (const auto& h : r.control_history)
-        if (h.time <= pt.time) threshold = h.decision.threshold;
-      csv.add_row(std::vector<std::string>{
-          r.approach, util::CsvWriter::format(pt.time),
-          util::CsvWriter::format(tr.qps_at(pt.time)),
-          util::CsvWriter::format(pt.fid),
-          util::CsvWriter::format(pt.violation_ratio),
-          util::CsvWriter::format(threshold)});
-    }
+    table.row(bench::summary_cells(r));
+    bench::add_timeline_rows(timeline_csv, r, tr);
   }
   std::printf("[csv] %s\n", bench::csv_path("fig08_ablation").c_str());
   return 0;

@@ -3,24 +3,17 @@
 // range, with degradation only at very tight SLOs (the heavy model's
 // execution alone approaches the budget).
 #include "bench_common.hpp"
-#include "core/environment.hpp"
-#include "core/experiment.hpp"
 
 using namespace diffserve;
 
 int main() {
-  core::EnvironmentConfig ec;
-  ec.workload_queries = 3000;
-  core::CascadeEnvironment env(ec);
+  const auto env = bench::make_env(3000);
   const auto tr = trace::RateTrace::azure_like(4.0, 24.0, 240.0, 3);
 
-  util::CsvWriter csv(bench::csv_path("fig09_slo"),
-                      {"slo_seconds", "avg_fid", "avg_violation_ratio",
-                       "light_fraction"});
-
   bench::banner("Figure 9", "SLO sensitivity, Cascade 1");
-  std::printf("%-8s %-10s %-14s %-10s\n", "SLO_s", "avg_FID",
-              "violations", "light%");
+  bench::ReportTable table(
+      "fig09_slo",
+      {"slo_seconds", "avg_fid", "avg_violation_ratio", "light_fraction"});
   for (const double slo : {2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0}) {
     core::RunConfig rc;
     rc.approach = core::Approach::kDiffServe;
@@ -28,11 +21,8 @@ int main() {
     rc.slo_seconds = slo;
     rc.trace = tr;
     const auto r = run_experiment(env, rc);
-    std::printf("%-8.1f %-10.2f %-14.3f %-10.2f\n", slo, r.overall_fid,
-                r.violation_ratio, 100.0 * r.light_served_fraction);
-    csv.add_row(std::vector<double>{slo, r.overall_fid, r.violation_ratio,
-                                    r.light_served_fraction});
+    table.row(std::vector<double>{slo, r.overall_fid, r.violation_ratio,
+                                  r.light_served_fraction});
   }
-  std::printf("[csv] %s\n", bench::csv_path("fig09_slo").c_str());
   return 0;
 }

@@ -2,8 +2,6 @@
 // static/dynamic x query-aware), plus a measured one-line summary of each
 // approach on a short dynamic trace to ground the table in behaviour.
 #include "bench_common.hpp"
-#include "core/environment.hpp"
-#include "core/experiment.hpp"
 
 using namespace diffserve;
 
@@ -16,32 +14,18 @@ int main() {
   std::printf("%-20s %-12s %-12s\n", "DiffServe-Static", "Static", "Yes");
   std::printf("%-20s %-12s %-12s\n", "DiffServe", "Dynamic", "Yes");
 
-  core::EnvironmentConfig ec;
-  ec.workload_queries = 2000;
-  core::CascadeEnvironment env(ec);
+  const auto env = bench::make_env(2000);
   const auto tr = trace::RateTrace::azure_like(4.0, 20.0, 150.0, 3);
 
-  util::CsvWriter csv(bench::csv_path("tab01_summary"),
-                      {"approach", "fid", "violation_ratio", "mean_latency",
-                       "light_fraction"});
   std::printf("\nmeasured on a 4->20 QPS trace (Cascade 1, 16 workers):\n");
-  std::printf("%-20s %-8s %-12s %-10s %-8s\n", "approach", "FID",
-              "violations", "mean_lat", "light%");
+  bench::ReportTable table("tab01_summary", bench::summary_columns());
   for (const auto approach : core::comparison_approaches()) {
     core::RunConfig rc;
     rc.approach = approach;
     rc.total_workers = 16;
     rc.trace = tr;
     const auto r = run_experiment(env, rc);
-    std::printf("%-20s %-8.2f %-12.3f %-10.2f %-8.2f\n", r.approach.c_str(),
-                r.overall_fid, r.violation_ratio, r.mean_latency,
-                100.0 * r.light_served_fraction);
-    csv.add_row(std::vector<std::string>{
-        r.approach, util::CsvWriter::format(r.overall_fid),
-        util::CsvWriter::format(r.violation_ratio),
-        util::CsvWriter::format(r.mean_latency),
-        util::CsvWriter::format(r.light_served_fraction)});
+    table.row(bench::summary_cells(r));
   }
-  std::printf("[csv] %s\n", bench::csv_path("tab01_summary").c_str());
   return 0;
 }

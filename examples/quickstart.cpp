@@ -68,9 +68,9 @@ int main() {
   for (std::size_t i = 0; i < result.control_history.size(); i += 5) {
     const auto& h = result.control_history[i];
     std::printf("%-8.0f %-10.1f %-6d %-6d %-6d %-6d %-10.3f\n", h.time,
-                h.demand_estimate, h.decision.light_workers,
-                h.decision.heavy_workers, h.decision.light_batch,
-                h.decision.heavy_batch, h.decision.threshold);
+                h.demand_estimate, h.decision.light_workers(),
+                h.decision.heavy_workers(), h.decision.light_batch(),
+                h.decision.heavy_batch(), h.decision.threshold());
   }
   return 0;
 }

@@ -19,7 +19,7 @@ std::string ClipperAllocator::name() const {
 
 AllocationDecision ClipperAllocator::allocate(const AllocationInput& in) {
   const bool heavy = variant_ == Variant::kHeavy;
-  const auto& stage = heavy ? in.heavy : in.light;
+  const auto& stage = heavy ? in.heavy() : in.light();
   const auto& sizes = stage.batch_sizes();
 
   // Clipper's AIMD batching: halve on SLO pressure, step up otherwise,
@@ -40,57 +40,67 @@ AllocationDecision ClipperAllocator::allocate(const AllocationInput& in) {
   }
 
   AllocationDecision d;
+  d.resize_stages(in.stage_count());
   d.feasible = true;
   d.direct_mode = true;
   d.p_heavy = heavy ? 1.0 : 0.0;
-  d.light_workers = heavy ? 0 : in.total_workers;
-  d.heavy_workers = heavy ? in.total_workers : 0;
-  d.light_batch = heavy ? sizes.front() : batch_;
-  d.heavy_batch = heavy ? batch_ : sizes.front();
+  if (heavy) {
+    d.workers.back() = in.total_workers;
+    d.batches.back() = batch_;
+  } else {
+    d.workers.front() = in.total_workers;
+    d.batches.front() = batch_;
+  }
   return d;
 }
 
 AllocationDecision ProteusAllocator::allocate(const AllocationInput& in) {
   const double d = in.provisioned_demand();
 
-  // Enumerate pool splits and batch sizes; maximize the fraction of demand
-  // served by the heavy (higher-accuracy) model subject to total capacity
-  // covering demand and per-path latency fitting the SLO. This mirrors
-  // Proteus's accuracy-scaling objective without query awareness.
+  // Enumerate first/last pool splits and batch sizes; maximize the fraction
+  // of demand served by the heaviest (highest-accuracy) model subject to
+  // total capacity covering demand and per-path latency fitting the SLO.
+  // This mirrors Proteus's accuracy-scaling objective without query
+  // awareness. (Middle stages of deeper chains stay unused: Proteus routes
+  // each query to exactly one of its two model pools.)
   AllocationDecision best;
+  best.resize_stages(in.stage_count());
   double best_heavy_fraction = -1.0;
+  int best_b1 = 0, best_b2 = 0;
   for (int x2 = 0; x2 <= in.total_workers; ++x2) {
     const int x1 = in.total_workers - x2;
-    for (const int b1 : in.light.batch_sizes()) {
+    for (const int b1 : in.light().batch_sizes()) {
       if (x1 > 0 &&
-          in.light.stage_latency(b1) +
-                  control::littles_law_delay(in.light_queue_length,
-                                             in.light_arrival_rate) >
+          in.light().stage_latency(b1) +
+                  control::littles_law_delay(in.light_queue_length(),
+                                             in.light_arrival_rate()) >
               in.slo_seconds)
         continue;
-      for (const int b2 : in.heavy.batch_sizes()) {
+      for (const int b2 : in.heavy().batch_sizes()) {
         if (x2 > 0 &&
-            in.heavy.stage_latency(b2) +
-                    control::littles_law_delay(in.heavy_queue_length,
-                                               in.heavy_arrival_rate) >
+            in.heavy().stage_latency(b2) +
+                    control::littles_law_delay(in.heavy_queue_length(),
+                                               in.heavy_arrival_rate()) >
                 in.slo_seconds)
           continue;
-        const double cap1 = x1 * in.light.throughput(b1);
-        const double cap2 = x2 * in.heavy.throughput(b2);
+        const double cap1 = x1 * in.light().throughput(b1);
+        const double cap2 = x2 * in.heavy().throughput(b2);
         if (cap1 + cap2 < d - 1e-9) continue;
         const double heavy_fraction =
             d <= 1e-12 ? (x2 > 0 ? 1.0 : 0.0) : std::min(1.0, cap2 / d);
         const bool better =
             heavy_fraction > best_heavy_fraction + 1e-12 ||
             (std::fabs(heavy_fraction - best_heavy_fraction) <= 1e-12 &&
-             b1 + b2 < best.light_batch + best.heavy_batch);
+             b1 + b2 < best_b1 + best_b2);
         if (better) {
           best_heavy_fraction = heavy_fraction;
           best.feasible = true;
-          best.light_workers = x1;
-          best.heavy_workers = x2;
-          best.light_batch = b1;
-          best.heavy_batch = b2;
+          best.workers.front() = x1;
+          best.workers.back() = x2;
+          best.batches.front() = b1;
+          best.batches.back() = b2;
+          best_b1 = b1;
+          best_b2 = b2;
           best.direct_mode = true;
           best.p_heavy = heavy_fraction;
         }
@@ -101,19 +111,18 @@ AllocationDecision ProteusAllocator::allocate(const AllocationInput& in) {
   if (best_heavy_fraction < 0.0) {
     // Overloaded even all-light: serve everything light at the
     // throughput-maximal batch and shed load at the workers.
+    best.resize_stages(in.stage_count());
     best.feasible = false;
     best.direct_mode = true;
     best.p_heavy = 0.0;
-    best.light_workers = in.total_workers;
-    best.heavy_workers = 0;
+    best.workers.front() = in.total_workers;
     double best_t = 0.0;
-    best.light_batch = in.light.batch_sizes().front();
-    for (const int b : in.light.batch_sizes())
-      if (in.light.throughput(b) > best_t) {
-        best_t = in.light.throughput(b);
-        best.light_batch = b;
+    best.batches.front() = in.light().batch_sizes().front();
+    for (const int b : in.light().batch_sizes())
+      if (in.light().throughput(b) > best_t) {
+        best_t = in.light().throughput(b);
+        best.batches.front() = b;
       }
-    best.heavy_batch = in.heavy.batch_sizes().front();
   }
   return best;
 }
@@ -133,17 +142,17 @@ AllocationDecision DiffServeStaticAllocator::allocate(
     // queue state (a static system cannot react to it anyway).
     AllocationInput peak = in;
     peak.demand_qps = peak_demand_qps_;
-    peak.light_queue_length = 0.0;
-    peak.heavy_queue_length = 0.0;
-    // Pin the grid to the fixed threshold.
-    const auto grid = in.threshold_grid;
-    DS_REQUIRE(!grid.empty(), "empty threshold grid");
-    auto nearest = grid.front();
-    for (const auto& g : grid)
-      if (std::fabs(g.threshold - fixed_threshold_) <
-          std::fabs(nearest.threshold - fixed_threshold_))
-        nearest = g;
-    peak.threshold_grid = {nearest};
+    for (auto& s : peak.stages) s.queue_length = 0.0;
+    // Pin every boundary's grid to the fixed threshold.
+    for (auto& grid : peak.boundary_grids) {
+      DS_REQUIRE(!grid.empty(), "empty threshold grid");
+      auto nearest = grid.front();
+      for (const auto& g : grid)
+        if (std::fabs(g.threshold - fixed_threshold_) <
+            std::fabs(nearest.threshold - fixed_threshold_))
+          nearest = g;
+      grid = {nearest};
+    }
     control::ExhaustiveAllocator solver;
     plan_ = solver.allocate(peak);
     // Note: if even the pinned threshold is infeasible at peak, the solver

@@ -1,11 +1,14 @@
-// Resource allocator interface (§3.3).
+// Resource allocator interface (§3.3), generalized to N-stage chains.
 //
 // Every control period the controller snapshots runtime state into an
-// AllocationInput and asks an Allocator for the configuration
-// (x1, x2, b1, b2, t). Implementations: the MILP allocator (the paper's
-// approach), an exhaustive oracle (used for cross-checking and as a
-// fallback), the §4.5 ablation variants, and the baseline systems'
-// allocation policies (src/baselines).
+// AllocationInput and asks an Allocator for the configuration — per-stage
+// worker counts and batch sizes plus one confidence threshold per cascade
+// boundary (the paper's x1, x2, b1, b2, t is the two-stage instance).
+// Implementations: the MILP allocator (the paper's approach), an
+// exhaustive oracle (used for cross-checking and as a fallback), the §4.5
+// ablation variants, and the baseline systems' allocation policies
+// (src/baselines). The `light_*`/`heavy_*` members are thin aliases onto
+// the first/last stage for two-stage call sites.
 #pragma once
 
 #include <string>
@@ -13,8 +16,27 @@
 
 #include "control/perf_model.hpp"
 #include "discriminator/deferral_profile.hpp"
+#include "util/check.hpp"
 
 namespace diffserve::control {
+
+/// Live observations and performance model of one chain stage.
+struct StageObs {
+  double queue_length = 0.0;
+  double arrival_rate = 0.0;
+  /// Utilization headroom: capacity constraints use x * T(b) * target
+  /// rather than raw capacity, because a stage planned at rho -> 1 has
+  /// unbounded queueing delay. Deeper stages get more headroom since a
+  /// deferred query has already spent part of its budget.
+  double utilization_target = 0.85;
+  StagePerfModel perf;
+
+  /// The single source of the headroom policy: the entry stage runs
+  /// hotter (0.90), deeper stages keep more slack (0.85).
+  static double default_utilization_target(std::size_t stage_index) {
+    return stage_index == 0 ? 0.90 : 0.85;
+  }
+};
 
 struct AllocationInput {
   /// EWMA-estimated demand D (QPS), before over-provisioning.
@@ -24,49 +46,120 @@ struct AllocationInput {
   double slo_seconds = 5.0;
   int total_workers = 1;
 
-  // Live queuing observations (totals over each pool).
-  double light_queue_length = 0.0;
-  double light_arrival_rate = 0.0;
-  double heavy_queue_length = 0.0;
-  double heavy_arrival_rate = 0.0;
-
   /// Recent SLO violation ratio (consumed by AIMD batching).
   double recent_violation_ratio = 0.0;
 
-  /// Utilization headroom: capacity constraints use x * T(b) * target
-  /// rather than raw capacity, because a stage planned at rho -> 1 has
-  /// unbounded queueing delay. The heavy stage gets more headroom since a
-  /// deferred query has already spent part of its budget.
-  double light_utilization_target = 0.90;
-  double heavy_utilization_target = 0.85;
+  /// Chain stages, lightest first. Defaults to the classic two-stage
+  /// cascade shape (stage 0 at 0.90 utilization, stage 1 at 0.85).
+  std::vector<StageObs> stages;
+  /// Per-boundary threshold grids: discretized confidence thresholds with
+  /// their deferral fractions f_b(t), ascending in threshold. Size =
+  /// stages.size() - 1.
+  std::vector<std::vector<discriminator::DeferralProfile::GridPoint>>
+      boundary_grids;
 
-  /// Discretized confidence thresholds with their deferral fractions f(t),
-  /// ascending in threshold.
-  std::vector<discriminator::DeferralProfile::GridPoint> threshold_grid;
+  AllocationInput() : stages(2), boundary_grids(1) {
+    for (std::size_t s = 0; s < stages.size(); ++s)
+      stages[s].utilization_target = StageObs::default_utilization_target(s);
+  }
 
-  StagePerfModel light;
-  StagePerfModel heavy;
+  std::size_t stage_count() const { return stages.size(); }
+  std::size_t boundary_count() const { return boundary_grids.size(); }
 
   /// Demand after over-provisioning.
   double provisioned_demand() const { return demand_qps * over_provision; }
+
+  // --- two-stage aliases (first/last stage) ------------------------------
+  StagePerfModel& light() { return stages.front().perf; }
+  const StagePerfModel& light() const { return stages.front().perf; }
+  StagePerfModel& heavy() { return stages.back().perf; }
+  const StagePerfModel& heavy() const { return stages.back().perf; }
+  double& light_queue_length() { return stages.front().queue_length; }
+  double light_queue_length() const { return stages.front().queue_length; }
+  double& light_arrival_rate() { return stages.front().arrival_rate; }
+  double light_arrival_rate() const { return stages.front().arrival_rate; }
+  double& heavy_queue_length() { return stages.back().queue_length; }
+  double heavy_queue_length() const { return stages.back().queue_length; }
+  double& heavy_arrival_rate() { return stages.back().arrival_rate; }
+  double heavy_arrival_rate() const { return stages.back().arrival_rate; }
+  double& light_utilization_target() {
+    return stages.front().utilization_target;
+  }
+  double light_utilization_target() const {
+    return stages.front().utilization_target;
+  }
+  double& heavy_utilization_target() {
+    return stages.back().utilization_target;
+  }
+  double heavy_utilization_target() const {
+    return stages.back().utilization_target;
+  }
+  std::vector<discriminator::DeferralProfile::GridPoint>& threshold_grid() {
+    DS_REQUIRE(!boundary_grids.empty(),
+               "depth-1 input has no threshold grid");
+    return boundary_grids.front();
+  }
+  const std::vector<discriminator::DeferralProfile::GridPoint>&
+  threshold_grid() const {
+    DS_REQUIRE(!boundary_grids.empty(),
+               "depth-1 input has no threshold grid");
+    return boundary_grids.front();
+  }
 };
 
 struct AllocationDecision {
   /// False when even the most permissive configuration cannot satisfy the
   /// constraints; the decision then holds the best-effort fallback.
   bool feasible = false;
-  int light_workers = 0;
-  int heavy_workers = 0;
-  int light_batch = 1;
-  int heavy_batch = 1;
-  double threshold = 0.0;
-  /// Deferral fraction f(threshold) the plan was sized for.
-  double deferral_fraction = 0.0;
+  /// Per-stage worker counts and batch sizes (lightest first).
+  std::vector<int> workers{0, 0};
+  std::vector<int> batches{1, 1};
+  /// Per-boundary confidence thresholds and the *conditional* deferral
+  /// fraction f_b(t_b) each was sized for (fraction of the queries reaching
+  /// stage b that defer onward).
+  std::vector<double> thresholds{0.0};
+  std::vector<double> deferral_fractions{0.0};
   /// Query-agnostic baselines (Clipper, Proteus) bypass the cascade: each
-  /// query goes directly to one model, heavy with probability p_heavy.
+  /// query goes directly to one model, the last stage with probability
+  /// p_heavy.
   bool direct_mode = false;
   double p_heavy = 0.0;
   double solve_time_ms = 0.0;
+
+  std::size_t stage_count() const { return workers.size(); }
+  /// Reshape for an n-stage chain (zeroed workers, unit batches).
+  void resize_stages(std::size_t n) {
+    DS_REQUIRE(n >= 1, "decision needs at least one stage");
+    workers.assign(n, 0);
+    batches.assign(n, 1);
+    thresholds.assign(n - 1, 0.0);
+    deferral_fractions.assign(n - 1, 0.0);
+  }
+
+  // --- two-stage aliases (first/last stage) ------------------------------
+  int& light_workers() { return workers.front(); }
+  int light_workers() const { return workers.front(); }
+  int& heavy_workers() { return workers.back(); }
+  int heavy_workers() const { return workers.back(); }
+  int& light_batch() { return batches.front(); }
+  int light_batch() const { return batches.front(); }
+  int& heavy_batch() { return batches.back(); }
+  int heavy_batch() const { return batches.back(); }
+  double& threshold() {
+    DS_REQUIRE(!thresholds.empty(), "depth-1 decision has no threshold");
+    return thresholds.front();
+  }
+  double threshold() const {
+    return thresholds.empty() ? 1.0 : thresholds.front();
+  }
+  double& deferral_fraction() {
+    DS_REQUIRE(!deferral_fractions.empty(),
+               "depth-1 decision has no deferral fraction");
+    return deferral_fractions.front();
+  }
+  double deferral_fraction() const {
+    return deferral_fractions.empty() ? 0.0 : deferral_fractions.front();
+  }
 };
 
 class Allocator {
@@ -77,12 +170,27 @@ class Allocator {
 };
 
 /// Shared constraint check used by the exhaustive allocator and tests:
-/// does (x1, x2, b1, b2, f) satisfy Eq. 1-4 for this input?
-bool satisfies_constraints(const AllocationInput& in, int x1, int x2, int b1,
-                           int b2, double deferral_fraction);
+/// does (workers, batches, entry_fractions) satisfy the generalized
+/// Eq. 1-4 for this input? `entry_fractions[s]` is the fraction of total
+/// demand entering stage s (entry_fractions[0] == 1).
+bool satisfies_constraints(const AllocationInput& in,
+                           const std::vector<int>& workers,
+                           const std::vector<int>& batches,
+                           const std::vector<double>& entry_fractions);
 
-/// End-to-end latency estimate e1 + q1 + e2 + q2 for the latency
-/// constraint (Eq. 1).
-double estimated_latency(const AllocationInput& in, int b1, int b2);
+/// Two-stage convenience overload: (x1, x2, b1, b2, f) as in the paper.
+inline bool satisfies_constraints(const AllocationInput& in, int x1, int x2,
+                                  int b1, int b2, double deferral_fraction) {
+  return satisfies_constraints(in, {x1, x2}, {b1, b2},
+                               {1.0, deferral_fraction});
+}
+
+/// End-to-end latency estimate: sum over stages of e_s + q_s for the
+/// latency constraint (Eq. 1).
+double estimated_latency(const AllocationInput& in,
+                         const std::vector<int>& batches);
+inline double estimated_latency(const AllocationInput& in, int b1, int b2) {
+  return estimated_latency(in, std::vector<int>{b1, b2});
+}
 
 }  // namespace diffserve::control

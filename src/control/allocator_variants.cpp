@@ -35,7 +35,8 @@ StaticThresholdAllocator::StaticThresholdAllocator(
 AllocationDecision StaticThresholdAllocator::allocate(
     const AllocationInput& input) {
   AllocationInput pinned = input;
-  pinned.threshold_grid = pin_grid(input.threshold_grid, fixed_threshold_);
+  for (auto& grid : pinned.boundary_grids)
+    grid = pin_grid(grid, fixed_threshold_);
   return inner_->allocate(pinned);
 }
 
@@ -51,12 +52,10 @@ AllocationDecision NoQueueModelAllocator::allocate(
   // faking the queue observations so littles_law_delay returns 2 * e(b=1)
   // regardless of the real queue.
   AllocationInput faked = input;
-  faked.light_arrival_rate = 1.0;
-  faked.light_queue_length = 2.0 * input.light.execution_latency(
-                                       input.light.batch_sizes().front());
-  faked.heavy_arrival_rate = 1.0;
-  faked.heavy_queue_length = 2.0 * input.heavy.execution_latency(
-                                       input.heavy.batch_sizes().front());
+  for (auto& s : faked.stages) {
+    s.arrival_rate = 1.0;
+    s.queue_length = 2.0 * s.perf.execution_latency(s.perf.batch_sizes().front());
+  }
   return inner_->allocate(faked);
 }
 
@@ -83,38 +82,33 @@ int AimdBatchAllocator::step_down(const std::vector<int>& sizes, int current,
 }
 
 AllocationDecision AimdBatchAllocator::allocate(const AllocationInput& input) {
-  // Reactive batch control: multiplicative decrease on violation signal,
-  // additive (next profiled size) increase otherwise.
-  const auto& l_sizes = input.light.batch_sizes();
-  const auto& h_sizes = input.heavy.batch_sizes();
-  if (input.recent_violation_ratio > cfg_.violation_trigger) {
-    light_batch_ = step_down(l_sizes, light_batch_, cfg_.decrease_factor);
-    heavy_batch_ = step_down(h_sizes, heavy_batch_, cfg_.decrease_factor);
-  } else {
-    // Additive increase, but never past a batch whose own execution blows
-    // the SLO (Clipper observes the timeout immediately and backs off;
-    // skipping the doomed step avoids a deterministic oscillation).
-    const int l_next = step_up(l_sizes, light_batch_);
-    if (input.light.stage_latency(l_next) <= input.slo_seconds)
-      light_batch_ = l_next;
-    const int h_next = step_up(h_sizes, heavy_batch_);
-    if (input.heavy.stage_latency(h_next) <= input.slo_seconds)
-      heavy_batch_ = h_next;
+  batches_.resize(input.stage_count(), 1);
+  // Reactive batch control per stage: multiplicative decrease on violation
+  // signal, additive (next profiled size) increase otherwise.
+  for (std::size_t s = 0; s < input.stage_count(); ++s) {
+    const auto& sizes = input.stages[s].perf.batch_sizes();
+    if (input.recent_violation_ratio > cfg_.violation_trigger) {
+      batches_[s] = step_down(sizes, batches_[s], cfg_.decrease_factor);
+    } else {
+      // Additive increase, but never past a batch whose own execution blows
+      // the SLO (Clipper observes the timeout immediately and backs off;
+      // skipping the doomed step avoids a deterministic oscillation).
+      const int next = step_up(sizes, batches_[s]);
+      if (input.stages[s].perf.stage_latency(next) <= input.slo_seconds)
+        batches_[s] = next;
+    }
   }
 
   // The inner solver only sees the AIMD-selected batch sizes.
   AllocationInput forced = input;
-  forced.light = StagePerfModel(
-      models::LatencyProfile(std::map<int, double>{
-          {light_batch_, input.light.execution_latency(light_batch_)}}),
-      nullptr);
-  forced.heavy = StagePerfModel(
-      models::LatencyProfile(std::map<int, double>{
-          {heavy_batch_, input.heavy.execution_latency(heavy_batch_)}}),
-      nullptr);
+  for (std::size_t s = 0; s < input.stage_count(); ++s)
+    forced.stages[s].perf = StagePerfModel(
+        models::LatencyProfile(std::map<int, double>{
+            {batches_[s],
+             input.stages[s].perf.execution_latency(batches_[s])}}),
+        nullptr);
   AllocationDecision out = inner_->allocate(forced);
-  out.light_batch = light_batch_;
-  out.heavy_batch = heavy_batch_;
+  out.batches = batches_;
   return out;
 }
 

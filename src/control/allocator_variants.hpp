@@ -52,8 +52,14 @@ class AimdBatchAllocator : public Allocator {
   AllocationDecision allocate(const AllocationInput& input) override;
   std::string name() const override { return "aimd-batching"; }
 
-  int current_light_batch() const { return light_batch_; }
-  int current_heavy_batch() const { return heavy_batch_; }
+  /// Current AIMD batch per stage (sized after the first allocate()).
+  const std::vector<int>& current_batches() const { return batches_; }
+  int current_light_batch() const {
+    return batches_.empty() ? 1 : batches_.front();
+  }
+  int current_heavy_batch() const {
+    return batches_.empty() ? 1 : batches_.back();
+  }
 
  private:
   static int step_up(const std::vector<int>& sizes, int current);
@@ -62,8 +68,7 @@ class AimdBatchAllocator : public Allocator {
 
   std::unique_ptr<Allocator> inner_;
   AimdConfig cfg_;
-  int light_batch_ = 1;
-  int heavy_batch_ = 1;
+  std::vector<int> batches_;  ///< per-stage, grown on first use
 };
 
 }  // namespace diffserve::control

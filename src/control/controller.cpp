@@ -5,23 +5,49 @@
 
 namespace diffserve::control {
 
-Controller::Controller(engine::CascadeEngine& engine,
-                       std::unique_ptr<Allocator> allocator,
-                       discriminator::DeferralProfile offline_profile,
-                       ControllerConfig cfg)
+namespace {
+
+std::vector<discriminator::DeferralProfile> replicate_profile(
+    discriminator::DeferralProfile profile, std::size_t boundaries) {
+  std::vector<discriminator::DeferralProfile> out;
+  out.reserve(boundaries);
+  for (std::size_t b = 0; b + 1 < boundaries; ++b) out.push_back(profile);
+  if (boundaries > 0) out.push_back(std::move(profile));
+  return out;
+}
+
+}  // namespace
+
+Controller::Controller(
+    engine::CascadeEngine& engine, std::unique_ptr<Allocator> allocator,
+    std::vector<discriminator::DeferralProfile> offline_profiles,
+    ControllerConfig cfg)
     : engine_(engine),
       allocator_(std::move(allocator)),
-      profile_(std::move(offline_profile), cfg.online_profile_capacity),
       cfg_(cfg),
       demand_holt_(cfg.ewma_alpha, cfg.trend_beta) {
   DS_REQUIRE(allocator_ != nullptr, "controller needs an allocator");
   DS_REQUIRE(cfg_.period_seconds > 0.0, "control period must be positive");
-  // Feed every data-path confidence into the online deferral profile.
-  engine_.set_confidence_observer([this](double c) {
+  DS_REQUIRE(offline_profiles.size() == engine_.boundary_count(),
+             "need one offline deferral profile per cascade boundary");
+  profiles_.reserve(offline_profiles.size());
+  for (auto& p : offline_profiles)
+    profiles_.emplace_back(std::move(p), cfg_.online_profile_capacity);
+  // Feed every data-path confidence into its boundary's online profile.
+  engine_.set_confidence_observer([this](std::size_t boundary, double c) {
     std::lock_guard<std::mutex> lock(profile_mu_);
-    profile_.observe(c);
+    profiles_[boundary].observe(c);
   });
 }
+
+Controller::Controller(engine::CascadeEngine& engine,
+                       std::unique_ptr<Allocator> allocator,
+                       discriminator::DeferralProfile offline_profile,
+                       ControllerConfig cfg)
+    : Controller(engine, std::move(allocator),
+                 replicate_profile(std::move(offline_profile),
+                                   engine.boundary_count()),
+                 cfg) {}
 
 void Controller::start() {
   if (cfg_.initial_demand_guess > 0.0)
@@ -55,37 +81,37 @@ void Controller::schedule_next_tick() {
 }
 
 AllocationInput Controller::snapshot_input() const {
+  const std::size_t n = engine_.stage_count();
   AllocationInput in;
+  in.stages.assign(n, {});
+  in.boundary_grids.assign(engine_.boundary_count(), {});
   // Forecast past the observation + actuation lag so ramps are covered.
   in.demand_qps = demand_holt_.forecast(cfg_.forecast_horizon_periods);
   in.over_provision = cfg_.over_provision;
   in.slo_seconds = engine_.config().slo_seconds;
   in.total_workers = engine_.config().total_workers;
-
-  const auto light = engine_.light_stats();
-  const auto heavy = engine_.heavy_stats();
-  in.light_queue_length = light.total_queue_length;
-  in.light_arrival_rate = light.arrival_rate;
-  in.heavy_queue_length = heavy.total_queue_length;
-  in.heavy_arrival_rate = heavy.arrival_rate;
   in.recent_violation_ratio = engine_.recent_violation_ratio();
+
+  for (std::size_t s = 0; s < n; ++s) {
+    auto& stage = in.stages[s];
+    const auto stats = engine_.stage_stats(s);
+    stage.queue_length = stats.total_queue_length;
+    stage.arrival_rate = stats.arrival_rate;
+    stage.utilization_target = StageObs::default_utilization_target(s);
+    // Stage performance model from the engine's §3.3 latency math (single
+    // source of truth for both backends).
+    std::map<int, double> lat;
+    for (const int b : models::standard_batch_sizes())
+      lat[b] = engine_.stage_exec_latency(s, b);
+    stage.perf =
+        StagePerfModel(models::LatencyProfile(std::move(lat)), nullptr);
+  }
   {
     std::lock_guard<std::mutex> lock(profile_mu_);
-    in.threshold_grid = profile_.grid(cfg_.threshold_grid_points,
-                                      cfg_.max_deferral_fraction);
+    for (std::size_t b = 0; b < profiles_.size(); ++b)
+      in.boundary_grids[b] = profiles_[b].grid(cfg_.threshold_grid_points,
+                                               cfg_.max_deferral_fraction);
   }
-
-  // Stage performance models from the engine's §3.3 latency math (single
-  // source of truth for both backends).
-  std::map<int, double> light_lat, heavy_lat;
-  for (const int b : models::standard_batch_sizes()) {
-    light_lat[b] = engine_.light_exec_latency(b);
-    heavy_lat[b] = engine_.heavy_exec_latency(b);
-  }
-  in.light =
-      StagePerfModel(models::LatencyProfile(std::move(light_lat)), nullptr);
-  in.heavy =
-      StagePerfModel(models::LatencyProfile(std::move(heavy_lat)), nullptr);
   return in;
 }
 
@@ -106,20 +132,18 @@ void Controller::tick() {
                       in.recent_violation_ratio, d});
   DS_LOG_DEBUG("controller")
       << "t=" << now << " demand=" << in.demand_qps
-      << " x1=" << d.light_workers << " x2=" << d.heavy_workers
-      << " b1=" << d.light_batch << " b2=" << d.heavy_batch
-      << " thr=" << d.threshold << (d.feasible ? "" : " (overload)");
+      << " x0=" << d.workers.front() << " x_last=" << d.workers.back()
+      << " b0=" << d.batches.front() << " b_last=" << d.batches.back()
+      << (d.feasible ? "" : " (overload)");
 }
 
 void Controller::apply_decision(const AllocationDecision& d) {
   engine::AllocationPlan plan;
   plan.mode = d.direct_mode ? engine::RoutingMode::kDirect
                             : engine::RoutingMode::kCascade;
-  plan.light_workers = d.light_workers;
-  plan.heavy_workers = d.heavy_workers;
-  plan.light_batch = d.light_batch;
-  plan.heavy_batch = d.heavy_batch;
-  plan.threshold = d.threshold;
+  plan.workers = d.workers;
+  plan.batches = d.batches;
+  plan.thresholds = d.thresholds;
   plan.p_heavy = d.p_heavy;
   engine_.apply(plan);
 }

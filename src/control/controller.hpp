@@ -1,16 +1,18 @@
 // The DiffServe Controller (§3.1, §3.3).
 //
 // Every control period it: (1) snapshots runtime statistics from the
-// engine (demand, per-pool queue lengths and arrival rates, recent
-// violations), (2) refreshes the demand estimate with an EWMA and the
-// deferral profile f(t) with live confidence observations, (3) asks its
-// Allocator for the new configuration, and (4) applies the plan through
-// the engine. Decisions are recorded for the timeline figures.
+// engine (demand, per-stage queue lengths and arrival rates, recent
+// violations), (2) refreshes the demand estimate with an EWMA and each
+// boundary's deferral profile f_b(t) with live confidence observations,
+// (3) asks its Allocator for the new configuration, and (4) applies the
+// plan through the engine. Decisions are recorded for the timeline
+// figures.
 //
 // The controller is backend-agnostic: it observes one CascadeEngine and
 // schedules its periodic tick through the engine's ExecutionBackend, so
 // the same control loop runs over the discrete-event simulator and the
-// threaded testbed.
+// threaded testbed. It inherits the engine's chain depth: a two-stage
+// cascade yields exactly the paper's control loop.
 #pragma once
 
 #include <atomic>
@@ -30,15 +32,16 @@ struct ControllerConfig {
   double ewma_alpha = 0.4;
   /// Trend smoothing (Holt) and how many control periods ahead to
   /// forecast demand — covers the observation + actuation lag so ramps do
-  /// not leave the heavy pool underprovisioned.
+  /// not leave the deeper pools underprovisioned.
   double trend_beta = 0.3;
   double forecast_horizon_periods = 2.0;
   double over_provision = 1.05;  ///< lambda (§3.3)
   std::size_t threshold_grid_points = 51;
-  /// Cap on the planned deferral fraction: past the served-quality optimum
-  /// (~50% deferral in Figure 1a), deferring confidently-good light
-  /// outputs wastes heavy capacity and *worsens* FID, so the plan never
-  /// pushes deferral far beyond the optimum even with idle heavy capacity.
+  /// Cap on the planned deferral fraction at each boundary: past the
+  /// served-quality optimum (~50% deferral in Figure 1a), deferring
+  /// confidently-good outputs wastes downstream capacity and *worsens*
+  /// FID, so the plan never pushes deferral far beyond the optimum even
+  /// with idle capacity.
   double max_deferral_fraction = 0.55;
   std::size_t online_profile_capacity = 4000;
   /// Apply a plan immediately at start() using this demand guess (QPS);
@@ -48,6 +51,14 @@ struct ControllerConfig {
 
 class Controller {
  public:
+  /// `offline_profiles` seeds one online deferral profile per cascade
+  /// boundary (size must match the engine's boundary count).
+  Controller(engine::CascadeEngine& engine,
+             std::unique_ptr<Allocator> allocator,
+             std::vector<discriminator::DeferralProfile> offline_profiles,
+             ControllerConfig cfg = {});
+  /// Two-stage-era convenience: a single profile for the single boundary
+  /// of a classic cascade (replicated if the chain is deeper).
   Controller(engine::CascadeEngine& engine,
              std::unique_ptr<Allocator> allocator,
              discriminator::DeferralProfile offline_profile,
@@ -79,9 +90,10 @@ class Controller {
 
   engine::CascadeEngine& engine_;
   std::unique_ptr<Allocator> allocator_;
-  discriminator::OnlineDeferralProfile profile_;
+  /// One online profile per cascade boundary.
+  std::vector<discriminator::OnlineDeferralProfile> profiles_;
   /// Confidence observations arrive from the engine's data path, which a
-  /// concurrent backend runs on worker threads; ticks read the profile
+  /// concurrent backend runs on worker threads; ticks read the profiles
   /// from the timer thread.
   mutable std::mutex profile_mu_;
   ControllerConfig cfg_;

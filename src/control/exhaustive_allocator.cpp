@@ -8,25 +8,40 @@
 
 namespace diffserve::control {
 
-double estimated_latency(const AllocationInput& in, int b1, int b2) {
-  const double q1 =
-      littles_law_delay(in.light_queue_length, in.light_arrival_rate);
-  const double q2 =
-      littles_law_delay(in.heavy_queue_length, in.heavy_arrival_rate);
-  return in.light.stage_latency(b1) + q1 + in.heavy.stage_latency(b2) + q2;
+double estimated_latency(const AllocationInput& in,
+                         const std::vector<int>& batches) {
+  DS_REQUIRE(batches.size() == in.stage_count(),
+             "one batch size per chain stage");
+  double total = 0.0;
+  for (std::size_t s = 0; s < in.stages.size(); ++s) {
+    total += in.stages[s].perf.stage_latency(batches[s]);
+    total += littles_law_delay(in.stages[s].queue_length,
+                               in.stages[s].arrival_rate);
+  }
+  return total;
 }
 
-bool satisfies_constraints(const AllocationInput& in, int x1, int x2, int b1,
-                           int b2, double deferral_fraction) {
+bool satisfies_constraints(const AllocationInput& in,
+                           const std::vector<int>& workers,
+                           const std::vector<int>& batches,
+                           const std::vector<double>& entry_fractions) {
+  const std::size_t n = in.stage_count();
+  DS_REQUIRE(workers.size() == n && batches.size() == n &&
+                 entry_fractions.size() == n,
+             "per-stage vectors must match the chain length");
   const double d = in.provisioned_demand();
-  if (estimated_latency(in, b1, b2) > in.slo_seconds) return false;   // Eq. 1
-  if (x1 * in.light.throughput(b1) * in.light_utilization_target <
-      d - 1e-9)
-    return false;                                                     // Eq. 2
-  if (x2 * in.heavy.throughput(b2) * in.heavy_utilization_target <
-      d * deferral_fraction - 1e-9)
-    return false;                                                     // Eq. 3
-  if (x1 + x2 > in.total_workers) return false;                       // Eq. 4
+  if (estimated_latency(in, batches) > in.slo_seconds) return false;  // Eq. 1
+  int total = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    // Eq. 2 (s == 0) / Eq. 3 (s > 0): stage throughput with utilization
+    // headroom covers the demand reaching it.
+    if (workers[s] * in.stages[s].perf.throughput(batches[s]) *
+            in.stages[s].utilization_target <
+        d * entry_fractions[s] - 1e-9)
+      return false;
+    total += workers[s];
+  }
+  if (total > in.total_workers) return false;                         // Eq. 4
   return true;
 }
 
@@ -55,106 +70,210 @@ int best_throughput_batch(const StagePerfModel& stage, double slo) {
   return stage.batch_sizes().front();
 }
 
-std::optional<AllocationDecision> enumerate(const AllocationInput& in) {
-  const double d = in.provisioned_demand();
-  AllocationDecision best;
-  bool found = false;
+struct Candidate {
+  std::vector<int> workers;
+  std::vector<int> batches;
+  std::vector<double> thresholds;
+  std::vector<double> fractions;  ///< conditional f_b(t_b) per boundary
+};
 
-  for (const int b1 : in.light.batch_sizes()) {
-    for (const int b2 : in.heavy.batch_sizes()) {
-      if (estimated_latency(in, b1, b2) > in.slo_seconds) continue;
-      // x1 depends only on b1 (all demand passes the light stage).
-      const int x1 = std::max(
-          1, ceil_workers(d, in.light.throughput(b1) *
-                                 in.light_utilization_target));
-      if (x1 > in.total_workers) continue;
-      // Scan thresholds descending — the first feasible one is maximal for
-      // this (b1, b2).
-      for (auto it = in.threshold_grid.rbegin();
-           it != in.threshold_grid.rend(); ++it) {
-        const int x2 =
-            ceil_workers(d * it->fraction,
-                         in.heavy.throughput(b2) *
-                             in.heavy_utilization_target);
-        if (x1 + x2 > in.total_workers) continue;
-        const bool better =
-            !found || it->threshold > best.threshold + 1e-12 ||
-            (std::fabs(it->threshold - best.threshold) <= 1e-12 &&
-             (x1 + x2 < best.light_workers + best.heavy_workers ||
-              (x1 + x2 == best.light_workers + best.heavy_workers &&
-               estimated_latency(in, b1, b2) <
-                   estimated_latency(in, best.light_batch,
-                                     best.heavy_batch))));
-        if (better) {
-          best.feasible = true;
-          best.light_workers = x1;
-          best.heavy_workers = x2;
-          best.light_batch = b1;
-          best.heavy_batch = b2;
-          best.threshold = it->threshold;
-          best.deferral_fraction = it->fraction;
-          found = true;
-        }
-        break;  // lower thresholds for this (b1,b2) are dominated
-      }
+int total_workers(const Candidate& c) {
+  int t = 0;
+  for (const int x : c.workers) t += x;
+  return t;
+}
+
+double threshold_sum(const Candidate& c) {
+  double t = 0.0;
+  for (const double v : c.thresholds) t += v;
+  return t;
+}
+
+/// Preference order: higher total threshold (the §3.3 "max t" objective,
+/// summed over the chain's boundaries — the scalar threshold itself for a
+/// two-stage cascade), then fewer workers, then lower estimated latency.
+bool better_candidate(const AllocationInput& in, const Candidate& a,
+                      const Candidate& b) {
+  const double ta = threshold_sum(a), tb = threshold_sum(b);
+  if (ta > tb + 1e-12) return true;
+  if (ta < tb - 1e-12) return false;
+  const int wa = total_workers(a), wb = total_workers(b);
+  if (wa != wb) return wa < wb;
+  return estimated_latency(in, a.batches) < estimated_latency(in, b.batches);
+}
+
+/// Recursively assign boundary thresholds (deepest-feasible scan per
+/// boundary, all combinations) maximizing the total threshold within the
+/// worker budget. For a single boundary the descending scan's first
+/// feasible point is the optimum, so two-stage inputs do exactly the
+/// original (b1, b2, t) enumeration.
+void assign_boundaries(const AllocationInput& in,
+                       const std::vector<int>& batches, std::size_t b,
+                       double cumulative, int used, Candidate& current,
+                       std::optional<Candidate>& best) {
+  if (b == in.boundary_count()) {
+    if (!best || better_candidate(in, current, *best)) best = current;
+    return;
+  }
+  const auto& grid = in.boundary_grids[b];
+  for (auto it = grid.rbegin(); it != grid.rend(); ++it) {
+    // Bound: the scan descends, so once even the optimistic completion
+    // (this threshold plus every remaining boundary at its maximum) falls
+    // below the incumbent, the rest of the scan is dominated.
+    if (best) {
+      double optimistic = threshold_sum(current) + it->threshold;
+      for (std::size_t r = b + 1; r < in.boundary_count(); ++r)
+        optimistic += in.boundary_grids[r].back().threshold;
+      if (optimistic < threshold_sum(*best) - 1e-12) return;
+    }
+    const int x = ceil_workers(
+        in.provisioned_demand() * cumulative * it->fraction,
+        in.stages[b + 1].perf.throughput(batches[b + 1]) *
+            in.stages[b + 1].utilization_target);
+    if (used + x > in.total_workers) continue;
+    current.thresholds.push_back(it->threshold);
+    current.fractions.push_back(it->fraction);
+    current.workers.push_back(x);
+    assign_boundaries(in, batches, b + 1, cumulative * it->fraction,
+                      used + x, current, best);
+    current.thresholds.pop_back();
+    current.fractions.pop_back();
+    current.workers.pop_back();
+    // With one boundary left the first feasible (= highest) threshold is
+    // optimal for this prefix; deeper chains keep scanning because a lower
+    // t here can free workers for a higher t downstream.
+    if (b + 1 == in.boundary_count()) return;
+  }
+}
+
+/// For one batch combination, derive minimum worker counts and the
+/// total-threshold-maximal feasible boundary assignment.
+std::optional<Candidate> solve_batches(const AllocationInput& in,
+                                       const std::vector<int>& batches) {
+  const double d = in.provisioned_demand();
+  if (estimated_latency(in, batches) > in.slo_seconds) return std::nullopt;
+
+  Candidate c;
+  c.batches = batches;
+  // All demand passes stage 0.
+  const int x0 = std::max(
+      1, ceil_workers(d, in.stages[0].perf.throughput(batches[0]) *
+                             in.stages[0].utilization_target));
+  if (x0 > in.total_workers) return std::nullopt;
+  c.workers.push_back(x0);
+
+  std::optional<Candidate> best;
+  assign_boundaries(in, batches, 0, 1.0, x0, c, best);
+  return best;
+}
+
+std::optional<Candidate> enumerate(const AllocationInput& in) {
+  const std::size_t n = in.stage_count();
+  std::optional<Candidate> best;
+
+  // Odometer over per-stage batch choices, stage 0 outermost.
+  std::vector<std::size_t> idx(n, 0);
+  std::vector<int> batches(n);
+  for (;;) {
+    for (std::size_t s = 0; s < n; ++s)
+      batches[s] = in.stages[s].perf.batch_sizes()[idx[s]];
+    auto cand = solve_batches(in, batches);
+    if (cand && (!best || better_candidate(in, *cand, *best)))
+      best = std::move(cand);
+
+    // Advance the odometer (last stage fastest).
+    std::size_t s = n;
+    while (s-- > 0) {
+      if (++idx[s] < in.stages[s].perf.batch_sizes().size()) break;
+      idx[s] = 0;
+      if (s == 0) return best;
     }
   }
-  if (!found) return std::nullopt;
-  return best;
+}
+
+AllocationDecision to_decision(const Candidate& c) {
+  AllocationDecision out;
+  out.feasible = true;
+  out.workers = c.workers;
+  out.batches = c.batches;
+  out.thresholds = c.thresholds;
+  out.deferral_fractions = c.fractions;
+  return out;
 }
 
 }  // namespace
 
 AllocationInput relax_queue_estimates(const AllocationInput& in) {
   AllocationInput relaxed = in;
-  relaxed.light_queue_length = 0.0;
-  relaxed.heavy_queue_length = 0.0;
+  for (auto& s : relaxed.stages) s.queue_length = 0.0;
   return relaxed;
 }
 
 AllocationDecision overload_fallback(const AllocationInput& in) {
-  // Overload: lowest threshold, throughput-maximal SLO-respecting batches,
+  // Overload: lowest thresholds, throughput-maximal SLO-respecting batches,
   // and a worker split proportional to stage service demand. The drop
   // policy at the workers sheds what cannot be served.
-  DS_REQUIRE(!in.threshold_grid.empty(), "empty threshold grid");
-  const double d = in.provisioned_demand();
-  const auto& lowest = in.threshold_grid.front();
+  const std::size_t n = in.stage_count();
   AllocationDecision out;
+  out.resize_stages(n);
   out.feasible = false;
-  // The two stages share the SLO budget (Eq. 1): pick the heavy batch
-  // first (it dominates the budget), then the best light batch that fits
-  // in what remains — otherwise a throughput-maximal light batch can eat
-  // the whole budget and every cascade query gets dropped at dispatch.
-  out.heavy_batch = best_throughput_batch(in.heavy, 0.75 * in.slo_seconds);
-  const double remaining =
-      in.slo_seconds - in.heavy.stage_latency(out.heavy_batch);
-  out.light_batch = best_throughput_batch(in.light, remaining);
-  const double t1 = in.light.throughput(out.light_batch);
-  const double t2 = in.heavy.throughput(out.heavy_batch);
-  const double light_need = d / std::max(t1, 1e-9);
-  const double heavy_need = d * lowest.fraction / std::max(t2, 1e-9);
-  const double total_need = std::max(light_need + heavy_need, 1e-9);
-  int x1 = static_cast<int>(
-      std::round(in.total_workers * light_need / total_need));
-  x1 = std::min(std::max(x1, 1), in.total_workers);
-  out.light_workers = x1;
-  out.heavy_workers = in.total_workers - x1;
-  out.threshold = lowest.threshold;
-  out.deferral_fraction = lowest.fraction;
+  // The stages share the SLO budget (Eq. 1): pick batches from the deepest
+  // stage up (deeper stages dominate the budget), each within 75% of the
+  // remaining budget so the stages above it keep room — otherwise a
+  // throughput-maximal early batch can eat the whole budget and every
+  // cascade query gets dropped at dispatch.
+  double remaining = in.slo_seconds;
+  for (std::size_t s = n; s-- > 0;) {
+    const double cap = s > 0 ? 0.75 * remaining : remaining;
+    out.batches[s] = best_throughput_batch(in.stages[s].perf, cap);
+    remaining -= in.stages[s].perf.stage_latency(out.batches[s]);
+  }
+  // Entry fraction per stage at the lowest thresholds.
+  std::vector<double> entry(n, 1.0);
+  for (std::size_t b = 0; b < in.boundary_count(); ++b) {
+    DS_REQUIRE(!in.boundary_grids[b].empty(), "empty threshold grid");
+    const auto& lowest = in.boundary_grids[b].front();
+    out.thresholds[b] = lowest.threshold;
+    out.deferral_fractions[b] = lowest.fraction;
+    entry[b + 1] = entry[b] * lowest.fraction;
+  }
+  const double d = in.provisioned_demand();
+  std::vector<double> need(n);
+  double total_need = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    need[s] = d * entry[s] /
+              std::max(in.stages[s].perf.throughput(out.batches[s]), 1e-9);
+    total_need += need[s];
+  }
+  total_need = std::max(total_need, 1e-9);
+  int assigned = 0;
+  for (std::size_t s = 0; s + 1 < n; ++s) {
+    int x = static_cast<int>(
+        std::round(in.total_workers * need[s] / total_need));
+    if (s == 0) x = std::max(x, 1);
+    x = std::min(std::max(x, 0), in.total_workers - assigned);
+    out.workers[s] = x;
+    assigned += x;
+  }
+  out.workers[n - 1] = in.total_workers - assigned;
   return out;
 }
 
 AllocationDecision ExhaustiveAllocator::allocate(const AllocationInput& in) {
   const auto start = std::chrono::steady_clock::now();
-  DS_REQUIRE(!in.threshold_grid.empty(), "empty threshold grid");
+  DS_REQUIRE(in.stage_count() >= 1, "allocation needs at least one stage");
+  DS_REQUIRE(in.boundary_count() + 1 == in.stage_count(),
+             "one threshold grid per cascade boundary");
+  for (const auto& grid : in.boundary_grids)
+    DS_REQUIRE(!grid.empty(), "empty threshold grid");
 
   // A transient queue backlog can make Eq. 1 unsatisfiable for every
   // configuration; that is a drain problem, not a provisioning one, so
   // retry capacity planning with the backlog terms dropped before
   // declaring overload.
-  std::optional<AllocationDecision> best = enumerate(in);
+  std::optional<Candidate> best = enumerate(in);
   if (!best) best = enumerate(relax_queue_estimates(in));
-  AllocationDecision out = best ? *best : overload_fallback(in);
+  AllocationDecision out = best ? to_decision(*best) : overload_fallback(in);
 
   out.solve_time_ms =
       std::chrono::duration<double, std::milli>(

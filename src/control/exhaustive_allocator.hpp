@@ -1,15 +1,20 @@
 // Exhaustive allocation oracle.
 //
-// Enumerates every (b1, b2, t) combination, derives the minimum worker
-// counts by ceiling division, and keeps the feasible configuration with
-// the highest threshold (ties: fewest workers, then lowest latency). The
-// search space is |B|^2 * |grid| ~ a few thousand points, so this is fast
-// enough to serve as both a correctness oracle for the MILP allocator and
-// a production fallback.
+// Enumerates every per-stage batch combination, derives the minimum worker
+// counts by ceiling division, and searches the boundary threshold grids
+// (descending scans with a branch-and-bound prune) for the feasible
+// configuration with the highest *total* threshold — the §3.3 "max t"
+// objective summed over the chain's boundaries, which is the scalar
+// threshold itself for a two-stage cascade (ties: fewest workers, then
+// lowest latency). For the paper's two-stage cascade the search space is
+// |B|^2 * |grid| ~ a few thousand points; deeper chains add one bounded
+// grid scan per extra boundary. Fast enough to serve as both a correctness
+// oracle for the MILP allocator and a production fallback.
 //
 // When no configuration is feasible, returns a best-effort overload plan:
-// the lowest threshold, throughput-maximal batch sizes, and a worker split
-// proportional to the two stages' service demands.
+// the lowest thresholds, throughput-maximal batch sizes budgeted from the
+// deepest stage up, and a worker split proportional to the stages' service
+// demands.
 #pragma once
 
 #include "control/allocator.hpp"

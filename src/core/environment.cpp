@@ -9,22 +9,47 @@ CascadeEnvironment::CascadeEnvironment(EnvironmentConfig cfg)
     : cfg_(std::move(cfg)),
       repo_(models::ModelRepository::with_paper_catalog()),
       cascade_(repo_.cascade(cfg_.cascade)) {
-  light_tier_ = repo_.model(cascade_.light_model).quality_tier;
-  heavy_tier_ = repo_.model(cascade_.heavy_model).quality_tier;
+  for (const auto& m : cascade_.chain)
+    stage_tiers_.push_back(repo_.model(m).quality_tier);
 
   workload_ =
       std::make_unique<quality::Workload>(cfg_.workload_queries, cfg_.quality);
   scorer_ = std::make_unique<quality::FidScorer>(*workload_);
 
-  DS_LOG_INFO("env") << "training discriminator ("
-                     << discriminator::variant_name(cfg_.discriminator)
-                     << ") for " << cascade_.name;
-  disc_ = std::make_unique<discriminator::Discriminator>(
-      discriminator::train_discriminator(*workload_, light_tier_, heavy_tier_,
-                                         cfg_.discriminator));
-  offline_profile_ = std::make_unique<discriminator::DeferralProfile>(
-      discriminator::DeferralProfile::profile(*workload_, *disc_, light_tier_,
-                                              cfg_.profile_queries));
+  // One discriminator + offline profile per boundary: boundary b learns to
+  // tell stage b's generations from the quality its deferral target (stage
+  // b+1) would deliver.
+  for (std::size_t b = 0; b + 1 < stage_tiers_.size(); ++b) {
+    const int from_tier = stage_tiers_[b];
+    const int to_tier = stage_tiers_[b + 1];
+    DS_LOG_INFO("env") << "training discriminator ("
+                       << discriminator::variant_name(cfg_.discriminator)
+                       << ") for " << cascade_.name << " boundary " << b
+                       << " (tier " << from_tier << " -> " << to_tier << ")";
+    discs_.push_back(std::make_unique<discriminator::Discriminator>(
+        discriminator::train_discriminator(*workload_, from_tier, to_tier,
+                                           cfg_.discriminator)));
+    offline_profiles_.push_back(
+        std::make_unique<discriminator::DeferralProfile>(
+            discriminator::DeferralProfile::profile(
+                *workload_, *discs_.back(), from_tier, cfg_.profile_queries)));
+  }
+}
+
+std::vector<const discriminator::Discriminator*> CascadeEnvironment::discs()
+    const {
+  std::vector<const discriminator::Discriminator*> out;
+  out.reserve(discs_.size());
+  for (const auto& d : discs_) out.push_back(d.get());
+  return out;
+}
+
+std::vector<discriminator::DeferralProfile>
+CascadeEnvironment::offline_profiles() const {
+  std::vector<discriminator::DeferralProfile> out;
+  out.reserve(offline_profiles_.size());
+  for (const auto& p : offline_profiles_) out.push_back(*p);
+  return out;
 }
 
 }  // namespace diffserve::core

@@ -1,12 +1,15 @@
 // CascadeEnvironment: the shared, expensive-to-build assets of one cascade
 // deployment — the evaluation workload, the model repository, the FID
-// scorer, the *trained* discriminator, and its offline deferral profile.
-// Build it once; run many experiments against it (every approach then sees
-// byte-identical prompts, images, and discriminator).
+// scorer, one *trained* discriminator per cascade boundary, and each
+// boundary's offline deferral profile. Build it once; run many experiments
+// against it (every approach then sees byte-identical prompts, images, and
+// discriminators). Works for any chain depth: a two-stage cascade gets the
+// classic single discriminator, a depth-1 "chain" gets none.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "discriminator/deferral_profile.hpp"
 #include "discriminator/discriminator.hpp"
@@ -33,13 +36,27 @@ class CascadeEnvironment {
   const models::CascadeSpec& cascade() const { return cascade_; }
   const quality::Workload& workload() const { return *workload_; }
   const quality::FidScorer& scorer() const { return *scorer_; }
-  const discriminator::Discriminator& disc() const { return *disc_; }
-  const discriminator::DeferralProfile& offline_profile() const {
-    return *offline_profile_;
-  }
 
-  int light_tier() const { return light_tier_; }
-  int heavy_tier() const { return heavy_tier_; }
+  std::size_t stage_count() const { return stage_tiers_.size(); }
+  std::size_t boundary_count() const { return discs_.size(); }
+  /// Discriminator trained for boundary b (stage b -> b+1); b defaults to
+  /// the first boundary for two-stage call sites.
+  const discriminator::Discriminator& disc(std::size_t b = 0) const {
+    return *discs_.at(b);
+  }
+  /// Per-boundary discriminator pointers, in chain order (engine input).
+  std::vector<const discriminator::Discriminator*> discs() const;
+  const discriminator::DeferralProfile& offline_profile(
+      std::size_t b = 0) const {
+    return *offline_profiles_.at(b);
+  }
+  /// Copies of every boundary's offline profile (controller input).
+  std::vector<discriminator::DeferralProfile> offline_profiles() const;
+
+  const std::vector<int>& stage_tiers() const { return stage_tiers_; }
+  int stage_tier(std::size_t s) const { return stage_tiers_.at(s); }
+  int light_tier() const { return stage_tiers_.front(); }
+  int heavy_tier() const { return stage_tiers_.back(); }
   double default_slo() const { return cascade_.slo_seconds; }
 
  private:
@@ -48,10 +65,10 @@ class CascadeEnvironment {
   models::CascadeSpec cascade_;
   std::unique_ptr<quality::Workload> workload_;
   std::unique_ptr<quality::FidScorer> scorer_;
-  std::unique_ptr<discriminator::Discriminator> disc_;
-  std::unique_ptr<discriminator::DeferralProfile> offline_profile_;
-  int light_tier_ = 0;
-  int heavy_tier_ = 0;
+  std::vector<std::unique_ptr<discriminator::Discriminator>> discs_;
+  std::vector<std::unique_ptr<discriminator::DeferralProfile>>
+      offline_profiles_;
+  std::vector<int> stage_tiers_;
 };
 
 }  // namespace diffserve::core

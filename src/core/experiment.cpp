@@ -36,8 +36,12 @@ namespace {
 std::unique_ptr<control::Allocator> make_allocator(
     const CascadeEnvironment& env, const RunConfig& cfg) {
   using control::Allocator;
-  const double static_threshold = env.offline_profile().threshold_for_fraction(
-      cfg.static_deferral_fraction);
+  // Lazy: a depth-1 chain has no boundary profile, and only the static
+  // approaches need the fixed operating point.
+  const auto static_threshold = [&] {
+    return env.offline_profile().threshold_for_fraction(
+        cfg.static_deferral_fraction);
+  };
   switch (cfg.approach) {
     case Approach::kDiffServe:
       return std::make_unique<control::MilpAllocator>();
@@ -45,7 +49,7 @@ std::unique_ptr<control::Allocator> make_allocator(
       return std::make_unique<control::ExhaustiveAllocator>();
     case Approach::kDiffServeStatic:
       return std::make_unique<baselines::DiffServeStaticAllocator>(
-          cfg.trace.max_qps(), static_threshold);
+          cfg.trace.max_qps(), static_threshold());
     case Approach::kClipperLight:
       return std::make_unique<baselines::ClipperAllocator>(
           baselines::ClipperAllocator::Variant::kLight);
@@ -56,7 +60,7 @@ std::unique_ptr<control::Allocator> make_allocator(
       return std::make_unique<baselines::ProteusAllocator>();
     case Approach::kAblationStaticThreshold:
       return std::make_unique<control::StaticThresholdAllocator>(
-          std::make_unique<control::MilpAllocator>(), static_threshold);
+          std::make_unique<control::MilpAllocator>(), static_threshold());
     case Approach::kAblationAimdBatching:
       return std::make_unique<control::AimdBatchAllocator>(
           std::make_unique<control::ExhaustiveAllocator>());
@@ -81,7 +85,7 @@ ExperimentResult run_experiment(const CascadeEnvironment& env,
       cfg.slo_seconds > 0.0 ? cfg.slo_seconds : env.default_slo();
 
   serving::ServingSystem system(sim, env.workload(), env.repository(),
-                                env.cascade(), &env.disc(), env.scorer(),
+                                env.cascade(), env.discs(), env.scorer(),
                                 sys_cfg);
 
   control::ControllerConfig ctrl_cfg = cfg.controller;
@@ -89,7 +93,7 @@ ExperimentResult run_experiment(const CascadeEnvironment& env,
   if (ctrl_cfg.initial_demand_guess <= 0.0)
     ctrl_cfg.initial_demand_guess = cfg.trace.qps_at(0.0);
   control::Controller controller(system.engine(), make_allocator(env, cfg),
-                                 env.offline_profile(), ctrl_cfg);
+                                 env.offline_profiles(), ctrl_cfg);
 
   util::Rng arrival_rng(cfg.arrival_seed);
   const auto arrivals =
@@ -110,9 +114,12 @@ ExperimentResult run_experiment(const CascadeEnvironment& env,
   r.mean_latency = sink.mean_latency();
   r.p99_latency = sink.completed() ? sink.latency_percentile(99.0) : 0.0;
   r.light_served_fraction = sink.light_served_fraction();
+  r.stage_served_fraction =
+      sink.stage_served_fractions(system.engine().stage_count());
   r.submitted = system.engine().submitted();
   r.completed = sink.completed();
   r.dropped = sink.dropped();
+  r.reconfigurations = system.engine().reconfigurations();
   r.overall_fid = sink.completed() >= 2 ? sink.overall_fid() : -1.0;
   r.timeline = sink.timeline(cfg.timeline_window);
   r.control_history = controller.history();

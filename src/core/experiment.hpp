@@ -64,9 +64,13 @@ struct ExperimentResult {
   double mean_latency = 0.0;
   double p99_latency = 0.0;
   double light_served_fraction = 0.0;
+  /// Completed-query share per chain stage (size = chain depth).
+  std::vector<double> stage_served_fraction;
   std::size_t submitted = 0;
   std::size_t completed = 0;
   std::size_t dropped = 0;
+  /// Applied plans that changed at least one worker's hosted model.
+  std::size_t reconfigurations = 0;
   double mean_solve_ms = 0.0;
   std::vector<engine::MetricsSink::TimelinePoint> timeline;
   std::vector<control::Controller::Snapshot> control_history;

@@ -8,6 +8,36 @@
 
 namespace diffserve::engine {
 
+CascadeEngine::CascadeEngine(
+    ExecutionBackend& backend, const quality::Workload& workload,
+    const models::ModelRepository& repo, const models::CascadeSpec& cascade,
+    std::vector<const discriminator::Discriminator*> discs,
+    const quality::FidScorer& scorer, EngineConfig cfg)
+    : backend_(backend),
+      workload_(workload),
+      repo_(repo),
+      cascade_(cascade),
+      discs_(std::move(discs)),
+      cfg_(cfg),
+      sink_(workload, scorer),
+      rng_(cfg.seed) {
+  DS_REQUIRE(cfg_.total_workers >= 1, "need at least one worker");
+  cascade_.normalize();
+  chain_ = cascade_.chain;
+  disc_models_ = cascade_.discriminators;
+  DS_REQUIRE(!chain_.empty(), "cascade chain must not be empty");
+  stage_tiers_.reserve(chain_.size());
+  for (const auto& m : chain_)
+    stage_tiers_.push_back(repo_.model(m).quality_tier);
+  DS_REQUIRE(discs_.size() == boundary_count(),
+             "need one discriminator per cascade boundary");
+  plan_ = AllocationPlan::for_stages(chain_.size());
+  reserve_.assign(chain_.size(), 0.0);
+  workers_.resize(static_cast<std::size_t>(cfg_.total_workers));
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    workers_[i].id = static_cast<int>(i);
+}
+
 CascadeEngine::CascadeEngine(ExecutionBackend& backend,
                              const quality::Workload& workload,
                              const models::ModelRepository& repo,
@@ -15,31 +45,17 @@ CascadeEngine::CascadeEngine(ExecutionBackend& backend,
                              const discriminator::Discriminator* disc,
                              const quality::FidScorer& scorer,
                              EngineConfig cfg)
-    : backend_(backend),
-      workload_(workload),
-      repo_(repo),
-      cascade_(cascade),
-      disc_(disc),
-      cfg_(cfg),
-      sink_(workload, scorer),
-      rng_(cfg.seed) {
-  DS_REQUIRE(cfg_.total_workers >= 1, "need at least one worker");
-  light_tier_ = repo_.model(cascade_.light_model).quality_tier;
-  heavy_tier_ = repo_.model(cascade_.heavy_model).quality_tier;
-  workers_.resize(static_cast<std::size_t>(cfg_.total_workers));
-  for (std::size_t i = 0; i < workers_.size(); ++i)
-    workers_[i].id = static_cast<int>(i);
-}
+    : CascadeEngine(backend, workload, repo, cascade,
+                    std::vector<const discriminator::Discriminator*>(
+                        cascade.chain.empty() ? 1 : cascade.chain.size() - 1,
+                        disc),
+                    scorer, cfg) {}
 
-double CascadeEngine::light_exec_latency(int batch) const {
-  const auto& light = repo_.model(cascade_.light_model);
-  const auto& disc = repo_.model(cascade_.discriminator);
-  return light.latency.execution_latency(batch) +
-         disc.latency.execution_latency(batch);
-}
-
-double CascadeEngine::heavy_exec_latency(int batch) const {
-  return repo_.model(cascade_.heavy_model).latency.execution_latency(batch);
+double CascadeEngine::stage_exec_latency(std::size_t s, int batch) const {
+  double e = repo_.model(chain_[s]).latency.execution_latency(batch);
+  if (s + 1 < chain_.size())
+    e += repo_.model(disc_models_[s]).latency.execution_latency(batch);
+  return e;
 }
 
 double CascadeEngine::exec_seconds(const WorkerSlot& w) const {
@@ -61,67 +77,77 @@ void CascadeEngine::disarm_timer_locked(WorkerSlot& w) {
 
 void CascadeEngine::apply(const AllocationPlan& plan) {
   auto g = backend_.guard();
-  int n_light = plan.light_workers;
-  int n_heavy = plan.heavy_workers;
-  DS_REQUIRE(n_light >= 0 && n_heavy >= 0, "negative worker counts");
-  DS_REQUIRE(n_light + n_heavy <= cfg_.total_workers,
-             "plan exceeds cluster size");
+  const std::size_t n = chain_.size();
+  DS_REQUIRE(plan.workers.size() == n && plan.batches.size() == n,
+             "plan stage vectors must match the cascade chain length");
+  DS_REQUIRE(plan.thresholds.size() == n - 1,
+             "plan needs one threshold per cascade boundary");
+  std::vector<int> quota = plan.workers;
+  int used = 0;
+  for (const int q : quota) {
+    DS_REQUIRE(q >= 0, "negative worker counts");
+    used += q;
+  }
+  DS_REQUIRE(used <= cfg_.total_workers, "plan exceeds cluster size");
 
-  // Spare workers join the light pool (or heavy if the plan has no light
-  // pool at all) — the resource manager never idles a GPU.
-  const int spare = cfg_.total_workers - n_light - n_heavy;
-  if (n_light > 0 || n_heavy == 0)
-    n_light += spare;
-  else
-    n_heavy += spare;
+  // Spare workers join the first stage the plan populates (stage 0 when the
+  // plan is empty) — the resource manager never idles a GPU.
+  std::size_t spare_stage = 0;
+  for (std::size_t s = 0; s < n; ++s)
+    if (quota[s] > 0) {
+      spare_stage = s;
+      break;
+    }
+  quota[spare_stage] += cfg_.total_workers - used;
 
-  // Stable role assignment: workers already in a role keep it while the
-  // quota allows, minimizing model reloads.
-  std::vector<Role> desired(workers_.size(), Role::kIdle);
-  int remaining_light = n_light, remaining_heavy = n_heavy;
+  // Stable role assignment: workers already hosting a stage keep it while
+  // the quota allows, minimizing model reloads.
+  std::vector<int> desired(workers_.size(), kNoStage);
+  std::vector<int> remaining = quota;
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (workers_[i].role == Role::kLight && remaining_light > 0) {
-      desired[i] = Role::kLight;
-      --remaining_light;
-    } else if (workers_[i].role == Role::kHeavy && remaining_heavy > 0) {
-      desired[i] = Role::kHeavy;
-      --remaining_heavy;
+    const int st = workers_[i].stage;
+    if (st != kNoStage && remaining[static_cast<std::size_t>(st)] > 0) {
+      desired[i] = st;
+      --remaining[static_cast<std::size_t>(st)];
     }
   }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (desired[i] != Role::kIdle) continue;
-    if (remaining_light > 0) {
-      desired[i] = Role::kLight;
-      --remaining_light;
-    } else if (remaining_heavy > 0) {
-      desired[i] = Role::kHeavy;
-      --remaining_heavy;
-    }
+    if (desired[i] != kNoStage) continue;
+    for (std::size_t s = 0; s < n; ++s)
+      if (remaining[s] > 0) {
+        desired[i] = static_cast<int>(s);
+        --remaining[s];
+        break;
+      }
   }
 
   // Validate before mutating any engine state so a bad plan leaves the
   // previous configuration intact.
-  DS_REQUIRE(plan.light_batch >= 1 && plan.heavy_batch >= 1,
-             "batch size must be >= 1");
-  if (n_light > 0)
-    DS_REQUIRE(
-        repo_.model(cascade_.light_model).latency.supports(plan.light_batch),
-        "light batch size not in latency profile");
-  if (n_heavy > 0)
-    DS_REQUIRE(
-        repo_.model(cascade_.heavy_model).latency.supports(plan.heavy_batch),
-        "heavy batch size not in latency profile");
+  for (std::size_t s = 0; s < n; ++s) {
+    DS_REQUIRE(plan.batches[s] >= 1, "batch size must be >= 1");
+    if (quota[s] > 0)
+      DS_REQUIRE(repo_.model(chain_[s]).latency.supports(plan.batches[s]),
+                 "stage batch size not in latency profile");
+  }
 
   plan_ = plan;
-  heavy_reserve_ =
-      plan.mode == RoutingMode::kCascade && n_heavy > 0
-          ? cfg_.heavy_reserve_factor * heavy_exec_latency(plan.heavy_batch)
-          : 0.0;
+  // Downstream reserves: the SLO time stage s keeps for the rest of the
+  // chain. A stage the plan leaves unstaffed contributes nothing (nothing
+  // will be deferred to it).
+  reserve_.assign(n, 0.0);
+  if (plan.mode == RoutingMode::kCascade) {
+    for (std::size_t s = n - 1; s-- > 0;) {
+      reserve_[s] = reserve_[s + 1];
+      if (quota[s + 1] > 0)
+        reserve_[s] += cfg_.heavy_reserve_factor *
+                       stage_exec_latency(s + 1, plan.batches[s + 1]);
+    }
+  }
 
   std::vector<Query> evicted;
   bool model_changed = false;
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (desired[i] == Role::kIdle) continue;
+    if (desired[i] == kNoStage) continue;
     const std::string before = workers_[i].model_name;
     const bool was_configured = workers_[i].configured;
     auto out = configure_locked(workers_[i], desired[i]);
@@ -132,40 +158,49 @@ void CascadeEngine::apply(const AllocationPlan& plan) {
   if (model_changed) ++reconfigurations_;
   if (!evicted.empty()) resubmit_locked(std::move(evicted));
 
-  DS_LOG_DEBUG("engine") << "applied plan: light=" << n_light
-                         << " heavy=" << n_heavy << " b1=" << plan.light_batch
-                         << " b2=" << plan.heavy_batch
-                         << " t=" << plan.threshold;
+  DS_LOG_DEBUG("engine") << "applied plan: stages=" << n
+                         << " x0=" << quota.front()
+                         << " x_last=" << quota.back()
+                         << " b0=" << plan.batches.front()
+                         << " b_last=" << plan.batches.back();
 }
 
-std::vector<Query> CascadeEngine::configure_locked(WorkerSlot& w, Role role) {
-  const auto& model = repo_.model(role == Role::kLight ? cascade_.light_model
-                                                       : cascade_.heavy_model);
-  const int batch =
-      role == Role::kLight ? plan_.light_batch : plan_.heavy_batch;
+std::vector<Query> CascadeEngine::configure_locked(WorkerSlot& w, int stage) {
+  const std::size_t s = static_cast<std::size_t>(stage);
+  const auto& model = repo_.model(chain_[s]);
+  const int batch = plan_.batches[s];
   DS_REQUIRE(batch >= 1, "batch size must be >= 1");
   DS_REQUIRE(model.latency.supports(batch),
              "batch size not in latency profile");
 
   const bool model_change = !w.configured || model.name != w.model_name;
+  // A chain may list the same model at two stages; moving a worker between
+  // them swaps no weights but still invalidates its queue (queries would
+  // be scored against the wrong boundary threshold and tier).
+  const bool stage_change = w.configured && w.stage != stage;
   w.model_name = model.name;
   w.profile = model.latency;
   w.quality_tier = model.quality_tier;
-  w.has_extra = role == Role::kLight && plan_.mode == RoutingMode::kCascade;
-  if (w.has_extra)
-    w.extra_profile = repo_.model(cascade_.discriminator).latency;
+  // Non-final cascade stages run the boundary discriminator after every
+  // batch.
+  w.has_extra =
+      s + 1 < chain_.size() && plan_.mode == RoutingMode::kCascade;
+  if (w.has_extra) w.extra_profile = repo_.model(disc_models_[s]).latency;
   w.batch_size = batch;
-  w.role = role;
+  w.stage = stage;
   w.configured = true;
 
   const std::size_t i = static_cast<std::size_t>(w.id);
   std::vector<Query> evicted;
-  if (model_change) {
-    // Queued work targeted the old model; hand it back for re-routing.
+  if (model_change || stage_change) {
+    // Queued work targeted the old model/stage; hand it back for
+    // re-routing.
     evicted.reserve(w.queue.size());
     for (auto& e : w.queue) evicted.push_back(std::move(e.query));
     w.queue.clear();
     disarm_timer_locked(w);
+  }
+  if (model_change) {
     // Loading starts once any in-flight batch finishes; if idle, now.
     const double now = backend_.now();
     const double start = w.busy ? w.ready_at : now;
@@ -212,34 +247,29 @@ void CascadeEngine::submit_locked(Query q) {
   ++submitted_;
   demand_.add(backend_.now());
   if (plan_.mode == RoutingMode::kDirect && rng_.bernoulli(plan_.p_heavy)) {
-    q.stage = Stage::kHeavy;
+    q.stage = chain_.size() - 1;
     q.stage_deadline = q.deadline;
-    route_heavy_locked(std::move(q));
+    route_locked(std::move(q));
     return;
   }
-  q.stage = Stage::kLight;
-  // In cascade mode, leave room for the possible heavy pass.
+  q.stage = 0;
+  // In cascade mode, leave room for the rest of the chain.
   q.stage_deadline =
       plan_.mode == RoutingMode::kCascade
-          ? std::max(q.deadline - heavy_reserve_, q.arrival_time)
+          ? std::max(q.deadline - reserve_.front(), q.arrival_time)
           : q.deadline;
-  route_light_locked(std::move(q));
+  route_locked(std::move(q));
 }
 
 void CascadeEngine::resubmit_locked(std::vector<Query>&& queries) {
-  for (auto& q : queries) {
-    if (q.stage == Stage::kHeavy)
-      route_heavy_locked(std::move(q));
-    else
-      route_light_locked(std::move(q));
-  }
+  for (auto& q : queries) route_locked(std::move(q));
 }
 
-CascadeEngine::WorkerSlot* CascadeEngine::shortest_queue_locked(Role role) {
+CascadeEngine::WorkerSlot* CascadeEngine::shortest_queue_locked(int stage) {
   WorkerSlot* best = nullptr;
   std::size_t best_len = 0;
   for (auto& w : workers_) {
-    if (w.role != role || !w.configured) continue;
+    if (w.stage != stage || !w.configured) continue;
     const std::size_t len = w.queue.size() + (w.busy ? 1 : 0);
     if (best == nullptr || len < best_len) {
       best = &w;
@@ -249,41 +279,37 @@ CascadeEngine::WorkerSlot* CascadeEngine::shortest_queue_locked(Role role) {
   return best;
 }
 
-void CascadeEngine::route_light_locked(Query q) {
-  WorkerSlot* w = shortest_queue_locked(Role::kLight);
-  if (w == nullptr) {
-    // No lightweight capacity (e.g. Clipper-Heavy): go straight to heavy.
-    if (shortest_queue_locked(Role::kHeavy) != nullptr) {
-      q.stage = Stage::kHeavy;
-      q.stage_deadline = q.deadline;
-      route_heavy_locked(std::move(q));
-      return;
+void CascadeEngine::route_locked(Query q) {
+  const std::size_t target = q.stage;
+  // Forward: the target stage, else the nearest deeper stage with capacity
+  // (e.g. Clipper-Heavy has no light pool; a shrunken chain may have lost a
+  // middle stage).
+  for (std::size_t s = target; s < chain_.size(); ++s) {
+    WorkerSlot* w = shortest_queue_locked(static_cast<int>(s));
+    if (w == nullptr) continue;
+    if (s != target) {
+      q.stage = s;
+      q.stage_deadline = std::max(q.deadline - reserve_[s], q.arrival_time);
     }
-    sink_.drop(q, backend_.now());
+    enqueue_locked(*w, std::move(q));
     return;
   }
-  enqueue_locked(*w, std::move(q));
-}
-
-void CascadeEngine::route_heavy_locked(Query q) {
-  WorkerSlot* w = shortest_queue_locked(Role::kHeavy);
-  if (w == nullptr) {
-    // No heavyweight capacity. A deferred query still has a light image —
-    // serve it best-effort; a direct-mode query falls back to light.
-    if (q.deferred) {
-      sink_.complete(q, light_tier_, backend_.now());
-      return;
-    }
-    if (shortest_queue_locked(Role::kLight) != nullptr) {
-      q.stage = Stage::kLight;
-      q.stage_deadline = q.deadline;
-      route_light_locked(std::move(q));
-      return;
-    }
-    sink_.drop(q, backend_.now());
+  // Nothing at or below the target. A deferred query already has an image —
+  // serve it best-effort rather than discarding work.
+  if (q.image_tier > 0) {
+    sink_.complete(q, q.image_tier, backend_.now());
     return;
   }
-  enqueue_locked(*w, std::move(q));
+  // A direct-mode query aimed at the last stage falls back up the chain.
+  for (std::size_t s = target; s-- > 0;) {
+    WorkerSlot* w = shortest_queue_locked(static_cast<int>(s));
+    if (w == nullptr) continue;
+    q.stage = s;
+    q.stage_deadline = q.deadline;
+    enqueue_locked(*w, std::move(q));
+    return;
+  }
+  sink_.drop(q, backend_.now());
 }
 
 void CascadeEngine::enqueue_locked(WorkerSlot& w, Query q) {
@@ -311,8 +337,8 @@ void CascadeEngine::maybe_start_batch_locked(std::size_t i) {
 
   // Under-filled: lazy batching, capped. Launch at the earlier of (a) the
   // latest time that still meets the tightest stage deadline and (b) one
-  // execution period after the oldest enqueue (so light queries are not
-  // held to the edge of their deadline just to fill a batch).
+  // execution period after the oldest enqueue (so early-stage queries are
+  // not held to the edge of their deadline just to fill a batch).
   const double exec = exec_seconds(w);
   double tightest = w.queue.front().query.stage_deadline;
   double oldest = w.queue.front().at;
@@ -378,39 +404,57 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
   ++w.batches;
   w.processed += batch.size();
 
-  const bool was_light = w.role == Role::kLight;
-  const int tier = was_light ? light_tier_ : heavy_tier_;
+  // Capture the stage and tier at launch: a reconfiguration during the
+  // batch's execution must not change what this batch produced.
+  const std::size_t stage = static_cast<std::size_t>(w.stage);
+  const int tier = w.quality_tier;
   backend_.execute(
       w.id, exec,
-      [this, i, tier, was_light, batch = std::move(batch)]() mutable {
+      [this, i, tier, stage, batch = std::move(batch)]() mutable {
         auto g = backend_.guard();
-        finish_batch_locked(i, batch, tier, was_light);
+        finish_batch_locked(i, batch, tier, stage);
       });
 }
 
 void CascadeEngine::finish_batch_locked(std::size_t i,
                                         std::vector<Query>& batch,
-                                        int served_tier, bool was_light) {
+                                        int served_tier, std::size_t stage) {
   WorkerSlot& w = workers_[i];
   w.busy = false;
-  const double now = backend_.now();
-  if (!was_light || plan_.mode == RoutingMode::kDirect) {
-    for (auto& q : batch) sink_.complete(q, served_tier, now);
+  const bool terminal =
+      plan_.mode == RoutingMode::kDirect || stage + 1 >= chain_.size();
+  // Timestamps are read per completion, not cached across the loop: a
+  // deferred query that completes best-effort inside route_locked() writes
+  // a fresh (later) wall-clock time into the sink, so a cached `now` on
+  // the next iteration would move the sink's clock backwards on a
+  // wall-clock backend. (On the DES time is frozen for the whole
+  // callback, so every read returns the same instant.)
+  if (terminal) {
+    for (auto& q : batch) {
+      q.image_tier = served_tier;
+      q.image_stage = static_cast<int>(stage);
+      sink_.complete(q, served_tier, backend_.now());
+    }
   } else {
-    // Cascade: score the light image with the discriminator.
-    DS_CHECK(disc_ != nullptr, "cascade mode requires a discriminator");
+    // Cascade: score the stage's image with the boundary discriminator.
+    const discriminator::Discriminator* disc = discs_[stage];
+    DS_CHECK(disc != nullptr, "cascade boundary requires a discriminator");
+    const double threshold = plan_.thresholds[stage];
     for (auto& q : batch) {
       const auto feature =
           workload_.generated_feature(q.prompt_id, served_tier);
-      q.confidence = disc_->confidence(feature);
-      if (confidence_observer_) confidence_observer_(q.confidence);
-      if (q.confidence >= plan_.threshold) {
-        sink_.complete(q, served_tier, now);
+      q.confidence = disc->confidence(feature);
+      q.image_tier = served_tier;
+      q.image_stage = static_cast<int>(stage);
+      if (confidence_observer_) confidence_observer_(stage, q.confidence);
+      if (q.confidence >= threshold) {
+        sink_.complete(q, served_tier, backend_.now());
       } else {
         q.deferred = true;
-        q.stage = Stage::kHeavy;
-        q.stage_deadline = q.deadline;
-        route_heavy_locked(std::move(q));
+        ++q.deferrals;
+        q.stage = stage + 1;
+        q.stage_deadline = q.deadline - reserve_[stage + 1];
+        route_locked(std::move(q));
       }
     }
   }
@@ -420,7 +464,7 @@ void CascadeEngine::finish_batch_locked(std::size_t i,
 // ---- observers & statistics -----------------------------------------------
 
 void CascadeEngine::set_confidence_observer(
-    std::function<void(double)> observer) {
+    std::function<void(std::size_t, double)> observer) {
   auto g = backend_.guard();
   confidence_observer_ = std::move(observer);
 }
@@ -430,11 +474,11 @@ double CascadeEngine::demand_rate() const {
   return demand_.rate(backend_.now());
 }
 
-PoolStats CascadeEngine::pool_stats_locked(Role role) const {
+PoolStats CascadeEngine::pool_stats_locked(int stage) const {
   PoolStats s;
   const double now = backend_.now();
   for (const auto& w : workers_) {
-    if (w.role != role) continue;
+    if (w.stage != stage) continue;
     s.total_queue_length += static_cast<double>(w.queue.size());
     s.arrival_rate += w.arrivals.rate(now);
     ++s.workers;
@@ -442,14 +486,9 @@ PoolStats CascadeEngine::pool_stats_locked(Role role) const {
   return s;
 }
 
-PoolStats CascadeEngine::light_stats() const {
+PoolStats CascadeEngine::stage_stats(std::size_t s) const {
   auto g = backend_.guard();
-  return pool_stats_locked(Role::kLight);
-}
-
-PoolStats CascadeEngine::heavy_stats() const {
-  auto g = backend_.guard();
-  return pool_stats_locked(Role::kHeavy);
+  return pool_stats_locked(static_cast<int>(s));
 }
 
 std::uint64_t CascadeEngine::submitted() const {
@@ -472,7 +511,8 @@ CascadeEngine::WorkerInfo CascadeEngine::worker_info(std::size_t i) const {
   const WorkerSlot& w = workers_[i];
   WorkerInfo info;
   info.configured = w.configured;
-  info.heavy = w.role == Role::kHeavy;
+  info.stage = w.stage;
+  info.heavy = w.stage == static_cast<int>(chain_.size()) - 1;
   info.busy = w.busy;
   info.batch_size = w.batch_size;
   info.queue_length = w.queue.size();

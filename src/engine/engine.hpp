@@ -1,14 +1,19 @@
 // CascadeEngine: the backend-agnostic serving policy.
 //
 // One engine instance holds everything the paper's Load Balancer, Workers,
-// and metrics pipeline decide (§3.1): query admission, JSQ routing,
-// confidence-threshold deferral, deadline-aware batch formation with
-// preemptive drops, heavy-reserve SLO accounting, AllocationPlan
-// application with stable role assignment and queue eviction, and the
-// MetricsSink. Time, deferred callbacks, batch execution, and locking come
-// from an ExecutionBackend, so the discrete-event simulator and the
-// threaded wall-clock testbed run literally the same policy code — the
-// property behind the §4.3 simulator-vs-testbed fidelity claim.
+// and metrics pipeline decide (§3.1), generalized from the paper's
+// light/heavy pair to an N-stage model chain: query admission, JSQ routing
+// within each stage pool, per-boundary confidence-threshold deferral from
+// stage i to i+1, deadline-aware batch formation with preemptive drops,
+// downstream-reserve SLO accounting (the reserve at stage i covers the
+// remaining chain's execution time), AllocationPlan application with
+// stable role assignment and queue eviction, and the MetricsSink. Time,
+// deferred callbacks, batch execution, and locking come from an
+// ExecutionBackend, so the discrete-event simulator and the threaded
+// wall-clock testbed run literally the same policy code — the property
+// behind the §4.3 simulator-vs-testbed fidelity claim. A two-stage chain
+// is exactly the paper's cascade; the `light_*`/`heavy_*` accessors alias
+// the first/last stage.
 //
 // Concurrency contract: every public method acquires the backend's guard;
 // `_locked` internals assume it is held. Backend callbacks (batch
@@ -36,8 +41,8 @@
 
 namespace diffserve::engine {
 
-/// Aggregate queue/arrival statistics over one worker pool (controller
-/// input).
+/// Aggregate queue/arrival statistics over one stage's worker pool
+/// (controller input).
 struct PoolStats {
   double total_queue_length = 0.0;
   double arrival_rate = 0.0;  ///< summed over the pool's workers
@@ -46,6 +51,16 @@ struct PoolStats {
 
 class CascadeEngine {
  public:
+  /// Per-boundary discriminators: discs[b] gates deferral from stage b to
+  /// b+1 (size = boundary count; entries may be null only in setups that
+  /// never defer, e.g. pure-direct baselines).
+  CascadeEngine(ExecutionBackend& backend, const quality::Workload& workload,
+                const models::ModelRepository& repo,
+                const models::CascadeSpec& cascade,
+                std::vector<const discriminator::Discriminator*> discs,
+                const quality::FidScorer& scorer, EngineConfig cfg);
+  /// Two-stage-era convenience: one discriminator replicated across every
+  /// boundary (exactly one boundary in a classic cascade).
   CascadeEngine(ExecutionBackend& backend, const quality::Workload& workload,
                 const models::ModelRepository& repo,
                 const models::CascadeSpec& cascade,
@@ -54,7 +69,8 @@ class CascadeEngine {
 
   /// Reconfigure the cluster; evicted queries are re-routed (never
   /// dropped). Counts one reconfiguration per applied plan that changes at
-  /// least one worker's hosted model.
+  /// least one worker's hosted model. The plan's stage vectors must match
+  /// the cascade chain length.
   void apply(const AllocationPlan& plan);
   AllocationPlan plan() const;
 
@@ -64,17 +80,19 @@ class CascadeEngine {
   /// Admit an externally constructed query (arrival_time/deadline set).
   void submit(Query q);
 
-  /// Observer invoked with every confidence score computed on the data
-  /// path (feeds the controller's online deferral profile). May be called
-  /// from backend worker threads; the observer must be thread-safe when
-  /// the backend is concurrent.
-  void set_confidence_observer(std::function<void(double)> observer);
+  /// Observer invoked with every (boundary, confidence) computed on the
+  /// data path (feeds the controller's per-boundary online deferral
+  /// profiles). May be called from backend worker threads; the observer
+  /// must be thread-safe when the backend is concurrent.
+  void set_confidence_observer(std::function<void(std::size_t, double)> observer);
 
   // --- runtime statistics for the controller -----------------------------
   /// Arrival rate into the system over the stats window (QPS).
   double demand_rate() const;
-  PoolStats light_stats() const;
-  PoolStats heavy_stats() const;
+  /// Queue/arrival statistics of stage s's worker pool.
+  PoolStats stage_stats(std::size_t s) const;
+  PoolStats light_stats() const { return stage_stats(0); }
+  PoolStats heavy_stats() const { return stage_stats(stage_count() - 1); }
   std::uint64_t submitted() const;
   /// Applied plans that changed at least one worker's hosted model.
   std::size_t reconfigurations() const;
@@ -83,12 +101,21 @@ class CascadeEngine {
 
   /// Stage execution latencies under the cascade's profiles — the single
   /// source of truth for the §3.3 latency math (used by the controller's
-  /// performance model and by both backends' batch execution).
-  double light_exec_latency(int batch) const;  ///< incl. discriminator
-  double heavy_exec_latency(int batch) const;
+  /// performance model and by both backends' batch execution). Non-final
+  /// stages include their boundary discriminator pass.
+  double stage_exec_latency(std::size_t s, int batch) const;
+  double light_exec_latency(int batch) const {
+    return stage_exec_latency(0, batch);
+  }
+  double heavy_exec_latency(int batch) const {
+    return stage_exec_latency(stage_count() - 1, batch);
+  }
 
-  int light_tier() const { return light_tier_; }
-  int heavy_tier() const { return heavy_tier_; }
+  std::size_t stage_count() const { return chain_.size(); }
+  std::size_t boundary_count() const { return chain_.size() - 1; }
+  int stage_tier(std::size_t s) const { return stage_tiers_[s]; }
+  int light_tier() const { return stage_tiers_.front(); }
+  int heavy_tier() const { return stage_tiers_.back(); }
   const models::CascadeSpec& cascade() const { return cascade_; }
   const EngineConfig& config() const { return cfg_; }
   ExecutionBackend& backend() const { return backend_; }
@@ -102,7 +129,8 @@ class CascadeEngine {
   std::size_t worker_count() const { return workers_.size(); }
   struct WorkerInfo {
     bool configured = false;
-    bool heavy = false;
+    int stage = -1;  ///< hosted stage index, -1 while unconfigured
+    bool heavy = false;  ///< hosts the final (heaviest) stage
     bool busy = false;
     int batch_size = 0;
     std::size_t queue_length = 0;
@@ -113,7 +141,7 @@ class CascadeEngine {
   WorkerInfo worker_info(std::size_t i) const;
 
  private:
-  enum class Role { kIdle, kLight, kHeavy };
+  static constexpr int kNoStage = -1;
 
   struct Enqueued {
     Query query;
@@ -124,12 +152,12 @@ class CascadeEngine {
   /// thread) lives in the backend.
   struct WorkerSlot {
     int id = 0;
-    Role role = Role::kIdle;
+    int stage = kNoStage;  ///< hosted chain stage (kNoStage = unassigned)
     bool configured = false;
     std::string model_name;
     models::LatencyProfile profile;
-    /// Added to every batch's execution time (discriminator pass on light
-    /// workers), as a function of batch size.
+    /// Added to every batch's execution time (boundary discriminator pass
+    /// on non-final cascade stages), as a function of batch size.
     models::LatencyProfile extra_profile;
     bool has_extra = false;
     int batch_size = 1;
@@ -154,36 +182,41 @@ class CascadeEngine {
   // Internals: the guard is held by the caller.
   void submit_locked(Query q);
   void resubmit_locked(std::vector<Query>&& queries);
-  void route_light_locked(Query q);
-  void route_heavy_locked(Query q);
-  WorkerSlot* shortest_queue_locked(Role role);
+  /// Route a query to its q.stage pool, falling down the chain (and, for
+  /// queries without an image, back up) when pools are empty.
+  void route_locked(Query q);
+  WorkerSlot* shortest_queue_locked(int stage);
   void enqueue_locked(WorkerSlot& w, Query q);
   void disarm_timer_locked(WorkerSlot& w);
   void maybe_start_batch_locked(std::size_t i);
   void start_batch_locked(std::size_t i);
   void finish_batch_locked(std::size_t i, std::vector<Query>& batch,
-                           int served_tier, bool was_light);
+                           int served_tier, std::size_t stage);
   /// Reconfigure one worker; returns queries evicted on a model change.
-  std::vector<Query> configure_locked(WorkerSlot& w, Role role);
+  std::vector<Query> configure_locked(WorkerSlot& w, int stage);
   double exec_seconds(const WorkerSlot& w) const;
-  PoolStats pool_stats_locked(Role role) const;
+  PoolStats pool_stats_locked(int stage) const;
 
   ExecutionBackend& backend_;
   const quality::Workload& workload_;
   const models::ModelRepository& repo_;
   models::CascadeSpec cascade_;
-  const discriminator::Discriminator* disc_;  ///< null in pure-direct setups
+  std::vector<std::string> chain_;        ///< stage model names
+  std::vector<std::string> disc_models_;  ///< boundary discriminator names
+  std::vector<int> stage_tiers_;
+  /// Boundary discriminator instances (null entries only in setups that
+  /// never defer).
+  std::vector<const discriminator::Discriminator*> discs_;
   EngineConfig cfg_;
-
-  int light_tier_ = 0;
-  int heavy_tier_ = 0;
 
   MetricsSink sink_;
   util::Rng rng_;
   std::vector<WorkerSlot> workers_;
   AllocationPlan plan_;
-  double heavy_reserve_ = 0.0;
-  std::function<void(double)> confidence_observer_;
+  /// Per-stage downstream reserve: SLO time kept for the rest of the chain
+  /// (reserve of the final stage is 0).
+  std::vector<double> reserve_;
+  std::function<void(std::size_t, double)> confidence_observer_;
 
   stats::SlidingWindowCounter demand_{12.0};
   std::uint64_t submitted_ = 0;

@@ -16,33 +16,62 @@ void MetricsSink::complete(const Query& q, int served_tier,
   DS_REQUIRE(served_tier > 0, "completion needs a diffusion tier");
   const bool late = completion_time > q.deadline;
   Record r;
+  r.seq = q.seq;
   r.time = completion_time;
   r.latency = completion_time - q.arrival_time;
   r.violated = late;
+  r.dropped = false;
   r.tier = served_tier;
+  r.stage = q.stage;
+  r.deferrals = q.deferrals;
   r.feature = workload_.generated_feature(q.prompt_id, served_tier);
   records_.push_back(std::move(r));
   ++n_completed_;
   if (late) ++n_late_;
-  // Count by the stage that produced the response so the metric is
+  // Count by the stage the query *finished in* so the metric is
   // meaningful in both cascade mode (deferral) and direct mode (random
-  // split): a query finishing at the light stage was served light.
-  if (q.stage == Stage::kLight) ++n_light_served_;
+  // split): a query finishing at the lightest stage was served light
+  // (the paper's §4.1 light-served share).
+  if (q.stage == 0) ++n_light_served_;
+  // Image provenance can lag the finish stage: a deferred query completed
+  // best-effort at an unstaffed stage carries an earlier stage's image.
+  const std::size_t produced =
+      q.image_stage >= 0 ? static_cast<std::size_t>(q.image_stage) : q.stage;
+  if (produced >= served_by_stage_.size())
+    served_by_stage_.resize(produced + 1);
+  ++served_by_stage_[produced];
   latency_.add(completion_time - q.arrival_time);
   latency_pct_.add(completion_time - q.arrival_time);
   recent_.record(completion_time, late);
 }
 
 void MetricsSink::drop(const Query& q, double drop_time) {
-  (void)q;
   Record r;
+  r.seq = q.seq;
   r.time = drop_time;
   r.latency = -1.0;
   r.violated = true;
+  r.dropped = true;
   r.tier = -1;
+  r.stage = q.stage;
+  r.deferrals = q.deferrals;
   records_.push_back(std::move(r));
   ++n_dropped_;
   recent_.record(drop_time, true);
+}
+
+std::size_t MetricsSink::served_by_stage(std::size_t s) const {
+  return s < served_by_stage_.size() ? served_by_stage_[s] : 0;
+}
+
+std::vector<double> MetricsSink::stage_served_fractions(
+    std::size_t stages) const {
+  std::vector<double> out(stages, 0.0);
+  if (n_completed_ == 0) return out;
+  for (std::size_t s = 0; s < stages; ++s)
+    out[s] = static_cast<double>(served_by_stage(s)) /
+             static_cast<double>(n_completed_);
+  return out;
 }
 
 double MetricsSink::recent_violation_ratio(double now) const {

@@ -47,6 +47,15 @@ class MetricsSink {
   /// FID of everything served so far.
   double overall_fid() const;
 
+  /// Completed queries whose image was *produced* by stage s (0 =
+  /// lightest). Distinct from light_served_fraction(), which counts the
+  /// stage a query finished in: a best-effort completion finishes at an
+  /// unstaffed deep stage but carries an earlier stage's image.
+  std::size_t served_by_stage(std::size_t s) const;
+  /// served_by_stage over completions, as fractions sized to `stages`
+  /// (all zero when nothing completed).
+  std::vector<double> stage_served_fractions(std::size_t stages) const;
+
   struct TimelinePoint {
     double time;              ///< window start
     double fid;               ///< -1 when the window had too few images
@@ -59,15 +68,22 @@ class MetricsSink {
   std::vector<TimelinePoint> timeline(double window_seconds,
                                       std::size_t min_fid_samples = 24) const;
 
- private:
+  /// One terminal event per query (completion or drop), in arrival order of
+  /// the terminations. Exposed for invariant tests and offline analysis.
   struct Record {
+    std::uint64_t seq;  ///< query sequence number
     double time;
     double latency;   ///< -1 for drops
     bool violated;
-    int tier;
+    bool dropped;
+    int tier;         ///< -1 for drops
+    std::size_t stage;    ///< stage the query occupied at termination
+    int deferrals;        ///< confidence-based deferrals in its history
     std::vector<double> feature;  ///< empty for drops
   };
+  const std::vector<Record>& records() const { return records_; }
 
+ private:
   const quality::Workload& workload_;
   const quality::FidScorer& scorer_;
   std::vector<Record> records_;
@@ -75,6 +91,7 @@ class MetricsSink {
   std::size_t n_dropped_ = 0;
   std::size_t n_late_ = 0;
   std::size_t n_light_served_ = 0;
+  std::vector<std::size_t> served_by_stage_;  ///< grown on demand
   stats::RunningStats latency_;
   mutable stats::PercentileTracker latency_pct_;
   stats::SlidingWindowRatio recent_{20.0};

@@ -3,33 +3,77 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
 
 namespace diffserve::engine {
 
 /// How the engine assigns arriving queries to stages.
-///   * kCascade — DiffServe and DiffServe-Static: light first, deferral on
-///     low confidence (§3.1).
+///   * kCascade — DiffServe and DiffServe-Static: lightest stage first,
+///     deferral down the chain on low confidence (§3.1).
 ///   * kDirect  — Clipper-Light/Heavy and Proteus: each query goes to
-///     exactly one model; Proteus picks heavy with probability p_heavy.
+///     exactly one model (the first or last stage); Proteus picks the last
+///     stage with probability p_heavy.
 enum class RoutingMode { kCascade, kDirect };
 
-/// The controller's output: worker split, batch sizes, and routing
-/// parameters (§3.3's x1, x2, b1, b2, t).
+/// The controller's output, generalized to an N-stage chain: per-stage
+/// worker counts and batch sizes plus one confidence threshold per cascade
+/// boundary (§3.3's x_i, b_i, t_i). Default-constructed plans describe the
+/// classic two-stage cascade; `for_stages(n)` sizes a deeper chain.
+/// The `light_*`/`heavy_*` accessors are thin aliases onto the first/last
+/// stage for two-stage call sites.
 struct AllocationPlan {
   RoutingMode mode = RoutingMode::kCascade;
-  int light_workers = 0;
-  int heavy_workers = 0;
-  int light_batch = 1;
-  int heavy_batch = 1;
-  double threshold = 0.5;  ///< cascade confidence threshold
-  double p_heavy = 0.0;    ///< direct-mode heavy probability
+  /// Workers per stage, stage 0 = lightest. Size = chain length.
+  std::vector<int> workers{0, 0};
+  /// Batch size per stage.
+  std::vector<int> batches{1, 1};
+  /// Confidence threshold per boundary (boundary i gates stage i -> i+1).
+  std::vector<double> thresholds{0.5};
+  double p_heavy = 0.0;  ///< direct-mode last-stage probability
+
+  std::size_t stage_count() const { return workers.size(); }
+  std::size_t boundary_count() const {
+    return workers.empty() ? 0 : workers.size() - 1;
+  }
+
+  /// An empty plan shaped for an n-stage chain.
+  static AllocationPlan for_stages(std::size_t n) {
+    DS_REQUIRE(n >= 1, "a cascade chain needs at least one stage");
+    AllocationPlan p;
+    p.workers.assign(n, 0);
+    p.batches.assign(n, 1);
+    p.thresholds.assign(n - 1, 0.5);
+    return p;
+  }
+
+  // --- two-stage aliases (first/last stage) ------------------------------
+  int& light_workers() { return workers.front(); }
+  int light_workers() const { return workers.front(); }
+  int& heavy_workers() { return workers.back(); }
+  int heavy_workers() const { return workers.back(); }
+  int& light_batch() { return batches.front(); }
+  int light_batch() const { return batches.front(); }
+  int& heavy_batch() { return batches.back(); }
+  int heavy_batch() const { return batches.back(); }
+  double& threshold() {
+    DS_REQUIRE(!thresholds.empty(), "depth-1 plan has no threshold");
+    return thresholds.front();
+  }
+  double threshold() const {
+    return thresholds.empty() ? 1.0 : thresholds.front();
+  }
 };
 
 struct EngineConfig {
   int total_workers = 16;
   double slo_seconds = 5.0;
   double model_load_delay = 1.0;
-  /// Light-stage reserve = factor * e_heavy(b2): time kept for a deferral.
+  /// Stage-i reserve = factor * sum of downstream stages' batch execution
+  /// times: the time kept in the stage deadline for the rest of the chain
+  /// should the query be deferred (generalizes the two-stage heavy
+  /// reserve e_heavy(b2)).
   double heavy_reserve_factor = 1.25;
   /// Arm under-filled batch timers this long (trace seconds) before the
   /// last feasible launch instant. The DES fires timers exactly on time

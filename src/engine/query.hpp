@@ -10,9 +10,6 @@
 
 namespace diffserve::engine {
 
-/// Which cascade stage a query currently occupies.
-enum class Stage { kLight, kHeavy };
-
 /// One text-to-image request travelling through the system.
 struct Query {
   std::uint64_t seq = 0;               ///< unique arrival sequence number
@@ -20,15 +17,27 @@ struct Query {
   double arrival_time = 0.0;
   double deadline = 0.0;               ///< arrival_time + SLO
 
-  Stage stage = Stage::kLight;
+  /// Cascade stage the query currently occupies (0 = lightest).
+  std::size_t stage = 0;
   /// Latest completion time for the *current stage* that still leaves room
-  /// for any downstream stage (set by the engine on each hop).
+  /// for the remaining chain (set by the engine on each hop).
   double stage_deadline = 0.0;
 
-  /// Discriminator confidence of the light-model output (set after the
-  /// light stage; -1 before).
+  /// Latest discriminator confidence of this query's newest image (set
+  /// after each non-terminal stage; -1 before any stage ran).
   double confidence = -1.0;
-  bool deferred = false;               ///< routed to the heavyweight model
+  bool deferred = false;  ///< deferred down the chain at least once
+  /// Number of confidence-based deferrals so far (the query's deferral
+  /// history; in cascade mode a query can never be served by a stage
+  /// earlier than this).
+  int deferrals = 0;
+  /// Quality tier of the best image produced so far (-1 = none). Lets the
+  /// engine serve a deferred query best-effort when the rest of the chain
+  /// has no capacity.
+  int image_tier = -1;
+  /// Chain stage that produced that image (-1 = none). May lag `stage`
+  /// when a deferred query is completed best-effort at an unstaffed stage.
+  int image_stage = -1;
 };
 
 /// Terminal record delivered to the sink.

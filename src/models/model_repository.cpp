@@ -4,6 +4,32 @@
 
 namespace diffserve::models {
 
+void CascadeSpec::normalize() {
+  if (chain.empty()) {
+    chain = {light_model, heavy_model};
+  } else {
+    light_model = chain.front();
+    heavy_model = chain.back();
+  }
+  if (discriminators.empty() && !discriminator.empty())
+    discriminators.assign(boundary_count(), discriminator);
+  else if (discriminators.size() == 1 && boundary_count() > 1)
+    discriminators.assign(boundary_count(), discriminators.front());
+  if (!discriminators.empty()) discriminator = discriminators.front();
+}
+
+const std::string& CascadeSpec::stage_model(std::size_t s) const {
+  DS_REQUIRE(!chain.empty() && s < chain.size(),
+             "stage index outside the cascade chain");
+  return chain[s];
+}
+
+const std::string& CascadeSpec::boundary_discriminator(std::size_t b) const {
+  DS_REQUIRE(b < discriminators.size(),
+             "boundary index outside the cascade chain");
+  return discriminators[b];
+}
+
 ModelRepository ModelRepository::with_paper_catalog() {
   ModelRepository repo;
 
@@ -42,6 +68,29 @@ ModelRepository ModelRepository::with_paper_catalog() {
                          catalog::kEfficientNet, 5.0});
   repo.register_cascade({catalog::kCascade3, catalog::kSdxlLightning,
                          catalog::kSdxl, catalog::kEfficientNet, 15.0});
+
+  // Chain-form registrations: Cascade 1 re-registered as an explicit chain
+  // (N=2 equivalence checks), the three-stage tiny->base->large chain, and
+  // the depth-1 solo deployment.
+  CascadeSpec c1_chain;
+  c1_chain.name = catalog::kCascade1Chain;
+  c1_chain.chain = {catalog::kSdTurbo, catalog::kSdV15};
+  c1_chain.discriminators = {catalog::kEfficientNet};
+  c1_chain.slo_seconds = 5.0;
+  repo.register_cascade(std::move(c1_chain));
+
+  CascadeSpec chain3;
+  chain3.name = catalog::kChain3;
+  chain3.chain = {catalog::kSdxs, catalog::kSdTurbo, catalog::kSdV15};
+  chain3.discriminators = {catalog::kEfficientNet, catalog::kEfficientNet};
+  chain3.slo_seconds = 5.0;
+  repo.register_cascade(std::move(chain3));
+
+  CascadeSpec solo;
+  solo.name = catalog::kSoloHeavy;
+  solo.chain = {catalog::kSdV15};
+  solo.slo_seconds = 5.0;
+  repo.register_cascade(std::move(solo));
   return repo;
 }
 
@@ -54,14 +103,20 @@ void ModelRepository::register_model(ModelVariant variant) {
 
 void ModelRepository::register_cascade(CascadeSpec cascade) {
   DS_REQUIRE(!cascade.name.empty(), "cascade needs a name");
-  DS_REQUIRE(has_model(cascade.light_model),
-             "unknown light model: " + cascade.light_model);
-  DS_REQUIRE(has_model(cascade.heavy_model),
-             "unknown heavy model: " + cascade.heavy_model);
-  DS_REQUIRE(has_model(cascade.discriminator),
-             "unknown discriminator: " + cascade.discriminator);
-  DS_REQUIRE(model(cascade.discriminator).kind == ModelKind::kDiscriminator,
-             "cascade discriminator must be a discriminator model");
+  cascade.normalize();
+  DS_REQUIRE(!cascade.chain.empty(), "cascade needs at least one model");
+  for (const auto& m : cascade.chain) {
+    DS_REQUIRE(has_model(m), "unknown cascade model: " + m);
+    DS_REQUIRE(model(m).kind == ModelKind::kDiffusion,
+               "cascade stage must be a diffusion model: " + m);
+  }
+  DS_REQUIRE(cascade.discriminators.size() == cascade.boundary_count(),
+             "cascade needs one discriminator per boundary");
+  for (const auto& d : cascade.discriminators) {
+    DS_REQUIRE(has_model(d), "unknown discriminator: " + d);
+    DS_REQUIRE(model(d).kind == ModelKind::kDiscriminator,
+               "cascade discriminator must be a discriminator model");
+  }
   DS_REQUIRE(cascade.slo_seconds > 0.0, "SLO must be positive");
   DS_REQUIRE(cascades_.count(cascade.name) == 0,
              "duplicate cascade registration: " + cascade.name);

@@ -1,209 +1,165 @@
 #include "runtime/threaded_runtime.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
 #include "control/controller.hpp"
 #include "engine/engine.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
-#include "util/trace_clock.hpp"
 
 namespace diffserve::runtime {
 
-namespace {
+ThreadedBackend::ThreadedBackend(const util::TraceClock& clock, int workers)
+    : clock_(clock) {
+  executors_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    executors_.push_back(std::make_unique<Executor>());
+}
 
-/// ExecutionBackend over real threads and the compressed wall clock: a
-/// timer thread delivers deferred callbacks, one executor thread per
-/// worker sleeps for each batch's profiled latency, and the guard is a
-/// real mutex serializing all engine state.
-class ThreadedBackend final : public engine::ExecutionBackend {
- public:
-  ThreadedBackend(const util::TraceClock& clock, int workers)
-      : clock_(clock) {
-    executors_.reserve(static_cast<std::size_t>(workers));
-    for (int i = 0; i < workers; ++i)
-      executors_.push_back(std::make_unique<Executor>());
-  }
-  ~ThreadedBackend() override { stop(); }
+ThreadedBackend::~ThreadedBackend() { stop(); }
 
-  void start() {
-    timer_thread_ = std::thread([this] { timer_main(); });
-    for (auto& ex : executors_)
-      ex->thread = std::thread([this, e = ex.get()] { executor_main(*e); });
-  }
+void ThreadedBackend::start() {
+  timer_thread_ = std::thread([this] { timer_main(); });
+  for (auto& ex : executors_)
+    ex->thread = std::thread([this, e = ex.get()] { executor_main(*e); });
+}
 
-  /// Joins all threads; in-flight batches (including follow-on batches
-  /// they trigger) finish and deliver their completions first. Idempotent.
-  void stop() {
-    if (stop_.load()) return;
-    // Quiesce before signalling stop: a finishing light batch can
-    // dispatch a follow-on heavy batch, which must still be accepted and
-    // executed rather than lost to an already-joined executor thread.
-    // Bounded so a wedged pipeline cannot hang shutdown.
-    const auto quiesce_deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(2);
-    for (;;) {
-      bool active = false;
-      for (auto& ex : executors_) {
-        std::lock_guard<std::mutex> lk(ex->mu);
-        active = active || ex->has_job || ex->busy;
-      }
-      if (!active || std::chrono::steady_clock::now() > quiesce_deadline)
-        break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-    if (stop_.exchange(true)) return;
-    {
-      std::lock_guard<std::mutex> lk(timer_mu_);
-      timer_cv_.notify_all();
-    }
+void ThreadedBackend::stop() {
+  if (stop_.load()) return;
+  // Quiesce before signalling stop: a finishing batch can dispatch a
+  // follow-on batch deeper in the chain, which must still be accepted and
+  // executed rather than lost to an already-joined executor thread. The
+  // timer thread counts too — a timer callback in flight may be about to
+  // dispatch a batch, and signalling stop in that window would discard
+  // it (losing its queries and leaving the worker busy forever). Once no
+  // executor has work and no timer callback is running, nothing can
+  // dispatch anymore: due timers that have not fired are held back by the
+  // stop flag and their queries stay queued (observable, not lost).
+  // Bounded so a wedged pipeline cannot hang shutdown.
+  const auto quiesce_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    bool active = timer_busy_.load();
     for (auto& ex : executors_) {
       std::lock_guard<std::mutex> lk(ex->mu);
-      ex->cv.notify_all();
+      active = active || ex->has_job || ex->busy;
     }
-    if (timer_thread_.joinable()) timer_thread_.join();
-    for (auto& ex : executors_)
-      if (ex->thread.joinable()) ex->thread.join();
+    if (!active || std::chrono::steady_clock::now() > quiesce_deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-
-  double now() const override { return clock_.now(); }
-
-  std::unique_lock<std::mutex> guard() override {
-    return std::unique_lock<std::mutex>(mu_);
-  }
-
-  engine::TimerHandle defer(double delay_seconds,
-                            std::function<void()> fn) override {
+  if (stop_.exchange(true)) return;
+  {
     std::lock_guard<std::mutex> lk(timer_mu_);
-    const std::uint64_t id = next_id_++;
-    heap_.push({clock_.now() + std::max(delay_seconds, 0.0), id});
-    fns_[id] = std::move(fn);
-    timer_cv_.notify_one();
-    return {id};
+    timer_cv_.notify_all();
   }
-
-  bool cancel(engine::TimerHandle h) override {
-    std::lock_guard<std::mutex> lk(timer_mu_);
-    return fns_.erase(h.id) > 0;
+  for (auto& ex : executors_) {
+    std::lock_guard<std::mutex> lk(ex->mu);
+    ex->cv.notify_all();
   }
+  if (timer_thread_.joinable()) timer_thread_.join();
+  for (auto& ex : executors_)
+    if (ex->thread.joinable()) ex->thread.join();
+}
 
-  void execute(int worker_id, double exec_seconds,
-               std::function<void()> done) override {
-    Executor& ex = *executors_[static_cast<std::size_t>(worker_id)];
-    std::lock_guard<std::mutex> lk(ex.mu);
-    if (stop_.load()) return;  // shutting down: executor may be gone
-    DS_CHECK(!ex.has_job, "worker already executing");
-    // Absolute due time, stamped at dispatch: the executor sleeps *until*
-    // it rather than *for* the latency, so hand-off latency does not
-    // accumulate into batch lateness (which the engine would count as
-    // SLO violations).
-    ex.due = clock_.now() + exec_seconds;
-    ex.done = std::move(done);
-    ex.has_job = true;
-    ex.cv.notify_one();
-  }
+engine::TimerHandle ThreadedBackend::defer(double delay_seconds,
+                                           std::function<void()> fn) {
+  std::lock_guard<std::mutex> lk(timer_mu_);
+  const std::uint64_t id = next_id_++;
+  heap_.push({clock_.now() + std::max(delay_seconds, 0.0), id});
+  fns_[id] = std::move(fn);
+  timer_cv_.notify_one();
+  return {id};
+}
 
- private:
-  struct TimerEntry {
-    double at;
-    std::uint64_t id;
-  };
-  struct TimerCompare {
-    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
-      return a.at > b.at;  // min-heap on due time
-    }
-  };
-  struct Executor {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool has_job = false;
-    bool busy = false;  ///< picked up and sleeping/delivering (for stop())
-    double due = 0.0;   ///< absolute trace time the batch finishes
-    std::function<void()> done;
-    std::thread thread;
-  };
+bool ThreadedBackend::cancel(engine::TimerHandle h) {
+  std::lock_guard<std::mutex> lk(timer_mu_);
+  return fns_.erase(h.id) > 0;
+}
 
-  void timer_main() {
-    for (;;) {
-      std::function<void()> fn;
-      {
-        std::unique_lock<std::mutex> lk(timer_mu_);
-        for (;;) {
-          if (stop_.load()) return;
-          // Cancelled entries stay in the heap; skip them here.
-          while (!heap_.empty() && fns_.find(heap_.top().id) == fns_.end())
-            heap_.pop();
-          if (heap_.empty()) {
-            timer_cv_.wait_for(lk, std::chrono::milliseconds(2));
-            continue;
-          }
-          const double due = heap_.top().at;
-          const double now = clock_.now();
-          if (due <= now) {
-            const std::uint64_t id = heap_.top().id;
-            heap_.pop();
-            auto it = fns_.find(id);
-            fn = std::move(it->second);
-            fns_.erase(it);
-            break;
-          }
-          // Wake at the due time, capped so stop/new-timer are noticed.
-          timer_cv_.wait_for(
-              lk, std::min<std::chrono::duration<double>>(
-                      clock_.wall_duration(due - now),
-                      std::chrono::milliseconds(2)));
+void ThreadedBackend::execute(int worker_id, double exec_seconds,
+                              std::function<void()> done) {
+  Executor& ex = *executors_[static_cast<std::size_t>(worker_id)];
+  std::lock_guard<std::mutex> lk(ex.mu);
+  // Unreachable after a clean quiesce (nothing can dispatch once stop_ is
+  // set); only the bounded quiesce-timeout escape path for a wedged
+  // pipeline lands here, where the executor may already be gone.
+  if (stop_.load()) return;
+  DS_CHECK(!ex.has_job, "worker already executing");
+  // Absolute due time, stamped at dispatch: the executor sleeps *until*
+  // it rather than *for* the latency, so hand-off latency does not
+  // accumulate into batch lateness (which the engine would count as
+  // SLO violations).
+  ex.due = clock_.now() + exec_seconds;
+  ex.done = std::move(done);
+  ex.has_job = true;
+  ex.cv.notify_one();
+}
+
+void ThreadedBackend::timer_main() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lk(timer_mu_);
+      for (;;) {
+        if (stop_.load()) return;
+        // Cancelled entries stay in the heap; skip them here.
+        while (!heap_.empty() && fns_.find(heap_.top().id) == fns_.end())
+          heap_.pop();
+        if (heap_.empty()) {
+          timer_cv_.wait_for(lk, std::chrono::milliseconds(2));
+          continue;
         }
-      }
-      fn();  // acquires the engine guard internally
-    }
-  }
-
-  void executor_main(Executor& ex) {
-    for (;;) {
-      std::function<void()> done;
-      double due = 0.0;
-      {
-        std::unique_lock<std::mutex> lk(ex.mu);
-        ex.cv.wait(lk, [&] { return ex.has_job || stop_.load(); });
-        if (!ex.has_job) return;  // stopping
-        due = ex.due;
-        done = std::move(ex.done);
-        ex.has_job = false;
-        ex.busy = true;
-      }
-      clock_.sleep_until(due);
-      done();  // acquires the engine guard internally
-      {
-        std::lock_guard<std::mutex> lk(ex.mu);
-        ex.busy = false;
+        const double due = heap_.top().at;
+        const double now = clock_.now();
+        if (due <= now) {
+          const std::uint64_t id = heap_.top().id;
+          heap_.pop();
+          auto it = fns_.find(id);
+          fn = std::move(it->second);
+          fns_.erase(it);
+          // Raised while timer_mu_ is still held so stop()'s quiesce can
+          // never observe "timer idle" between extraction and invocation.
+          timer_busy_.store(true);
+          break;
+        }
+        // Wake at the due time, capped so stop/new-timer are noticed.
+        timer_cv_.wait_for(
+            lk, std::min<std::chrono::duration<double>>(
+                    clock_.wall_duration(due - now),
+                    std::chrono::milliseconds(2)));
       }
     }
+    fn();  // acquires the engine guard internally
+    timer_busy_.store(false);
   }
+}
 
-  const util::TraceClock& clock_;
-  std::mutex mu_;  ///< the engine guard
+void ThreadedBackend::executor_main(Executor& ex) {
+  for (;;) {
+    std::function<void()> done;
+    double due = 0.0;
+    {
+      std::unique_lock<std::mutex> lk(ex.mu);
+      ex.cv.wait(lk, [&] { return ex.has_job || stop_.load(); });
+      if (!ex.has_job) return;  // stopping
+      due = ex.due;
+      done = std::move(ex.done);
+      ex.has_job = false;
+      ex.busy = true;
+    }
+    clock_.sleep_until(due);
+    done();  // acquires the engine guard internally
+    {
+      std::lock_guard<std::mutex> lk(ex.mu);
+      ex.busy = false;
+    }
+  }
+}
 
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerCompare>
-      heap_;
-  std::unordered_map<std::uint64_t, std::function<void()>> fns_;
-  std::uint64_t next_id_ = 1;
-  std::thread timer_thread_;
-
-  std::vector<std::unique_ptr<Executor>> executors_;
-  std::atomic<bool> stop_{false};
-};
+namespace {
 
 /// Non-owning adapter: the Controller owns its allocator, but run_threaded
 /// borrows one from the caller.
@@ -242,7 +198,7 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   // deadline-boundary batches launch in time (the DES needs no slack).
   ecfg.launch_slack_seconds = cfg.launch_slack_wall_seconds * cfg.time_scale;
   engine::CascadeEngine eng(backend, env.workload(), env.repository(),
-                            env.cascade(), &env.disc(), env.scorer(), ecfg);
+                            env.cascade(), env.discs(), env.scorer(), ecfg);
 
   control::ControllerConfig ccfg;
   ccfg.period_seconds = cfg.control_period;
@@ -251,7 +207,7 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   ccfg.initial_demand_guess = trace.qps_at(0.0);
   control::Controller controller(
       eng, std::make_unique<BorrowedAllocator>(allocator),
-      env.offline_profile(), ccfg);
+      env.offline_profiles(), ccfg);
 
   util::Rng rng(cfg.arrival_seed);
   const auto arrivals = trace::generate_arrivals(trace, rng, cfg.arrivals);
@@ -279,6 +235,7 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   r.violation_ratio = sink.violation_ratio();
   r.mean_latency = sink.mean_latency();
   r.light_served_fraction = sink.light_served_fraction();
+  r.stage_served_fraction = sink.stage_served_fractions(eng.stage_count());
   r.overall_fid = r.completed >= 2 ? sink.overall_fid() : -1.0;
   return r;
 }

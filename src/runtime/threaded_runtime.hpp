@@ -12,19 +12,101 @@
 // (0.56% FID, 1.1% SLO difference in the paper) is reproduced by running
 // the same trace through both backends and diffing the results.
 //
+// ThreadedBackend is exported here (not hidden in the .cpp) so tests can
+// assemble custom engines over real threads — e.g. the randomized
+// cascade-chain invariant suite applies arbitrary plan sequences against
+// arbitrary chain depths on this backend.
+//
 // `time_scale` compresses wall time: a trace second lasts 1/time_scale
 // wall seconds and every sleep shrinks accordingly. Latencies are recorded
 // in trace seconds, so results are directly comparable with the DES.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "control/allocator.hpp"
 #include "core/environment.hpp"
+#include "engine/backend.hpp"
 #include "trace/arrivals.hpp"
 #include "trace/rate_trace.hpp"
+#include "util/trace_clock.hpp"
 
 namespace diffserve::runtime {
+
+/// ExecutionBackend over real threads and the compressed wall clock: a
+/// timer thread delivers deferred callbacks, one executor thread per
+/// worker sleeps for each batch's profiled latency, and the guard is a
+/// real mutex serializing all engine state.
+class ThreadedBackend final : public engine::ExecutionBackend {
+ public:
+  ThreadedBackend(const util::TraceClock& clock, int workers);
+  ~ThreadedBackend() override;
+
+  void start();
+  /// Joins all threads; in-flight batches (including follow-on batches
+  /// they trigger) finish and deliver their completions first. Idempotent.
+  void stop();
+
+  double now() const override { return clock_.now(); }
+  std::unique_lock<std::mutex> guard() override {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+  engine::TimerHandle defer(double delay_seconds,
+                            std::function<void()> fn) override;
+  bool cancel(engine::TimerHandle h) override;
+  void execute(int worker_id, double exec_seconds,
+               std::function<void()> done) override;
+
+ private:
+  struct TimerEntry {
+    double at;
+    std::uint64_t id;
+  };
+  struct TimerCompare {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      return a.at > b.at;  // min-heap on due time
+    }
+  };
+  struct Executor {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool has_job = false;
+    bool busy = false;  ///< picked up and sleeping/delivering (for stop())
+    double due = 0.0;   ///< absolute trace time the batch finishes
+    std::function<void()> done;
+    std::thread thread;
+  };
+
+  void timer_main();
+  void executor_main(Executor& ex);
+
+  const util::TraceClock& clock_;
+  std::mutex mu_;  ///< the engine guard
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerCompare>
+      heap_;
+  std::unordered_map<std::uint64_t, std::function<void()>> fns_;
+  std::uint64_t next_id_ = 1;
+  std::thread timer_thread_;
+
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::atomic<bool> stop_{false};
+  /// True while the timer thread is inside a callback (set under
+  /// timer_mu_ at extraction); stop()'s quiesce waits on it so a
+  /// mid-flight callback's batch dispatch is never discarded.
+  std::atomic<bool> timer_busy_{false};
+};
 
 struct RuntimeConfig {
   int total_workers = 8;
@@ -52,11 +134,14 @@ struct RuntimeResult {
   std::size_t completed = 0;
   std::size_t dropped = 0;
   double light_served_fraction = 0.0;
+  /// Completed-query share per chain stage (size = chain depth).
+  std::vector<double> stage_served_fraction;
   std::size_t reconfigurations = 0;
 };
 
 /// Replay `trace` through the threaded runtime with the given allocation
-/// policy. Blocks until the trace finishes and the pipeline drains.
+/// policy. Blocks until the trace finishes and the pipeline drains. Works
+/// for any chain depth the environment carries.
 RuntimeResult run_threaded(const core::CascadeEnvironment& env,
                            control::Allocator& allocator,
                            const trace::RateTrace& trace,

@@ -2,6 +2,16 @@
 
 namespace diffserve::serving {
 
+ServingSystem::ServingSystem(
+    sim::Simulation& sim, const quality::Workload& workload,
+    const models::ModelRepository& repo, const models::CascadeSpec& cascade,
+    std::vector<const discriminator::Discriminator*> discs,
+    const quality::FidScorer& scorer, SystemConfig cfg)
+    : sim_(sim),
+      backend_(sim),
+      engine_(backend_, workload, repo, cascade, std::move(discs), scorer,
+              cfg) {}
+
 ServingSystem::ServingSystem(sim::Simulation& sim,
                              const quality::Workload& workload,
                              const models::ModelRepository& repo,

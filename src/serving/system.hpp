@@ -56,6 +56,13 @@ class SimulationBackend final : public engine::ExecutionBackend {
 /// routing modes.
 class ServingSystem {
  public:
+  /// Per-boundary discriminators (discs[b] gates stage b -> b+1).
+  ServingSystem(sim::Simulation& sim, const quality::Workload& workload,
+                const models::ModelRepository& repo,
+                const models::CascadeSpec& cascade,
+                std::vector<const discriminator::Discriminator*> discs,
+                const quality::FidScorer& scorer, SystemConfig cfg);
+  /// Two-stage-era convenience: one discriminator for every boundary.
   ServingSystem(sim::Simulation& sim, const quality::Workload& workload,
                 const models::ModelRepository& repo,
                 const models::CascadeSpec& cascade,
@@ -77,12 +84,16 @@ class ServingSystem {
   const engine::MetricsSink& sink() const { return engine_.sink(); }
   const SystemConfig& config() const { return engine_.config(); }
 
+  double stage_exec_latency(std::size_t s, int batch) const {
+    return engine_.stage_exec_latency(s, batch);
+  }
   double light_exec_latency(int batch) const {
     return engine_.light_exec_latency(batch);
   }
   double heavy_exec_latency(int batch) const {
     return engine_.heavy_exec_latency(batch);
   }
+  std::size_t stage_count() const { return engine_.stage_count(); }
   int light_tier() const { return engine_.light_tier(); }
   int heavy_tier() const { return engine_.heavy_tier(); }
   const models::CascadeSpec& cascade() const { return engine_.cascade(); }

@@ -23,7 +23,11 @@ bool Simulation::cancel(EventHandle h) {
   if (!h.valid()) return false;
   // Lazy deletion: the id is blacklisted; pending occurrences are skipped
   // when they reach the top of the heap, and periodic series stop
-  // rescheduling. Cancelling twice is a no-op.
+  // rescheduling. Cancelling twice is a no-op. The periodic registry entry
+  // is dropped eagerly — its heap trampoline may never fire again (the
+  // cancelled id is skipped at the top of the heap), so waiting for
+  // fire_periodic to erase it would leak the closure.
+  periodic_.erase(h.id);
   return cancelled_.insert(h.id).second;
 }
 
@@ -31,16 +35,29 @@ EventHandle Simulation::every(SimTime interval, EventFn fn) {
   DS_REQUIRE(interval > 0.0, "periodic interval must be positive");
   DS_REQUIRE(fn != nullptr, "null event function");
   const std::uint64_t id = next_id_++;
-  // Self-rescheduling closure; all occurrences share `id` so one cancel()
-  // kills the series.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, id, interval, fn = std::move(fn), tick]() {
-    fn();
-    if (cancelled_.count(id)) return;  // fn may cancel its own series
-    heap_.push(Entry{now_ + interval, next_seq_++, id, *tick});
-  };
-  heap_.push(Entry{now_ + interval, next_seq_++, id, *tick});
+  // The series lives in the registry; every heap occurrence is a thin
+  // trampoline by id, so one cancel() kills the series and nothing holds a
+  // reference cycle onto its own closure.
+  periodic_.emplace(id, Periodic{interval, std::move(fn)});
+  heap_.push(Entry{now_ + interval, next_seq_++, id,
+                   [this, id] { fire_periodic(id); }});
   return EventHandle{id};
+}
+
+void Simulation::fire_periodic(std::uint64_t id) {
+  const auto it = periodic_.find(id);
+  if (it == periodic_.end()) return;
+  const SimTime interval = it->second.interval;
+  // Copy before invoking: fn may register new series, rehashing the
+  // registry out from under a reference.
+  const EventFn fn = it->second.fn;
+  fn();
+  if (cancelled_.count(id)) {  // fn may cancel its own series
+    periodic_.erase(id);
+    return;
+  }
+  heap_.push(Entry{now_ + interval, next_seq_++, id,
+                   [this, id] { fire_periodic(id); }});
 }
 
 void Simulation::drop_cancelled_top() {

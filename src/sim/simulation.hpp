@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -75,6 +76,7 @@ class Simulation {
   };
 
   void drop_cancelled_top();
+  void fire_periodic(std::uint64_t id);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
@@ -82,6 +84,15 @@ class Simulation {
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
   std::unordered_set<std::uint64_t> cancelled_;
+  /// Periodic series registered by every(): id -> (interval, fn). Heap
+  /// occurrences hold only thin trampolines onto this registry, so a
+  /// series owns no reference to itself (a self-capturing closure would
+  /// leak through the shared_ptr cycle).
+  struct Periodic {
+    SimTime interval;
+    EventFn fn;
+  };
+  std::unordered_map<std::uint64_t, Periodic> periodic_;
 };
 
 }  // namespace diffserve::sim

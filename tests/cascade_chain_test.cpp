@@ -1,0 +1,400 @@
+// Randomized engine-invariant suite for N-stage cascade chains.
+//
+// On random traces, random plan sequences, and chain depths 1-3, the
+// engine must uphold, on both execution backends:
+//   * query conservation — every admitted query reaches exactly one
+//     terminal outcome (served, dropped, or rejected at admission); no
+//     query is lost or double-counted;
+//   * non-negative, bounded queue state — worker introspection stays sane
+//     at every sampled instant and every queue drains by quiescence;
+//   * deferral-history consistency — no query is served by a stage earlier
+//     than its deferral history implies (served stage >= deferral count).
+// Plus deterministic N=3 reconfiguration-under-load tests: shrinking a
+// middle stage with a non-empty queue must re-route or complete every
+// queued query (mirroring the two-stage eviction tests in
+// tests/serving_test.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "discriminator/discriminator.hpp"
+#include "engine/engine.hpp"
+#include "models/model_repository.hpp"
+#include "quality/fid.hpp"
+#include "quality/workload.hpp"
+#include "runtime/threaded_runtime.hpp"
+#include "serving/system.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/trace_clock.hpp"
+
+namespace diffserve::engine {
+namespace {
+
+constexpr int kIterationsPerBackend = 100;
+
+/// Cheap three-model chain with fast latencies plus shallower prefixes, so
+/// a random iteration can pick depth 1, 2, or 3.
+class ChainFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new quality::Workload(120);
+    scorer_ = new quality::FidScorer(*workload_);
+    repo_ = new models::ModelRepository();
+    repo_->register_model({"tiny", models::ModelKind::kDiffusion,
+                           models::LatencyProfile::affine(0.05), 1, 512});
+    repo_->register_model({"base", models::ModelKind::kDiffusion,
+                           models::LatencyProfile::affine(0.2), 2, 512});
+    repo_->register_model({"large", models::ModelKind::kDiffusion,
+                           models::LatencyProfile::affine(0.8), 5, 512});
+    repo_->register_model({"disc", models::ModelKind::kDiscriminator,
+                           models::LatencyProfile::affine(0.005, 0.1), 0,
+                           512});
+    for (std::size_t depth = 1; depth <= 3; ++depth) {
+      models::CascadeSpec spec;
+      spec.name = "chain" + std::to_string(depth);
+      const std::vector<std::string> all = {"tiny", "base", "large"};
+      spec.chain.assign(all.begin(), all.begin() + depth);
+      if (depth > 1) spec.discriminators = {"disc"};
+      spec.slo_seconds = 10.0;
+      repo_->register_cascade(std::move(spec));
+    }
+    discriminator::DiscriminatorConfig dc;
+    dc.train_queries = 120;
+    dc.epochs = 2;
+    disc_ = new discriminator::Discriminator(
+        discriminator::train_discriminator(*workload_, 1, 5, dc));
+  }
+  static void TearDownTestSuite() {
+    delete disc_;
+    delete repo_;
+    delete scorer_;
+    delete workload_;
+  }
+
+  static const models::CascadeSpec& chain(std::size_t depth) {
+    return repo_->cascade("chain" + std::to_string(depth));
+  }
+
+  /// A random plan for `depth` stages over `total` workers. May leave
+  /// stages (or everything) unstaffed — the engine's spare rule and
+  /// routing fallbacks must absorb that.
+  static AllocationPlan random_plan(util::Rng& rng, std::size_t depth,
+                                    int total) {
+    AllocationPlan p = AllocationPlan::for_stages(depth);
+    p.mode = depth >= 2 && rng.bernoulli(0.2) ? RoutingMode::kDirect
+                                              : RoutingMode::kCascade;
+    p.p_heavy = rng.uniform();
+    int remaining = total;
+    for (std::size_t s = 0; s < depth && remaining > 0; ++s) {
+      p.workers[s] = static_cast<int>(rng.uniform_int(0, remaining));
+      remaining -= p.workers[s];
+    }
+    const int batch_choices[] = {1, 2, 4};
+    for (std::size_t s = 0; s < depth; ++s)
+      p.batches[s] = batch_choices[rng.uniform_int(0, 2)];
+    for (std::size_t b = 0; b + 1 < depth; ++b)
+      p.thresholds[b] = rng.uniform();
+    return p;
+  }
+
+  struct Scenario {
+    std::size_t depth;
+    int total_workers;
+    double slo;
+    double load_delay;
+    std::vector<double> arrivals;                    // ascending
+    std::vector<std::pair<double, AllocationPlan>> plans;  // by time
+    double horizon;  ///< last event time (arrivals end)
+  };
+
+  static Scenario random_scenario(util::Rng& rng, double span) {
+    Scenario sc;
+    sc.depth = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    sc.total_workers = static_cast<int>(rng.uniform_int(2, 5));
+    sc.slo = rng.uniform(3.0, 8.0);
+    sc.load_delay = rng.bernoulli(0.5) ? 0.0 : 0.3;
+    const int n = static_cast<int>(rng.uniform_int(25, 50));
+    for (int i = 0; i < n; ++i) sc.arrivals.push_back(rng.uniform(0.0, span));
+    std::sort(sc.arrivals.begin(), sc.arrivals.end());
+    sc.plans.push_back({0.0, random_plan(rng, sc.depth, sc.total_workers)});
+    const int extra = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < extra; ++i)
+      sc.plans.push_back({rng.uniform(0.2, span * 0.8),
+                          random_plan(rng, sc.depth, sc.total_workers)});
+    std::sort(sc.plans.begin(), sc.plans.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    sc.horizon = span;
+    return sc;
+  }
+
+  /// The invariants, checked after the backend has quiesced. `leftover`
+  /// is the number of queries legitimately still queued (always 0 on the
+  /// DES after run_all; the threaded backend may stop with stragglers).
+  static void check_invariants(const CascadeEngine& eng,
+                               std::size_t submitted, std::size_t seed) {
+    const MetricsSink& sink = eng.sink();
+    std::size_t leftover = 0;
+    for (std::size_t i = 0; i < eng.worker_count(); ++i) {
+      const auto info = eng.worker_info(i);
+      EXPECT_FALSE(info.busy) << "seed " << seed;
+      leftover += info.queue_length;
+      EXPECT_GE(info.batch_size, 1) << "seed " << seed;
+      EXPECT_LT(info.stage, static_cast<int>(eng.stage_count()))
+          << "seed " << seed;
+    }
+    // Conservation: every admitted query is terminal (or still queued on a
+    // backend stopped mid-flight) — nothing lost, nothing double-counted.
+    EXPECT_EQ(sink.total() + leftover, submitted) << "seed " << seed;
+    std::set<std::uint64_t> seen;
+    for (const auto& r : sink.records()) {
+      EXPECT_TRUE(seen.insert(r.seq).second)
+          << "query " << r.seq << " terminated twice (seed " << seed << ")";
+      EXPECT_LT(r.seq, submitted) << "seed " << seed;
+      // Deferral history: a query deferred k times can only be served by
+      // stage >= k (drops keep whatever stage they reached).
+      EXPECT_GE(static_cast<int>(r.stage), r.deferrals)
+          << "query " << r.seq << " served too early (seed " << seed << ")";
+      EXPECT_LT(r.stage, eng.stage_count()) << "seed " << seed;
+      if (!r.dropped) {
+        EXPECT_GT(r.tier, 0) << "seed " << seed;
+        EXPECT_GE(r.latency, 0.0) << "seed " << seed;
+      }
+    }
+    EXPECT_EQ(seen.size(), sink.total()) << "seed " << seed;
+  }
+
+  static quality::Workload* workload_;
+  static quality::FidScorer* scorer_;
+  static models::ModelRepository* repo_;
+  static discriminator::Discriminator* disc_;
+};
+
+quality::Workload* ChainFixture::workload_ = nullptr;
+quality::FidScorer* ChainFixture::scorer_ = nullptr;
+models::ModelRepository* ChainFixture::repo_ = nullptr;
+discriminator::Discriminator* ChainFixture::disc_ = nullptr;
+
+TEST_F(ChainFixture, RandomizedInvariantsOnDesBackend) {
+  for (std::size_t seed = 1; seed <= kIterationsPerBackend; ++seed) {
+    util::Rng rng(seed);
+    const Scenario sc = random_scenario(rng, /*span=*/8.0);
+
+    sim::Simulation sim;
+    serving::SystemConfig cfg;
+    cfg.total_workers = sc.total_workers;
+    cfg.slo_seconds = sc.slo;
+    cfg.model_load_delay = sc.load_delay;
+    cfg.seed = seed;
+    serving::ServingSystem system(sim, *workload_, *repo_, chain(sc.depth),
+                                  disc_, *scorer_, cfg);
+
+    for (const auto& timed_plan : sc.plans)
+      sim.schedule_at(timed_plan.first, [&system, p = timed_plan.second] {
+        system.apply(p);
+      });
+    system.inject_arrivals(sc.arrivals);
+    // Mid-run queue sanity samples: sizes bounded by what was admitted.
+    for (double t : {sc.horizon * 0.3, sc.horizon * 0.7}) {
+      sim.schedule_at(t, [&system, &sc] {
+        for (std::size_t i = 0; i < system.worker_count(); ++i) {
+          const auto info = system.engine().worker_info(i);
+          EXPECT_LE(info.queue_length, sc.arrivals.size());
+        }
+      });
+    }
+
+    sim.run_until(sc.horizon + sc.slo + 30.0);
+    sim.run_all();
+
+    EXPECT_EQ(system.engine().submitted(), sc.arrivals.size());
+    check_invariants(system.engine(), sc.arrivals.size(), seed);
+    // The DES drains completely: conservation must be exact, no leftovers.
+    EXPECT_EQ(system.sink().total(), sc.arrivals.size()) << "seed " << seed;
+  }
+}
+
+TEST_F(ChainFixture, RandomizedInvariantsOnThreadedBackend) {
+  for (std::size_t seed = 1; seed <= kIterationsPerBackend; ++seed) {
+    util::Rng rng(10'000 + seed);
+    Scenario sc = random_scenario(rng, /*span=*/1.5);
+    sc.slo = rng.uniform(1.5, 3.0);
+
+    util::TraceClock clock(/*time_scale=*/200.0);
+    runtime::ThreadedBackend backend(clock, sc.total_workers);
+    EngineConfig cfg;
+    cfg.total_workers = sc.total_workers;
+    cfg.slo_seconds = sc.slo;
+    cfg.model_load_delay = sc.load_delay;
+    cfg.launch_slack_seconds = 0.004 * 200.0;
+    cfg.seed = seed;
+    CascadeEngine eng(backend, *workload_, *repo_, chain(sc.depth), disc_,
+                      *scorer_, cfg);
+    backend.start();
+
+    // Replay the merged (plan, arrival) timeline in compressed wall time.
+    std::size_t ai = 0, pi = 0;
+    while (ai < sc.arrivals.size() || pi < sc.plans.size()) {
+      const bool plan_next =
+          pi < sc.plans.size() &&
+          (ai >= sc.arrivals.size() ||
+           sc.plans[pi].first <= sc.arrivals[ai]);
+      if (plan_next) {
+        clock.sleep_until(sc.plans[pi].first);
+        eng.apply(sc.plans[pi].second);
+        ++pi;
+      } else {
+        clock.sleep_until(sc.arrivals[ai]);
+        eng.submit_next();
+        ++ai;
+      }
+    }
+    clock.sleep_until(sc.horizon + sc.slo + 2.0);
+    backend.stop();
+
+    EXPECT_EQ(eng.submitted(), sc.arrivals.size());
+    check_invariants(eng, sc.arrivals.size(), seed);
+  }
+}
+
+// --- N=3 reconfiguration under load ---------------------------------------
+
+TEST_F(ChainFixture, ShrinkingMiddleStageReroutesItsQueue) {
+  sim::Simulation sim;
+  serving::SystemConfig cfg;
+  cfg.total_workers = 4;
+  cfg.slo_seconds = 30.0;
+  cfg.model_load_delay = 0.5;
+  serving::ServingSystem system(sim, *workload_, *repo_, chain(3), disc_,
+                                *scorer_, cfg);
+
+  AllocationPlan a = AllocationPlan::for_stages(3);
+  a.workers = {2, 1, 1};
+  // Threshold 1.0 at the first boundary: everything defers to the middle
+  // stage, guaranteeing its queue is non-empty when the shrink lands.
+  a.thresholds = {1.0, 0.0};
+  system.apply(a);
+  EXPECT_EQ(system.engine().reconfigurations(), 1u);
+
+  std::vector<double> arrivals;
+  for (int i = 0; i < 24; ++i) arrivals.push_back(0.6 + 0.05 * i);
+  system.inject_arrivals(arrivals);
+
+  // While the middle stage still has queued deferrals, remove it entirely.
+  sim.schedule_at(2.5, [&] {
+    std::size_t middle_queue = 0;
+    for (std::size_t i = 0; i < system.worker_count(); ++i) {
+      const auto info = system.engine().worker_info(i);
+      if (info.stage == 1) middle_queue += info.queue_length;
+    }
+    EXPECT_GT(middle_queue, 0u) << "scenario must catch a non-empty queue";
+    AllocationPlan b = a;
+    b.workers = {2, 0, 2};
+    system.apply(b);
+  });
+
+  sim.run_until(120.0);
+  sim.run_all();
+
+  // Every admitted query re-routed or completed — nothing vanished with
+  // the evicted stage.
+  EXPECT_EQ(system.engine().reconfigurations(), 2u);
+  EXPECT_EQ(system.sink().total(), arrivals.size());
+  EXPECT_EQ(system.sink().completed() + system.sink().dropped(),
+            arrivals.size());
+  // The deferred queries ended deeper than stage 0.
+  bool deep_served = false;
+  for (const auto& r : system.sink().records())
+    if (!r.dropped && r.stage >= 1) deep_served = true;
+  EXPECT_TRUE(deep_served);
+}
+
+TEST_F(ChainFixture, StageSwapWithSharedModelEvictsQueue) {
+  // A chain may host the same model at two stages; re-staging a worker
+  // swaps no weights, but its queued queries must still be evicted — a
+  // stage-0 query served by the re-staged (now terminal) worker would
+  // skip the boundary discriminator gate entirely.
+  models::ModelRepository repo;
+  repo.register_model({"m", models::ModelKind::kDiffusion,
+                       models::LatencyProfile::affine(1.0), 2, 512});
+  repo.register_model({"disc", models::ModelKind::kDiscriminator,
+                       models::LatencyProfile::affine(0.005, 0.1), 0, 512});
+  models::CascadeSpec spec;
+  spec.name = "self";
+  spec.chain = {"m", "m"};
+  spec.discriminators = {"disc"};
+  spec.slo_seconds = 60.0;
+  repo.register_cascade(std::move(spec));
+
+  sim::Simulation sim;
+  serving::SystemConfig cfg;
+  cfg.total_workers = 2;
+  cfg.slo_seconds = 60.0;
+  cfg.model_load_delay = 0.0;
+  serving::ServingSystem system(sim, *workload_, repo, repo.cascade("self"),
+                                disc_, *scorer_, cfg);
+
+  AllocationPlan a = AllocationPlan::for_stages(2);
+  a.workers = {2, 0};
+  a.thresholds = {1.0};  // the gate defers every stage-0 output
+  system.apply(a);
+
+  std::vector<double> arrivals;
+  for (int i = 0; i < 8; ++i) arrivals.push_back(0.05 * i);
+  system.inject_arrivals(arrivals);
+  // Flip one worker to stage 1 while queues are non-empty. Same model:
+  // no reload, but the queued stage-0 queries must leave with it.
+  sim.schedule_at(0.5, [&] {
+    AllocationPlan b = a;
+    b.workers = {1, 1};
+    system.apply(b);
+  });
+  sim.run_until(120.0);
+  sim.run_all();
+
+  EXPECT_EQ(system.sink().total(), arrivals.size());
+  // Every completion passed the boundary gate exactly once — none were
+  // served terminal by the re-staged worker without a discriminator pass.
+  for (const auto& r : system.sink().records())
+    if (!r.dropped) EXPECT_EQ(r.deferrals, 1) << "query " << r.seq;
+}
+
+TEST_F(ChainFixture, ShrinkingTailStagesServesDeferralsBestEffort) {
+  sim::Simulation sim;
+  serving::SystemConfig cfg;
+  cfg.total_workers = 3;
+  cfg.slo_seconds = 30.0;
+  cfg.model_load_delay = 0.2;
+  serving::ServingSystem system(sim, *workload_, *repo_, chain(3), disc_,
+                                *scorer_, cfg);
+
+  AllocationPlan a = AllocationPlan::for_stages(3);
+  a.workers = {1, 1, 1};
+  a.thresholds = {1.0, 1.0};  // defer everything as deep as it can go
+  system.apply(a);
+
+  std::vector<double> arrivals;
+  for (int i = 0; i < 12; ++i) arrivals.push_back(0.4 + 0.1 * i);
+  system.inject_arrivals(arrivals);
+
+  // Collapse the whole tail: only the light stage remains. In-flight
+  // deferrals must either re-route into surviving pools or complete
+  // best-effort with the image they already have — never disappear.
+  sim.schedule_at(2.0, [&] {
+    AllocationPlan b = a;
+    b.workers = {3, 0, 0};
+    system.apply(b);
+  });
+
+  sim.run_until(120.0);
+  sim.run_all();
+
+  EXPECT_EQ(system.sink().total(), arrivals.size());
+  for (const auto& r : system.sink().records())
+    EXPECT_GE(static_cast<int>(r.stage), r.deferrals);
+}
+
+}  // namespace
+}  // namespace diffserve::engine

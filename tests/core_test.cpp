@@ -34,6 +34,34 @@ TEST(Environment, AssemblesCascade1) {
   EXPECT_GT(env.offline_profile().sample_count(), 100u);
 }
 
+TEST(Environment, AssemblesThreeStageChain) {
+  EnvironmentConfig cfg;
+  cfg.cascade = models::catalog::kChain3;
+  cfg.workload_queries = 600;
+  cfg.discriminator.train_queries = 300;
+  cfg.profile_queries = 300;
+  const CascadeEnvironment env(cfg);
+  EXPECT_EQ(env.stage_count(), 3u);
+  ASSERT_EQ(env.boundary_count(), 2u);
+  EXPECT_EQ(env.stage_tiers(), (std::vector<int>{1, 2, 5}));
+  // One trained discriminator and offline profile per boundary.
+  EXPECT_GT(env.offline_profile(0).sample_count(), 100u);
+  EXPECT_GT(env.offline_profile(1).sample_count(), 100u);
+  ASSERT_EQ(env.discs().size(), 2u);
+
+  // And the chain serves end-to-end through the standard experiment
+  // driver: all three stages produce completions.
+  RunConfig rc;
+  rc.approach = Approach::kDiffServeExhaustive;
+  rc.total_workers = 8;
+  rc.trace = trace::RateTrace::constant(6.0, 40.0);
+  const auto r = run_experiment(env, rc);
+  EXPECT_GT(r.completed, 100u);
+  ASSERT_EQ(r.stage_served_fraction.size(), 3u);
+  for (const double f : r.stage_served_fraction) EXPECT_GT(f, 0.0);
+  EXPECT_GT(r.overall_fid, 0.0);
+}
+
 TEST(OfflineEval, DeferralSweepEndpoints) {
   SweepOptions opts;
   opts.points = 5;
@@ -184,9 +212,9 @@ TEST(Experiment, ControllerHistoryRecorded) {
   EXPECT_GT(r.control_history.size(), 10u);
   EXPECT_GT(r.mean_solve_ms, 0.0);
   for (const auto& h : r.control_history) {
-    EXPECT_LE(h.decision.light_workers + h.decision.heavy_workers, 8);
-    EXPECT_GE(h.decision.threshold, 0.0);
-    EXPECT_LE(h.decision.threshold, 1.0);
+    EXPECT_LE(h.decision.light_workers() + h.decision.heavy_workers(), 8);
+    EXPECT_GE(h.decision.threshold(), 0.0);
+    EXPECT_LE(h.decision.threshold(), 1.0);
   }
 }
 

@@ -58,6 +58,39 @@ TEST(EngineParity, DesAndThreadedBackendsAgree) {
   EXPECT_EQ(des.submitted, threaded.submitted);
 }
 
+TEST(EngineEquivalence, ChainRegistrationMatchesPairRegistration) {
+  // The N-stage generalization must make N=2 a pure special case: the same
+  // two-model cascade registered through the explicit chain form
+  // (cascade1-chain) reproduces the pair-registered cascade1 metrics
+  // *exactly* — FID, SLO violations, reconfiguration count, and every
+  // terminal count — on a fixed trace.
+  core::EnvironmentConfig chain_cfg;
+  chain_cfg.cascade = models::catalog::kCascade1Chain;
+  chain_cfg.workload_queries = 800;
+  chain_cfg.discriminator.train_queries = 500;
+  chain_cfg.profile_queries = 500;
+  const core::CascadeEnvironment chain_env(chain_cfg);
+
+  const auto tr = trace::RateTrace::azure_like(2.0, 8.0, 80.0, 7);
+  core::RunConfig rc;
+  rc.approach = core::Approach::kDiffServeExhaustive;
+  rc.total_workers = 6;
+  rc.trace = tr;
+  rc.controller.initial_demand_guess = tr.qps_at(0.0);
+
+  const auto pair_run = core::run_experiment(shared_env(), rc);
+  const auto chain_run = core::run_experiment(chain_env, rc);
+
+  EXPECT_EQ(pair_run.overall_fid, chain_run.overall_fid);
+  EXPECT_EQ(pair_run.violation_ratio, chain_run.violation_ratio);
+  EXPECT_EQ(pair_run.mean_latency, chain_run.mean_latency);
+  EXPECT_EQ(pair_run.light_served_fraction, chain_run.light_served_fraction);
+  EXPECT_EQ(pair_run.submitted, chain_run.submitted);
+  EXPECT_EQ(pair_run.completed, chain_run.completed);
+  EXPECT_EQ(pair_run.dropped, chain_run.dropped);
+  EXPECT_EQ(pair_run.reconfigurations, chain_run.reconfigurations);
+}
+
 TEST(EngineReconfig, DesEvictionReroutesAndCountsOncePerPlan) {
   const auto& env = shared_env();
   sim::Simulation sim;
@@ -70,9 +103,9 @@ TEST(EngineReconfig, DesEvictionReroutesAndCountsOncePerPlan) {
                                 cfg);
 
   serving::AllocationPlan a;
-  a.light_workers = 3;
-  a.heavy_workers = 1;
-  a.threshold = 0.4;
+  a.light_workers() = 3;
+  a.heavy_workers() = 1;
+  a.threshold() = 0.4;
   system.apply(a);
   EXPECT_EQ(system.engine().reconfigurations(), 1u);  // initial load
   system.apply(a);
@@ -86,8 +119,8 @@ TEST(EngineReconfig, DesEvictionReroutesAndCountsOncePerPlan) {
   system.inject_arrivals(arrivals);
   sim.schedule_at(0.8, [&] {
     serving::AllocationPlan b = a;
-    b.light_workers = 1;
-    b.heavy_workers = 3;
+    b.light_workers() = 1;
+    b.heavy_workers() = 3;
     system.apply(b);
   });
   sim.run_until(80.0);
@@ -108,12 +141,12 @@ class FlipAllocator final : public control::Allocator {
       const control::AllocationInput&) override {
     control::AllocationDecision d;
     d.feasible = true;
-    d.light_batch = 1;
-    d.heavy_batch = 1;
-    d.threshold = 0.4;
+    d.light_batch() = 1;
+    d.heavy_batch() = 1;
+    d.threshold() = 0.4;
     const bool flipped = ticks_++ >= flip_after_;
-    d.light_workers = flipped ? 1 : 3;
-    d.heavy_workers = flipped ? 3 : 1;
+    d.light_workers() = flipped ? 1 : 3;
+    d.heavy_workers() = flipped ? 3 : 1;
     return d;
   }
   std::string name() const override { return "flip"; }

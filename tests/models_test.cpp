@@ -140,7 +140,75 @@ TEST(Repository, UnknownLookupsThrow) {
 TEST(Repository, CatalogListsAllNames) {
   const auto repo = ModelRepository::with_paper_catalog();
   EXPECT_EQ(repo.model_names().size(), 8u);
-  EXPECT_EQ(repo.cascade_names().size(), 3u);
+  // Three paper cascades + the chain-form trio (cascade1-chain, chain3,
+  // solo).
+  EXPECT_EQ(repo.cascade_names().size(), 6u);
+}
+
+TEST(Repository, PairRegistrationNormalizesToChain) {
+  const auto repo = ModelRepository::with_paper_catalog();
+  const auto& c1 = repo.cascade(catalog::kCascade1);
+  ASSERT_EQ(c1.chain.size(), 2u);
+  EXPECT_EQ(c1.stage_model(0), catalog::kSdTurbo);
+  EXPECT_EQ(c1.stage_model(1), catalog::kSdV15);
+  ASSERT_EQ(c1.discriminators.size(), 1u);
+  EXPECT_EQ(c1.boundary_discriminator(0), catalog::kEfficientNet);
+  EXPECT_EQ(c1.boundary_count(), 1u);
+}
+
+TEST(Repository, ChainRegistrationSyncsPairAliases) {
+  const auto repo = ModelRepository::with_paper_catalog();
+  const auto& chain3 = repo.cascade(catalog::kChain3);
+  ASSERT_EQ(chain3.chain.size(), 3u);
+  EXPECT_EQ(chain3.light_model, catalog::kSdxs);
+  EXPECT_EQ(chain3.heavy_model, catalog::kSdV15);
+  EXPECT_EQ(chain3.boundary_count(), 2u);
+  EXPECT_EQ(chain3.boundary_discriminator(1), catalog::kEfficientNet);
+
+  const auto& solo = repo.cascade(catalog::kSoloHeavy);
+  ASSERT_EQ(solo.chain.size(), 1u);
+  EXPECT_EQ(solo.boundary_count(), 0u);
+  EXPECT_TRUE(solo.discriminators.empty());
+  EXPECT_EQ(solo.light_model, solo.heavy_model);
+}
+
+TEST(Repository, ChainValidation) {
+  ModelRepository repo;
+  repo.register_model({"a", ModelKind::kDiffusion,
+                       LatencyProfile::affine(0.1), 1, 512});
+  repo.register_model({"b", ModelKind::kDiffusion,
+                       LatencyProfile::affine(0.5), 2, 512});
+  repo.register_model({"c", ModelKind::kDiffusion,
+                       LatencyProfile::affine(1.0), 3, 512});
+  repo.register_model({"disc", ModelKind::kDiscriminator,
+                       LatencyProfile::affine(0.01), 0, 512});
+
+  // A single discriminator entry is replicated across every boundary.
+  CascadeSpec ok;
+  ok.name = "abc";
+  ok.chain = {"a", "b", "c"};
+  ok.discriminators = {"disc"};
+  EXPECT_NO_THROW(repo.register_cascade(ok));
+  EXPECT_EQ(repo.cascade("abc").discriminators.size(), 2u);
+
+  // Unknown stage model.
+  CascadeSpec bad = ok;
+  bad.name = "bad1";
+  bad.chain = {"a", "missing", "c"};
+  EXPECT_THROW(repo.register_cascade(bad), std::invalid_argument);
+
+  // A diffusion model cannot gate a boundary.
+  bad = ok;
+  bad.name = "bad2";
+  bad.discriminators = {"b", "b"};
+  EXPECT_THROW(repo.register_cascade(bad), std::invalid_argument);
+
+  // Multi-boundary chains need a discriminator.
+  bad = ok;
+  bad.name = "bad3";
+  bad.discriminators.clear();
+  bad.discriminator.clear();
+  EXPECT_THROW(repo.register_cascade(bad), std::invalid_argument);
 }
 
 TEST(StandardBatchSizes, PowersOfTwoUpTo32) {

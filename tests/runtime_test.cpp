@@ -88,6 +88,28 @@ TEST(ThreadedRuntime, FidelityAgainstSimulator) {
             0.15);
 }
 
+TEST(ThreadedRuntime, ServesThreeStageChain) {
+  // The catalog's three-stage chain runs end-to-end on the threaded
+  // backend: every stage produces completions under the standard control
+  // loop.
+  core::EnvironmentConfig cfg;
+  cfg.cascade = models::catalog::kChain3;
+  cfg.workload_queries = 600;
+  cfg.discriminator.train_queries = 300;
+  cfg.profile_queries = 300;
+  const core::CascadeEnvironment env(cfg);
+
+  const auto tr = trace::RateTrace::constant(6.0, 30.0);
+  control::ExhaustiveAllocator alloc;
+  RuntimeConfig rt;
+  rt.total_workers = 8;
+  rt.time_scale = 60.0;
+  const auto r = run_threaded(env, alloc, tr, rt);
+  EXPECT_GT(r.completed, 100u);
+  ASSERT_EQ(r.stage_served_fraction.size(), 3u);
+  for (const double f : r.stage_served_fraction) EXPECT_GT(f, 0.0);
+}
+
 TEST(ThreadedRuntime, RejectsBadConfig) {
   const auto tr = trace::RateTrace::constant(1.0, 20.0);
   control::ExhaustiveAllocator alloc;

@@ -63,9 +63,9 @@ class UnitHarness {
   void apply_direct(int light_batch) {
     AllocationPlan plan;
     plan.mode = RoutingMode::kDirect;
-    plan.light_workers = system_->config().total_workers;
-    plan.heavy_workers = 0;
-    plan.light_batch = light_batch;
+    plan.light_workers() = system_->config().total_workers;
+    plan.heavy_workers() = 0;
+    plan.light_batch() = light_batch;
     system_->apply(plan);
   }
 
@@ -124,8 +124,8 @@ TEST(EngineBatching, RejectsUnsupportedBatch) {
   UnitHarness h(100.0);
   AllocationPlan plan;
   plan.mode = RoutingMode::kDirect;
-  plan.light_workers = 1;
-  plan.light_batch = 3;  // not in the profile {1, 2, 4}
+  plan.light_workers() = 1;
+  plan.light_batch() = 3;  // not in the profile {1, 2, 4}
   EXPECT_THROW(h.system_->apply(plan), std::invalid_argument);
 }
 
@@ -173,11 +173,11 @@ TEST_F(ServingIntegration, CascadeServesAndDefers) {
                        *scorer_, cfg);
   AllocationPlan plan;
   plan.mode = RoutingMode::kCascade;
-  plan.light_workers = 1;
-  plan.heavy_workers = 3;
-  plan.light_batch = 1;
-  plan.heavy_batch = 1;
-  plan.threshold = 0.5;
+  plan.light_workers() = 1;
+  plan.heavy_workers() = 3;
+  plan.light_batch() = 1;
+  plan.heavy_batch() = 1;
+  plan.threshold() = 0.5;
   system.apply(plan);
 
   std::vector<double> arrivals;
@@ -205,9 +205,9 @@ TEST_F(ServingIntegration, ThresholdZeroServesEverythingLight) {
                        repo_->cascade(models::catalog::kCascade1), disc_,
                        *scorer_, cfg);
   AllocationPlan plan;
-  plan.light_workers = 2;
-  plan.heavy_workers = 0;
-  plan.threshold = 0.0;
+  plan.light_workers() = 2;
+  plan.heavy_workers() = 0;
+  plan.threshold() = 0.0;
   system.apply(plan);
   std::vector<double> arrivals;
   for (int i = 0; i < 20; ++i) arrivals.push_back(0.2 + i * 0.3);
@@ -230,8 +230,8 @@ TEST_F(ServingIntegration, DirectModeSplitsByProbability) {
                        *scorer_, cfg);
   AllocationPlan plan;
   plan.mode = RoutingMode::kDirect;
-  plan.light_workers = 2;
-  plan.heavy_workers = 6;
+  plan.light_workers() = 2;
+  plan.heavy_workers() = 6;
   plan.p_heavy = 0.5;
   system.apply(plan);
   std::vector<double> arrivals;
@@ -253,9 +253,9 @@ TEST_F(ServingIntegration, ReconfigurationPreservesQueries) {
                        repo_->cascade(models::catalog::kCascade1), disc_,
                        *scorer_, cfg);
   AllocationPlan plan;
-  plan.light_workers = 3;
-  plan.heavy_workers = 1;
-  plan.threshold = 0.3;
+  plan.light_workers() = 3;
+  plan.heavy_workers() = 1;
+  plan.threshold() = 0.3;
   system.apply(plan);
   std::vector<double> arrivals;
   for (int i = 0; i < 30; ++i) arrivals.push_back(0.1 * i);
@@ -263,14 +263,49 @@ TEST_F(ServingIntegration, ReconfigurationPreservesQueries) {
   // Mid-stream, flip the split; queued queries must be re-routed, not lost.
   sim.schedule_at(1.5, [&] {
     AllocationPlan p2 = plan;
-    p2.light_workers = 1;
-    p2.heavy_workers = 3;
+    p2.light_workers() = 1;
+    p2.heavy_workers() = 3;
     system.apply(p2);
   });
   sim.run_until(60.0);
   sim.run_all();
   EXPECT_EQ(system.sink().total(), 30u);  // nothing vanished
   EXPECT_EQ(system.engine().reconfigurations(), 2u);  // initial + flip
+}
+
+TEST_F(ServingIntegration, ThreeStageReconfigurationPreservesQueries) {
+  // N=3 mirror of ReconfigurationPreservesQueries: shrinking the middle
+  // stage of a chain while its queue is non-empty must re-route or
+  // complete every queued query.
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.total_workers = 4;
+  cfg.slo_seconds = 25.0;
+  cfg.model_load_delay = 0.2;
+  ServingSystem system(sim, *workload_, *repo_,
+                       repo_->cascade(models::catalog::kChain3), disc_,
+                       *scorer_, cfg);
+  engine::AllocationPlan plan = engine::AllocationPlan::for_stages(3);
+  plan.workers = {2, 1, 1};
+  plan.thresholds = {1.0, 0.3};  // boundary 0 defers everything inward
+  system.apply(plan);
+
+  std::vector<double> arrivals;
+  for (int i = 0; i < 30; ++i) arrivals.push_back(0.3 + 0.1 * i);
+  system.inject_arrivals(arrivals);
+  // Mid-stream, drop the middle stage; its queued deferrals must move on.
+  sim.schedule_at(2.0, [&] {
+    engine::AllocationPlan p2 = plan;
+    p2.workers = {2, 0, 2};
+    system.apply(p2);
+  });
+  sim.run_until(90.0);
+  sim.run_all();
+
+  EXPECT_EQ(system.sink().total(), 30u);  // nothing vanished
+  EXPECT_EQ(system.engine().reconfigurations(), 2u);  // initial + shrink
+  // Deferred traffic really reached deeper stages.
+  EXPECT_LT(system.sink().light_served_fraction(), 1.0);
 }
 
 TEST_F(ServingIntegration, SinkMetrics) {
@@ -311,8 +346,8 @@ TEST_F(ServingIntegration, PlanExceedingClusterRejected) {
                        repo_->cascade(models::catalog::kCascade1), disc_,
                        *scorer_, cfg);
   AllocationPlan plan;
-  plan.light_workers = 2;
-  plan.heavy_workers = 2;
+  plan.light_workers() = 2;
+  plan.heavy_workers() = 2;
   EXPECT_THROW(system.apply(plan), std::invalid_argument);
 }
 
@@ -324,8 +359,8 @@ TEST_F(ServingIntegration, SparesJoinLightPool) {
                        repo_->cascade(models::catalog::kCascade1), disc_,
                        *scorer_, cfg);
   AllocationPlan plan;
-  plan.light_workers = 1;
-  plan.heavy_workers = 2;
+  plan.light_workers() = 1;
+  plan.heavy_workers() = 2;
   system.apply(plan);
   EXPECT_EQ(system.engine().light_stats().workers, 4);  // 1 + 3 spares
   EXPECT_EQ(system.engine().heavy_stats().workers, 2);
