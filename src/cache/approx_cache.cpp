@@ -1,0 +1,161 @@
+#include "cache/approx_cache.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace diffserve::cache {
+
+const char* to_string(HitLevel level) {
+  switch (level) {
+    case HitLevel::kMiss: return "miss";
+    case HitLevel::kExact: return "exact";
+    case HitLevel::kApproxNear: return "approx-near";
+    case HitLevel::kApproxFar: return "approx-far";
+  }
+  return "?";
+}
+
+double CacheStats::hit_ratio() const {
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(hits()) / static_cast<double>(lookups);
+}
+
+double CacheStats::exact_hit_ratio() const {
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(exact_hits) / static_cast<double>(lookups);
+}
+
+double CacheStats::mean_step_fraction() const {
+  const std::uint64_t n = lookups - exact_hits;
+  if (n == 0) return 1.0;
+  return step_fraction_sum / static_cast<double>(n);
+}
+
+ApproxCache::ApproxCache(CacheConfig cfg) : cfg_(cfg) {
+  DS_REQUIRE(cfg_.capacity >= 1, "cache capacity must be >= 1");
+  DS_REQUIRE(cfg_.exact_distance >= 0.0, "negative exact threshold");
+  DS_REQUIRE(cfg_.exact_distance <= cfg_.near_distance &&
+                 cfg_.near_distance <= cfg_.far_distance,
+             "hit thresholds must be ordered exact <= near <= far");
+  DS_REQUIRE(cfg_.near_step_fraction > 0.0 && cfg_.near_step_fraction <= 1.0,
+             "near step fraction must be in (0, 1]");
+  DS_REQUIRE(cfg_.far_step_fraction > 0.0 && cfg_.far_step_fraction <= 1.0,
+             "far step fraction must be in (0, 1]");
+  DS_REQUIRE(cfg_.hit_latency >= 0.0, "negative hit latency");
+  DS_REQUIRE(cfg_.popularity_weight >= 0.0, "negative popularity weight");
+  entries_.reserve(cfg_.capacity);
+}
+
+double ApproxCache::distance(const std::vector<double>& a,
+                             const std::vector<double>& b) const {
+  DS_REQUIRE(a.size() == b.size(), "key dimensions differ");
+  if (cfg_.metric == SimilarityMetric::kL2) {
+    double sq = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d) {
+      const double diff = a[d] - b[d];
+      sq += diff * diff;
+    }
+    return std::sqrt(sq);
+  }
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    dot += a[d] * b[d];
+    na += a[d] * a[d];
+    nb += b[d] * b[d];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 1e-12) return 1.0;  // a zero vector is similar to nothing
+  return 1.0 - dot / denom;
+}
+
+double ApproxCache::eviction_score(const Entry& e) const {
+  return e.last_used +
+         cfg_.popularity_weight * std::log1p(static_cast<double>(e.hits));
+}
+
+LookupResult ApproxCache::lookup(const std::vector<double>& key, double now) {
+  ++stats_.lookups;
+  Entry* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (auto& e : entries_) {
+    const double d = distance(e.key, key);
+    // Strict < with an in-order scan: ties resolve to the earliest
+    // insertion, independent of eviction history.
+    if (d < best_d) {
+      best_d = d;
+      best = &e;
+    }
+  }
+
+  LookupResult r;
+  if (best != nullptr && best_d <= cfg_.far_distance) {
+    if (best_d <= cfg_.exact_distance) {
+      r.level = HitLevel::kExact;
+      r.step_fraction = 0.0;
+      ++stats_.exact_hits;
+    } else if (best_d <= cfg_.near_distance) {
+      r.level = HitLevel::kApproxNear;
+      r.step_fraction = cfg_.near_step_fraction;
+      ++stats_.near_hits;
+    } else {
+      r.level = HitLevel::kApproxFar;
+      r.step_fraction = cfg_.far_step_fraction;
+      ++stats_.far_hits;
+    }
+    r.donor_prompt = best->prompt;
+    r.donor_tier = best->tier;
+    r.donor_stage = best->stage;
+    r.distance = best_d;
+    ++best->hits;
+    best->last_used = now;
+  }
+  if (r.level != HitLevel::kExact)
+    stats_.step_fraction_sum += r.step_fraction;
+  return r;
+}
+
+void ApproxCache::insert(quality::QueryId prompt, int tier, int stage,
+                         const std::vector<double>& key, double now) {
+  DS_REQUIRE(tier > 0, "cached images need a diffusion tier");
+  // Refresh an already-cached prompt in place, keeping the higher-quality
+  // image (a deferral may re-serve the same prompt at a heavier tier).
+  for (auto& e : entries_) {
+    if (e.prompt == prompt) {
+      if (tier >= e.tier) {
+        e.tier = tier;
+        e.stage = stage;
+      }
+      e.last_used = now;
+      return;
+    }
+  }
+  if (entries_.size() >= cfg_.capacity) {
+    std::size_t victim = 0;
+    double victim_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const double s = eviction_score(entries_[i]);
+      if (s < victim_score ||
+          (s == victim_score &&
+           entries_[i].order < entries_[victim].order)) {
+        victim_score = s;
+        victim = i;
+      }
+    }
+    entries_[victim] = entries_.back();
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  Entry e;
+  e.prompt = prompt;
+  e.tier = tier;
+  e.stage = stage;
+  e.key = key;
+  e.last_used = now;
+  e.order = next_order_++;
+  entries_.push_back(std::move(e));
+  ++stats_.insertions;
+}
+
+}  // namespace diffserve::cache

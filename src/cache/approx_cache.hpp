@@ -1,0 +1,154 @@
+// Approximate prompt-reuse cache (the "retrieval" tier in front of the
+// cascade).
+//
+// Production text-to-image traffic is heavily repetitive: the same and
+// near-identical prompts recur, and intermediate results for *similar*
+// prompts can seed a generation that needs only a fraction of the
+// diffusion steps (Agarwal et al., PAPERS.md). This module is that reuse
+// tier: a capacity-bounded store keyed by prompt style vectors, probed at
+// admission by the CascadeEngine.
+//
+// A lookup classifies the nearest cached neighbour into tiered hit levels:
+//
+//   exact       — distance <= exact_distance: the cached image is served
+//                 as-is; the query never enters a stage pool.
+//   approx-near — distance <= near_distance: the donor's intermediate
+//                 result seeds the generation, which then runs only
+//                 near_step_fraction of its diffusion steps.
+//   approx-far  — distance <= far_distance: a weaker seed; the generation
+//                 runs far_step_fraction of its steps.
+//   miss        — nothing close enough; full generation.
+//
+// Eviction is LRU blended with popularity: the victim minimizes
+// last_used + popularity_weight * log1p(hits), so a frequently reused
+// entry survives a burst of one-off insertions. All behaviour is a
+// deterministic function of the operation sequence (no internal
+// randomness), which is how the DES and threaded backends stay in
+// agreement; the engine's guard serializes access, so the cache itself
+// holds no lock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quality/workload.hpp"
+
+namespace diffserve::cache {
+
+/// Outcome tier of a cache probe, ordered by reuse strength.
+enum class HitLevel { kMiss = 0, kExact = 1, kApproxNear = 2, kApproxFar = 3 };
+
+const char* to_string(HitLevel level);
+
+enum class SimilarityMetric {
+  kL2,      ///< Euclidean distance between style vectors
+  kCosine,  ///< 1 - cosine similarity (0 = parallel, 2 = opposed)
+};
+
+struct CacheConfig {
+  /// Master switch. Disabled (the default) means the engine never probes
+  /// or inserts — behaviour is byte-identical to a build without the
+  /// cache subsystem.
+  bool enabled = false;
+  /// Maximum number of cached entries.
+  std::size_t capacity = 256;
+  SimilarityMetric metric = SimilarityMetric::kL2;
+  /// Distance thresholds for the hit tiers, in the chosen metric's units.
+  /// The defaults suit L2 over the synthetic workload's ~N(0,1)^6 style
+  /// vectors; cosine deployments want thresholds in [0, 2].
+  double exact_distance = 1e-9;
+  double near_distance = 1.0;
+  double far_distance = 1.8;
+  /// Fraction of the diffusion steps an approx hit still executes (the
+  /// donor's intermediate result replaces the skipped prefix).
+  double near_step_fraction = 0.4;
+  double far_step_fraction = 0.75;
+  /// Serving latency of an exact hit (lookup + image decode), trace
+  /// seconds; the query completes after this delay without touching a
+  /// stage pool.
+  double hit_latency = 0.02;
+  /// Eviction blend: seconds of recency one e-fold of hits is worth. 0 is
+  /// pure LRU; larger values protect popular entries longer.
+  double popularity_weight = 5.0;
+};
+
+/// Aggregate probe/insert counters (engine- and controller-facing).
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t exact_hits = 0;
+  std::uint64_t near_hits = 0;
+  std::uint64_t far_hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Sum of the step fractions the stages still had to run, over every
+  /// lookup that was *not* an exact hit (a miss contributes 1.0). The
+  /// controller's per-stage service-time discount is the mean of this.
+  double step_fraction_sum = 0.0;
+
+  std::uint64_t hits() const { return exact_hits + near_hits + far_hits; }
+  /// Any-level hits over lookups (0 before the first lookup).
+  double hit_ratio() const;
+  /// Exact hits over lookups — the fraction of demand the cache absorbs
+  /// entirely.
+  double exact_hit_ratio() const;
+  /// Mean step fraction over non-exact lookups (1.0 before any).
+  double mean_step_fraction() const;
+};
+
+/// Result of one admission-time probe.
+struct LookupResult {
+  HitLevel level = HitLevel::kMiss;
+  quality::QueryId donor_prompt = 0;  ///< prompt whose image is reused
+  int donor_tier = -1;                ///< quality tier of the donor image
+  int donor_stage = -1;               ///< chain stage that produced it
+  double distance = 0.0;              ///< distance to the donor's key
+  /// Fraction of diffusion steps the chain still runs (1.0 on a miss,
+  /// 0.0 on an exact hit).
+  double step_fraction = 1.0;
+};
+
+class ApproxCache {
+ public:
+  explicit ApproxCache(CacheConfig cfg);
+
+  /// Probe for the nearest cached neighbour of `key` and classify it.
+  /// Hits refresh the donor's recency and popularity. `now` is the
+  /// backend clock (trace seconds).
+  LookupResult lookup(const std::vector<double>& key, double now);
+
+  /// Insert a fully generated image (prompt, quality tier, producing
+  /// stage) under `key`. Re-inserting a cached prompt refreshes it and
+  /// keeps the higher-quality tier; a full cache evicts the entry with
+  /// the lowest recency+popularity score first.
+  void insert(quality::QueryId prompt, int tier, int stage,
+              const std::vector<double>& key, double now);
+
+  std::size_t size() const { return entries_.size(); }
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Distance between two keys under the configured metric (exposed for
+  /// tests and threshold calibration).
+  double distance(const std::vector<double>& a,
+                  const std::vector<double>& b) const;
+
+ private:
+  struct Entry {
+    quality::QueryId prompt = 0;
+    int tier = 0;
+    int stage = 0;
+    std::vector<double> key;
+    std::uint64_t hits = 0;
+    double last_used = 0.0;
+    std::uint64_t order = 0;  ///< insertion sequence (deterministic ties)
+  };
+
+  double eviction_score(const Entry& e) const;
+
+  CacheConfig cfg_;
+  std::vector<Entry> entries_;
+  CacheStats stats_;
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace diffserve::cache

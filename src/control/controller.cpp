@@ -1,5 +1,7 @@
 #include "control/controller.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -25,7 +27,9 @@ Controller::Controller(
     : engine_(engine),
       allocator_(std::move(allocator)),
       cfg_(cfg),
-      demand_holt_(cfg.ewma_alpha, cfg.trend_beta) {
+      demand_holt_(cfg.ewma_alpha, cfg.trend_beta),
+      cache_hit_ewma_(cfg.cache_alpha),
+      cache_step_ewma_(cfg.cache_alpha) {
   DS_REQUIRE(allocator_ != nullptr, "controller needs an allocator");
   DS_REQUIRE(cfg_.period_seconds > 0.0, "control period must be positive");
   DS_REQUIRE(offline_profiles.size() == engine_.boundary_count(),
@@ -73,8 +77,15 @@ void Controller::schedule_next_tick() {
   const double delay = next_tick_time_ - engine_.backend().now();
   const auto handle = engine_.backend().defer(delay, [this] {
     if (!running_.load()) return;
-    tick();
-    schedule_next_tick();
+    // The tick (and its allocator solve, potentially a slow MILP) runs
+    // through offload() so a concurrent backend's timer thread is never
+    // blocked — batch-launch timers keep firing during the solve. On
+    // single-threaded backends offload is a synchronous call.
+    engine_.backend().offload([this] {
+      if (!running_.load()) return;
+      tick();
+      schedule_next_tick();
+    });
   });
   std::lock_guard<std::mutex> lock(tick_mu_);
   tick_handle_ = handle;
@@ -92,6 +103,14 @@ AllocationInput Controller::snapshot_input() const {
   in.total_workers = engine_.config().total_workers;
   in.recent_violation_ratio = engine_.recent_violation_ratio();
 
+  // Cache-aware discounts: exact hits never reach the chain, so the
+  // allocator plans for the *effective* demand lambda * (1 - h_exact);
+  // approx hits shorten every stage's batches by the mean step fraction
+  // of the remaining traffic. Both are 1x/0 with the cache off, keeping
+  // the input byte-identical.
+  const double service_discount = effective_service_discount();
+  in.demand_qps *= 1.0 - effective_exact_hit_ratio();
+
   for (std::size_t s = 0; s < n; ++s) {
     auto& stage = in.stages[s];
     const auto stats = engine_.stage_stats(s);
@@ -102,7 +121,7 @@ AllocationInput Controller::snapshot_input() const {
     // source of truth for both backends).
     std::map<int, double> lat;
     for (const int b : models::standard_batch_sizes())
-      lat[b] = engine_.stage_exec_latency(s, b);
+      lat[b] = engine_.stage_exec_latency(s, b) * service_discount;
     stage.perf =
         StagePerfModel(models::LatencyProfile(std::move(lat)), nullptr);
   }
@@ -115,6 +134,38 @@ AllocationInput Controller::snapshot_input() const {
   return in;
 }
 
+double Controller::effective_exact_hit_ratio() const {
+  if (!cfg_.cache_aware || !engine_.cache_enabled()) return 0.0;
+  return std::min(0.95, cache_hit_ewma_.value());
+}
+
+double Controller::effective_service_discount() const {
+  if (!cfg_.cache_aware || !engine_.cache_enabled() ||
+      !cache_step_ewma_.has_value())
+    return 1.0;
+  return std::min(1.0, std::max(cache_step_ewma_.value(), 0.05));
+}
+
+void Controller::observe_cache() {
+  if (!cfg_.cache_aware || !engine_.cache_enabled()) return;
+  const auto stats = engine_.cache_stats();
+  const std::uint64_t lookups = stats.lookups - last_cache_stats_.lookups;
+  if (lookups > 0) {
+    const std::uint64_t exact =
+        stats.exact_hits - last_cache_stats_.exact_hits;
+    cache_hit_ewma_.observe(static_cast<double>(exact) /
+                            static_cast<double>(lookups));
+    // Mean step fraction over this period's non-exact lookups (the
+    // traffic that still reaches the chain; a miss contributes 1.0).
+    const std::uint64_t non_exact = lookups - exact;
+    if (non_exact > 0)
+      cache_step_ewma_.observe(
+          (stats.step_fraction_sum - last_cache_stats_.step_fraction_sum) /
+          static_cast<double>(non_exact));
+  }
+  last_cache_stats_ = stats;
+}
+
 void Controller::tick() {
   const double now = engine_.backend().now();
   const double observed = engine_.demand_rate();
@@ -123,13 +174,16 @@ void Controller::tick() {
   // (and, on a wall-clock backend, `now` is never exactly 0).
   if (!first_tick_) demand_holt_.observe(observed);
   first_tick_ = false;
+  observe_cache();
 
   const AllocationInput in = snapshot_input();
   const AllocationDecision d = allocator_->allocate(in);
   apply_decision(d);
 
   history_.push_back({now, in.demand_qps, observed,
-                      in.recent_violation_ratio, d});
+                      in.recent_violation_ratio,
+                      effective_exact_hit_ratio(),
+                      effective_service_discount(), d});
   DS_LOG_DEBUG("controller")
       << "t=" << now << " demand=" << in.demand_qps
       << " x0=" << d.workers.front() << " x_last=" << d.workers.back()

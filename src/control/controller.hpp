@@ -47,6 +47,14 @@ struct ControllerConfig {
   /// Apply a plan immediately at start() using this demand guess (QPS);
   /// <= 0 derives it from the first observation instead.
   double initial_demand_guess = 4.0;
+  /// Discount allocator inputs by the reuse cache's observed absorption:
+  /// demand becomes lambda * (1 - h_exact) (exact hits never reach the
+  /// chain) and per-stage service times scale by the mean step fraction
+  /// of the remaining traffic (approx hits run fewer diffusion steps).
+  /// No-op when the engine's cache is disabled.
+  bool cache_aware = true;
+  /// EWMA smoothing of the per-period hit-ratio / step-fraction samples.
+  double cache_alpha = 0.3;
 };
 
 class Controller {
@@ -75,6 +83,12 @@ class Controller {
     double demand_estimate;
     double observed_demand;
     double recent_violation_ratio;
+    /// Smoothed exact-hit ratio the demand estimate was discounted by
+    /// (0 with the cache off or cache_aware disabled).
+    double cache_exact_hit_ratio = 0.0;
+    /// Smoothed service-time multiplier applied to the stage models
+    /// (1 with the cache off).
+    double cache_service_discount = 1.0;
     AllocationDecision decision;
   };
   const std::vector<Snapshot>& history() const { return history_; }
@@ -87,6 +101,15 @@ class Controller {
   AllocationInput snapshot_input() const;
   void apply_decision(const AllocationDecision& d);
   void schedule_next_tick();
+  /// Fold the cache counters accumulated since the last tick into the
+  /// hit-ratio / step-fraction EWMAs.
+  void observe_cache();
+  /// Smoothed exact-hit ratio used to discount demand, capped below 1 so
+  /// a fully-absorbing cache never plans zero capacity (0 when not
+  /// cache-aware).
+  double effective_exact_hit_ratio() const;
+  /// Smoothed per-stage service-time multiplier (1 when not cache-aware).
+  double effective_service_discount() const;
 
   engine::CascadeEngine& engine_;
   std::unique_ptr<Allocator> allocator_;
@@ -99,6 +122,11 @@ class Controller {
   ControllerConfig cfg_;
 
   stats::HoltEwma demand_holt_;
+  /// Online estimates of what the reuse cache absorbs, differenced from
+  /// the engine's cumulative cache counters each tick.
+  stats::Ewma cache_hit_ewma_;
+  stats::Ewma cache_step_ewma_;
+  cache::CacheStats last_cache_stats_;
   bool first_tick_ = true;
   /// Absolute time of the most recently scheduled tick; the chain anchors
   /// to t0 + k*period so solve time never stretches the control period.

@@ -120,6 +120,9 @@ ExperimentResult run_experiment(const CascadeEnvironment& env,
   r.completed = sink.completed();
   r.dropped = sink.dropped();
   r.reconfigurations = system.engine().reconfigurations();
+  const auto cache_stats = system.engine().cache_stats();
+  r.cache_hit_ratio = cache_stats.hit_ratio();
+  r.cache_exact_hit_ratio = cache_stats.exact_hit_ratio();
   r.overall_fid = sink.completed() >= 2 ? sink.overall_fid() : -1.0;
   r.timeline = sink.timeline(cfg.timeline_window);
   r.control_history = controller.history();

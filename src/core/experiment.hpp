@@ -72,6 +72,9 @@ struct ExperimentResult {
   /// Applied plans that changed at least one worker's hosted model.
   std::size_t reconfigurations = 0;
   double mean_solve_ms = 0.0;
+  /// Prompt-reuse cache probe ratios (0 when the cache is disabled).
+  double cache_hit_ratio = 0.0;
+  double cache_exact_hit_ratio = 0.0;
   std::vector<engine::MetricsSink::TimelinePoint> timeline;
   std::vector<control::Controller::Snapshot> control_history;
 };

@@ -49,6 +49,14 @@ class ExecutionBackend {
   /// lock on a real mutex. The engine acquires this at every public entry
   /// point and inside every backend callback.
   virtual std::unique_lock<std::mutex> guard() = 0;
+
+  /// Run long-running control work (e.g. an allocator solve) somewhere it
+  /// cannot delay timer delivery. The default invokes `fn` synchronously —
+  /// correct for single-threaded backends, where nothing else could run
+  /// anyway; concurrent backends route it to a dedicated executor so a
+  /// slow solve never blocks batch-launch timers. Unlike defer/execute,
+  /// `fn` MAY be invoked inline, so callers must not hold the guard.
+  virtual void offload(std::function<void()> fn) { fn(); }
 };
 
 }  // namespace diffserve::engine

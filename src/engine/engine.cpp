@@ -20,8 +20,11 @@ CascadeEngine::CascadeEngine(
       discs_(std::move(discs)),
       cfg_(cfg),
       sink_(workload, scorer),
-      rng_(cfg.seed) {
+      rng_(cfg.seed),
+      prompt_sampler_(workload.size(), cfg.prompt_mix) {
   DS_REQUIRE(cfg_.total_workers >= 1, "need at least one worker");
+  if (cfg_.cache.enabled)
+    cache_ = std::make_unique<cache::ApproxCache>(cfg_.cache);
   cascade_.normalize();
   chain_ = cascade_.chain;
   disc_models_ = cascade_.discriminators;
@@ -231,7 +234,9 @@ Query CascadeEngine::submit_next() {
   auto g = backend_.guard();
   Query q;
   q.seq = next_seq_++;
-  q.prompt_id = static_cast<quality::QueryId>(q.seq % workload_.size());
+  // Round-robin (the default) reproduces the historical seq % size
+  // cycling exactly; kZipf draws from the popularity model.
+  q.prompt_id = static_cast<quality::QueryId>(prompt_sampler_.next());
   q.arrival_time = backend_.now();
   q.deadline = q.arrival_time + cfg_.slo_seconds;
   submit_locked(q);
@@ -246,6 +251,36 @@ void CascadeEngine::submit(Query q) {
 void CascadeEngine::submit_locked(Query q) {
   ++submitted_;
   demand_.add(backend_.now());
+  if (cache_ != nullptr) {
+    const auto hit = cache_->lookup(workload_.style(q.prompt_id),
+                                    backend_.now());
+    if (hit.level == cache::HitLevel::kExact) {
+      // Serve the donor's image as-is after the lookup/decode latency;
+      // the query never enters a stage pool. Completion goes through a
+      // deferred callback so sink timestamps stay monotone.
+      q.cache_hit = hit.level;
+      q.cache_donor = hit.donor_prompt;
+      q.cache_distance = hit.distance;
+      q.cache_step_fraction = 0.0;
+      q.image_tier = hit.donor_tier;
+      q.image_stage = hit.donor_stage;
+      const int tier = hit.donor_tier;
+      backend_.defer(cfg_.cache.hit_latency, [this, q, tier] {
+        auto g = backend_.guard();
+        sink_.complete(q, tier, backend_.now());
+      });
+      return;
+    }
+    if (hit.level != cache::HitLevel::kMiss) {
+      // Approximate hit: the donor's intermediate result seeds the
+      // generation, so every stage this query executes on runs only
+      // step_fraction of its diffusion steps.
+      q.cache_hit = hit.level;
+      q.cache_donor = hit.donor_prompt;
+      q.cache_distance = hit.distance;
+      q.cache_step_fraction = hit.step_fraction;
+    }
+  }
   if (plan_.mode == RoutingMode::kDirect && rng_.bernoulli(plan_.p_heavy)) {
     q.stage = chain_.size() - 1;
     q.stage_deadline = q.deadline;
@@ -297,7 +332,7 @@ void CascadeEngine::route_locked(Query q) {
   // Nothing at or below the target. A deferred query already has an image —
   // serve it best-effort rather than discarding work.
   if (q.image_tier > 0) {
-    sink_.complete(q, q.image_tier, backend_.now());
+    complete_locked(q, q.image_tier);
     return;
   }
   // A direct-mode query aimed at the last stage falls back up the chain.
@@ -399,8 +434,20 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
     return;
   }
 
+  // Approximate cache hits skip a fraction of their diffusion steps; a
+  // batch runs for the mean step fraction of its members (misses count
+  // 1.0). The drop decisions above used the unscaled execution time —
+  // conservative for mixed batches, and byte-identical when the cache is
+  // off (every fraction is then 1.0 and the branch is never taken).
+  double run_exec = exec;
+  if (cache_ != nullptr) {
+    double fraction_sum = 0.0;
+    for (const auto& q : batch) fraction_sum += q.cache_step_fraction;
+    run_exec = exec * fraction_sum / static_cast<double>(batch.size());
+  }
+
   w.busy = true;
-  w.ready_at = std::max(w.ready_at, done_at);
+  w.ready_at = std::max(w.ready_at, now + run_exec);
   ++w.batches;
   w.processed += batch.size();
 
@@ -409,7 +456,7 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
   const std::size_t stage = static_cast<std::size_t>(w.stage);
   const int tier = w.quality_tier;
   backend_.execute(
-      w.id, exec,
+      w.id, run_exec,
       [this, i, tier, stage, batch = std::move(batch)]() mutable {
         auto g = backend_.guard();
         finish_batch_locked(i, batch, tier, stage);
@@ -433,7 +480,7 @@ void CascadeEngine::finish_batch_locked(std::size_t i,
     for (auto& q : batch) {
       q.image_tier = served_tier;
       q.image_stage = static_cast<int>(stage);
-      sink_.complete(q, served_tier, backend_.now());
+      complete_locked(q, served_tier);
     }
   } else {
     // Cascade: score the stage's image with the boundary discriminator.
@@ -441,14 +488,16 @@ void CascadeEngine::finish_batch_locked(std::size_t i,
     DS_CHECK(disc != nullptr, "cascade boundary requires a discriminator");
     const double threshold = plan_.thresholds[stage];
     for (auto& q : batch) {
-      const auto feature =
-          workload_.generated_feature(q.prompt_id, served_tier);
+      // Score the image the stage actually produced: for an approx cache
+      // hit that is the donor's image plus reuse noise, so a degraded
+      // reuse naturally scores lower and defers down the chain.
+      const auto feature = served_image_feature(workload_, q, served_tier);
       q.confidence = disc->confidence(feature);
       q.image_tier = served_tier;
       q.image_stage = static_cast<int>(stage);
       if (confidence_observer_) confidence_observer_(stage, q.confidence);
       if (q.confidence >= threshold) {
-        sink_.complete(q, served_tier, backend_.now());
+        complete_locked(q, served_tier);
       } else {
         q.deferred = true;
         ++q.deferrals;
@@ -459,6 +508,18 @@ void CascadeEngine::finish_batch_locked(std::size_t i,
     }
   }
   maybe_start_batch_locked(i);
+}
+
+void CascadeEngine::complete_locked(const Query& q, int served_tier) {
+  sink_.complete(q, served_tier, backend_.now());
+  // Only fully generated images enter the cache: an approx-hit result is
+  // already donor-contaminated, and re-caching it would compound reuse
+  // error over hit chains.
+  if (cache_ != nullptr && q.cache_hit == cache::HitLevel::kMiss)
+    cache_->insert(q.prompt_id, served_tier,
+                   q.image_stage >= 0 ? q.image_stage
+                                      : static_cast<int>(q.stage),
+                   workload_.style(q.prompt_id), backend_.now());
 }
 
 // ---- observers & statistics -----------------------------------------------
@@ -504,6 +565,11 @@ std::size_t CascadeEngine::reconfigurations() const {
 double CascadeEngine::recent_violation_ratio() const {
   auto g = backend_.guard();
   return sink_.recent_violation_ratio(backend_.now());
+}
+
+cache::CacheStats CascadeEngine::cache_stats() const {
+  auto g = backend_.guard();
+  return cache_ != nullptr ? cache_->stats() : cache::CacheStats{};
 }
 
 CascadeEngine::WorkerInfo CascadeEngine::worker_info(std::size_t i) const {

@@ -2,9 +2,12 @@
 //
 // One engine instance holds everything the paper's Load Balancer, Workers,
 // and metrics pipeline decide (§3.1), generalized from the paper's
-// light/heavy pair to an N-stage model chain: query admission, JSQ routing
-// within each stage pool, per-boundary confidence-threshold deferral from
-// stage i to i+1, deadline-aware batch formation with preemptive drops,
+// light/heavy pair to an N-stage model chain: query admission (with an
+// optional approximate prompt-reuse cache probe — an exact hit completes
+// without entering a stage pool, an approx hit runs the chain with a
+// fraction of its diffusion steps), JSQ routing within each stage pool,
+// per-boundary confidence-threshold deferral from stage i to i+1,
+// deadline-aware batch formation with preemptive drops,
 // downstream-reserve SLO accounting (the reserve at stage i covers the
 // remaining chain's execution time), AllocationPlan application with
 // stable role assignment and queue eviction, and the MetricsSink. Time,
@@ -25,9 +28,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/approx_cache.hpp"
 #include "discriminator/discriminator.hpp"
 #include "engine/backend.hpp"
 #include "engine/metrics_sink.hpp"
@@ -37,6 +42,7 @@
 #include "quality/fid.hpp"
 #include "quality/workload.hpp"
 #include "stats/window.hpp"
+#include "trace/prompt_mix.hpp"
 #include "util/rng.hpp"
 
 namespace diffserve::engine {
@@ -98,6 +104,13 @@ class CascadeEngine {
   std::size_t reconfigurations() const;
   /// Guarded read of the sink's sliding-window violation ratio.
   double recent_violation_ratio() const;
+
+  /// Whether the approximate prompt-reuse cache is active.
+  bool cache_enabled() const { return cache_ != nullptr; }
+  /// Guarded snapshot of the cache's probe/insert counters (zeros when
+  /// the cache is disabled). The controller differences successive
+  /// snapshots into its online hit-ratio estimate.
+  cache::CacheStats cache_stats() const;
 
   /// Stage execution latencies under the cascade's profiles — the single
   /// source of truth for the §3.3 latency math (used by the controller's
@@ -182,6 +195,9 @@ class CascadeEngine {
   // Internals: the guard is held by the caller.
   void submit_locked(Query q);
   void resubmit_locked(std::vector<Query>&& queries);
+  /// Terminal completion: deliver to the sink and, when the cache is on,
+  /// insert fully generated images (cache misses) for future reuse.
+  void complete_locked(const Query& q, int served_tier);
   /// Route a query to its q.stage pool, falling down the chain (and, for
   /// queries without an image, back up) when pools are empty.
   void route_locked(Query q);
@@ -211,6 +227,11 @@ class CascadeEngine {
 
   MetricsSink sink_;
   util::Rng rng_;
+  /// Prompt stream for engine-admitted queries (round-robin by default).
+  trace::PromptSampler prompt_sampler_;
+  /// Null when cfg_.cache.enabled is false — every cache touch is gated
+  /// on this pointer, which is what keeps cache-off byte-identical.
+  std::unique_ptr<cache::ApproxCache> cache_;
   std::vector<WorkerSlot> workers_;
   AllocationPlan plan_;
   /// Per-stage downstream reserve: SLO time kept for the rest of the chain

@@ -7,6 +7,21 @@
 
 namespace diffserve::engine {
 
+std::vector<double> served_image_feature(const quality::Workload& workload,
+                                         const Query& q, int tier) {
+  switch (q.cache_hit) {
+    case cache::HitLevel::kMiss:
+      return workload.generated_feature(q.prompt_id, tier);
+    case cache::HitLevel::kExact:
+      return workload.generated_feature(q.cache_donor, tier);
+    case cache::HitLevel::kApproxNear:
+    case cache::HitLevel::kApproxFar:
+      return workload.cached_feature(q.prompt_id, q.cache_donor, tier,
+                                     q.cache_distance);
+  }
+  return workload.generated_feature(q.prompt_id, tier);
+}
+
 MetricsSink::MetricsSink(const quality::Workload& workload,
                          const quality::FidScorer& scorer)
     : workload_(workload), scorer_(scorer) {}
@@ -24,15 +39,21 @@ void MetricsSink::complete(const Query& q, int served_tier,
   r.tier = served_tier;
   r.stage = q.stage;
   r.deferrals = q.deferrals;
-  r.feature = workload_.generated_feature(q.prompt_id, served_tier);
+  r.hit_level = q.cache_hit;
+  r.feature = served_image_feature(workload_, q, served_tier);
   records_.push_back(std::move(r));
   ++n_completed_;
   if (late) ++n_late_;
+  ++hit_level_counts_[static_cast<std::size_t>(q.cache_hit)];
+  if (q.cache_hit == cache::HitLevel::kExact)
+    cache_latency_.add(completion_time - q.arrival_time);
   // Count by the stage the query *finished in* so the metric is
   // meaningful in both cascade mode (deferral) and direct mode (random
   // split): a query finishing at the lightest stage was served light
-  // (the paper's §4.1 light-served share).
-  if (q.stage == 0) ++n_light_served_;
+  // (the paper's §4.1 light-served share). An exact cache hit never
+  // entered a stage pool and is not counted as light-served.
+  if (q.stage == 0 && q.cache_hit != cache::HitLevel::kExact)
+    ++n_light_served_;
   // Image provenance can lag the finish stage: a deferred query completed
   // best-effort at an unstaffed stage carries an earlier stage's image.
   const std::size_t produced =
@@ -55,6 +76,7 @@ void MetricsSink::drop(const Query& q, double drop_time) {
   r.tier = -1;
   r.stage = q.stage;
   r.deferrals = q.deferrals;
+  r.hit_level = q.cache_hit;
   records_.push_back(std::move(r));
   ++n_dropped_;
   recent_.record(drop_time, true);
@@ -94,6 +116,27 @@ double MetricsSink::light_served_fraction() const {
   if (n_completed_ == 0) return 0.0;
   return static_cast<double>(n_light_served_) /
          static_cast<double>(n_completed_);
+}
+
+std::size_t MetricsSink::hit_level_count(cache::HitLevel level) const {
+  return hit_level_counts_[static_cast<std::size_t>(level)];
+}
+
+double MetricsSink::cache_served_fraction() const {
+  if (n_completed_ == 0) return 0.0;
+  const std::size_t hits =
+      n_completed_ - hit_level_count(cache::HitLevel::kMiss);
+  return static_cast<double>(hits) / static_cast<double>(n_completed_);
+}
+
+double MetricsSink::exact_hit_fraction() const {
+  if (n_completed_ == 0) return 0.0;
+  return static_cast<double>(hit_level_count(cache::HitLevel::kExact)) /
+         static_cast<double>(n_completed_);
+}
+
+double MetricsSink::mean_cache_latency() const {
+  return cache_latency_.mean();
 }
 
 double MetricsSink::overall_fid() const {

@@ -9,6 +9,7 @@
 // time series for the Figure 5/8 timelines.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "engine/query.hpp"
@@ -18,6 +19,15 @@
 #include "stats/window.hpp"
 
 namespace diffserve::engine {
+
+/// Feature vector of the image the system actually served for `q` at
+/// `tier`: the query's own generated image on a cache miss, the donor's
+/// image on an exact cache hit, and the donor's image plus distance-scaled
+/// reuse noise on an approximate hit. Shared by the sink (FID accounting)
+/// and the engine (boundary-discriminator scoring), so a reused image is
+/// scored exactly as it is served.
+std::vector<double> served_image_feature(const quality::Workload& workload,
+                                         const Query& q, int tier);
 
 class MetricsSink {
  public:
@@ -43,6 +53,17 @@ class MetricsSink {
   double latency_percentile(double p) const;
   /// Fraction of completed queries served by the lightweight stage.
   double light_served_fraction() const;
+
+  // --- prompt-reuse cache accounting (all zero with the cache off) -------
+  /// Completions whose admission probe hit at `level`.
+  std::size_t hit_level_count(cache::HitLevel level) const;
+  /// Completions served from the cache at any level, over completions.
+  double cache_served_fraction() const;
+  /// Exact-hit completions over completions (demand the cache absorbed).
+  double exact_hit_fraction() const;
+  /// Mean end-to-end latency of exact-hit completions (0 before any) —
+  /// the cache-path latency, vs. mean_latency() for the whole mix.
+  double mean_cache_latency() const;
 
   /// FID of everything served so far.
   double overall_fid() const;
@@ -79,6 +100,7 @@ class MetricsSink {
     int tier;         ///< -1 for drops
     std::size_t stage;    ///< stage the query occupied at termination
     int deferrals;        ///< confidence-based deferrals in its history
+    cache::HitLevel hit_level;    ///< admission-probe outcome
     std::vector<double> feature;  ///< empty for drops
   };
   const std::vector<Record>& records() const { return records_; }
@@ -92,6 +114,9 @@ class MetricsSink {
   std::size_t n_late_ = 0;
   std::size_t n_light_served_ = 0;
   std::vector<std::size_t> served_by_stage_;  ///< grown on demand
+  /// Completions per cache hit level, indexed by HitLevel's value.
+  std::array<std::size_t, 4> hit_level_counts_{};
+  stats::RunningStats cache_latency_;  ///< exact-hit completions only
   stats::RunningStats latency_;
   mutable stats::PercentileTracker latency_pct_;
   stats::SlidingWindowRatio recent_{20.0};

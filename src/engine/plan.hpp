@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/approx_cache.hpp"
+#include "trace/prompt_mix.hpp"
 #include "util/check.hpp"
 
 namespace diffserve::engine {
@@ -82,6 +84,14 @@ struct EngineConfig {
   /// timer lateness.
   double launch_slack_seconds = 0.0;
   std::uint64_t seed = 1;
+  /// Approximate prompt-reuse cache probed at admission. Disabled by
+  /// default; engine behaviour with `cache.enabled == false` is
+  /// byte-identical to a build without the cache subsystem.
+  cache::CacheConfig cache;
+  /// Which prompt each engine-admitted query carries (submit_next()).
+  /// Defaults to the historical round-robin cycling; kZipf models the
+  /// skewed, bursty prompt popularity real reuse caches feed on.
+  trace::PromptMixConfig prompt_mix;
 };
 
 }  // namespace diffserve::engine

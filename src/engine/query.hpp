@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/approx_cache.hpp"
 #include "quality/workload.hpp"
 
 namespace diffserve::engine {
@@ -38,6 +39,20 @@ struct Query {
   /// Chain stage that produced that image (-1 = none). May lag `stage`
   /// when a deferred query is completed best-effort at an unstaffed stage.
   int image_stage = -1;
+
+  // --- prompt-reuse cache metadata (kMiss defaults when the cache is
+  // --- disabled or the probe found nothing close enough) ------------------
+  /// Admission-probe outcome. An exact hit never enters a stage pool; an
+  /// approx hit runs the chain with `cache_step_fraction` of its steps.
+  cache::HitLevel cache_hit = cache::HitLevel::kMiss;
+  /// Prompt whose cached image seeds this query (valid on any hit).
+  quality::QueryId cache_donor = 0;
+  /// Style distance to the donor's key (drives the reuse-noise quality
+  /// perturbation of the served image).
+  double cache_distance = 0.0;
+  /// Fraction of diffusion steps each serving stage still executes
+  /// (1.0 = full generation).
+  double cache_step_fraction = 1.0;
 };
 
 /// Terminal record delivered to the sink.

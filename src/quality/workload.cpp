@@ -25,6 +25,7 @@ constexpr int kPurposeError = 1;
 constexpr int kPurposeFeature = 2;
 constexpr int kPurposePick = 3;
 constexpr int kPurposeClip = 4;
+constexpr int kPurposeReuse = 5;
 
 }  // namespace
 
@@ -84,6 +85,11 @@ const std::vector<double>& Workload::real_feature(QueryId q) const {
   return real_[q];
 }
 
+const std::vector<double>& Workload::style(QueryId q) const {
+  DS_REQUIRE(q < size(), "query id out of range");
+  return style_[q];
+}
+
 double Workload::true_error(QueryId q, int tier) const {
   DS_REQUIRE(q < size(), "query id out of range");
   const TierParams p = QualityConfig::tier_params(tier);
@@ -119,6 +125,23 @@ std::vector<double> Workload::generated_feature(QueryId q, int tier) const {
   return x;
 }
 
+std::vector<double> Workload::cached_feature(QueryId q, QueryId donor,
+                                             int tier,
+                                             double distance) const {
+  DS_REQUIRE(q < size(), "query id out of range");
+  DS_REQUIRE(distance >= 0.0, "negative style distance");
+  auto x = generated_feature(donor, tier);
+  // Mix the donor into the stream so (q, donor) pairs draw independent
+  // reuse noise while staying a pure function of the workload seed.
+  const std::uint64_t mixed =
+      cfg_.seed ^ (static_cast<std::uint64_t>(donor) * 0xA24BAED4963EE407ULL);
+  auto rng = stream(mixed, q, tier, kPurposeReuse);
+  const double sigma = cfg_.reuse_noise * distance;
+  if (sigma > 0.0)
+    for (auto& v : x) v += rng.normal(0.0, sigma);
+  return x;
+}
+
 double Workload::pickscore(QueryId q, int tier) const {
   DS_REQUIRE(q < size(), "query id out of range");
   // Dominated by a prompt-style bias that grows with prompt elaborateness
@@ -141,10 +164,6 @@ double Workload::clipscore(QueryId q, int tier) const {
   const double alignment = 0.02 * style_[q][1 % cfg_.style_dims];
   const double artifact_vividness = 0.012 * true_error(q, tier);
   return 0.31 + alignment + artifact_vividness + rng.normal(0.0, 0.015);
-}
-
-std::vector<double> Workload::style_projection(QueryId q) const {
-  return style_[q];
 }
 
 }  // namespace diffserve::quality

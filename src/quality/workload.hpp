@@ -68,6 +68,11 @@ struct QualityConfig {
   /// Global multiplier on all eps constants; calibrates the FID range to
   /// the paper's 16-26 band.
   double magnitude = 1.5;
+  /// Per-dimension noise added to a reused (cache-served) image, per unit
+  /// of style distance between the requesting prompt and the donor: an
+  /// approximate hit inherits the donor's image plus this distance-scaled
+  /// reuse error, so FID sees the real cost of serving from the cache.
+  double reuse_noise = 0.35;
 
   /// Error-model parameters per quality tier (indices 1..6 used by the
   /// built-in catalog; see models::ModelRepository).
@@ -85,9 +90,19 @@ class Workload {
 
   double difficulty(QueryId q) const;
   const std::vector<double>& real_feature(QueryId q) const;
+  /// The prompt's style/content vector — the key an approximate
+  /// prompt-reuse cache indexes by (two prompts are "similar" when their
+  /// style vectors are close).
+  const std::vector<double>& style(QueryId q) const;
 
   /// Feature vector of the image model tier `m` generates for query q.
   std::vector<double> generated_feature(QueryId q, int tier) const;
+  /// Feature vector of the image served for query q by reusing `donor`'s
+  /// tier-`tier` image: the donor's feature plus reuse noise scaled by
+  /// the prompts' style `distance` (see QualityConfig::reuse_noise).
+  /// Deterministic in (workload seed, q, donor, tier).
+  std::vector<double> cached_feature(QueryId q, QueryId donor, int tier,
+                                     double distance) const;
   /// Latent error magnitude eps_m(q) — the ground-truth quality signal
   /// (never visible to the serving system; used by tests and oracles).
   double true_error(QueryId q, int tier) const;
@@ -101,8 +116,6 @@ class Workload {
   const linalg::GaussianStats& reference_stats() const { return reference_; }
 
  private:
-  std::vector<double> style_projection(QueryId q) const;
-
   QualityConfig cfg_;
   std::vector<double> difficulty_;
   std::vector<std::vector<double>> style_;  // per-query style vectors

@@ -22,6 +22,7 @@ ThreadedBackend::~ThreadedBackend() { stop(); }
 
 void ThreadedBackend::start() {
   timer_thread_ = std::thread([this] { timer_main(); });
+  control_thread_ = std::thread([this] { control_main(); });
   for (auto& ex : executors_)
     ex->thread = std::thread([this, e = ex.get()] { executor_main(*e); });
 }
@@ -42,6 +43,14 @@ void ThreadedBackend::stop() {
       std::chrono::steady_clock::now() + std::chrono::seconds(2);
   for (;;) {
     bool active = timer_busy_.load();
+    {
+      // Queue emptiness and control_busy_ are checked under the same
+      // lock the control thread holds while popping a job and raising
+      // busy, so a job can never vanish from the queue without the
+      // quiesce seeing it as in-flight.
+      std::lock_guard<std::mutex> lk(control_mu_);
+      active = active || control_busy_.load() || !control_jobs_.empty();
+    }
     for (auto& ex : executors_) {
       std::lock_guard<std::mutex> lk(ex->mu);
       active = active || ex->has_job || ex->busy;
@@ -55,11 +64,16 @@ void ThreadedBackend::stop() {
     std::lock_guard<std::mutex> lk(timer_mu_);
     timer_cv_.notify_all();
   }
+  {
+    std::lock_guard<std::mutex> lk(control_mu_);
+    control_cv_.notify_all();
+  }
   for (auto& ex : executors_) {
     std::lock_guard<std::mutex> lk(ex->mu);
     ex->cv.notify_all();
   }
   if (timer_thread_.joinable()) timer_thread_.join();
+  if (control_thread_.joinable()) control_thread_.join();
   for (auto& ex : executors_)
     if (ex->thread.joinable()) ex->thread.join();
 }
@@ -96,6 +110,36 @@ void ThreadedBackend::execute(int worker_id, double exec_seconds,
   ex.done = std::move(done);
   ex.has_job = true;
   ex.cv.notify_one();
+}
+
+void ThreadedBackend::offload(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(control_mu_);
+    if (stop_.load()) return;  // shutting down; the tick is moot
+    control_jobs_.push_back(std::move(fn));
+  }
+  control_cv_.notify_one();
+}
+
+void ThreadedBackend::control_main() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(control_mu_);
+      control_cv_.wait(
+          lk, [&] { return stop_.load() || !control_jobs_.empty(); });
+      // Drain queued jobs even while stopping: a job may have been
+      // accepted a moment before the stop flag was raised.
+      if (control_jobs_.empty()) return;
+      job = std::move(control_jobs_.front());
+      control_jobs_.pop_front();
+      // Raised while control_mu_ is held so stop()'s quiesce can never
+      // observe "control idle" between extraction and invocation.
+      control_busy_.store(true);
+    }
+    job();  // acquires the engine guard internally
+    control_busy_.store(false);
+  }
 }
 
 void ThreadedBackend::timer_main() {
@@ -197,6 +241,8 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   // Wall-clock timer jitter scales with the time compression; absorb it so
   // deadline-boundary batches launch in time (the DES needs no slack).
   ecfg.launch_slack_seconds = cfg.launch_slack_wall_seconds * cfg.time_scale;
+  ecfg.cache = cfg.cache;
+  ecfg.prompt_mix = cfg.prompt_mix;
   engine::CascadeEngine eng(backend, env.workload(), env.repository(),
                             env.cascade(), env.discs(), env.scorer(), ecfg);
 
@@ -232,6 +278,9 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   r.completed = sink.completed();
   r.dropped = sink.dropped();
   r.reconfigurations = eng.reconfigurations();
+  const auto cache_stats = eng.cache_stats();
+  r.cache_hit_ratio = cache_stats.hit_ratio();
+  r.cache_exact_hit_ratio = cache_stats.exact_hit_ratio();
   r.violation_ratio = sink.violation_ratio();
   r.mean_latency = sink.mean_latency();
   r.light_served_fraction = sink.light_served_fraction();

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -33,10 +34,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/approx_cache.hpp"
 #include "control/allocator.hpp"
 #include "core/environment.hpp"
 #include "engine/backend.hpp"
 #include "trace/arrivals.hpp"
+#include "trace/prompt_mix.hpp"
 #include "trace/rate_trace.hpp"
 #include "util/trace_clock.hpp"
 
@@ -44,8 +47,10 @@ namespace diffserve::runtime {
 
 /// ExecutionBackend over real threads and the compressed wall clock: a
 /// timer thread delivers deferred callbacks, one executor thread per
-/// worker sleeps for each batch's profiled latency, and the guard is a
-/// real mutex serializing all engine state.
+/// worker sleeps for each batch's profiled latency, a dedicated control
+/// thread runs offloaded work (controller ticks with their allocator
+/// solves) so a slow solve never delays timer delivery, and the guard is
+/// a real mutex serializing all engine state.
 class ThreadedBackend final : public engine::ExecutionBackend {
  public:
   ThreadedBackend(const util::TraceClock& clock, int workers);
@@ -65,6 +70,10 @@ class ThreadedBackend final : public engine::ExecutionBackend {
   bool cancel(engine::TimerHandle h) override;
   void execute(int worker_id, double exec_seconds,
                std::function<void()> done) override;
+  /// Enqueue `fn` on the control thread (never inline): long allocator
+  /// solves run there while batch-launch timers keep firing. Dropped if
+  /// the backend is stopping.
+  void offload(std::function<void()> fn) override;
 
  private:
   struct TimerEntry {
@@ -88,6 +97,7 @@ class ThreadedBackend final : public engine::ExecutionBackend {
 
   void timer_main();
   void executor_main(Executor& ex);
+  void control_main();
 
   const util::TraceClock& clock_;
   std::mutex mu_;  ///< the engine guard
@@ -101,6 +111,16 @@ class ThreadedBackend final : public engine::ExecutionBackend {
   std::thread timer_thread_;
 
   std::vector<std::unique_ptr<Executor>> executors_;
+
+  /// Offloaded control work (see offload()).
+  std::mutex control_mu_;
+  std::condition_variable control_cv_;
+  std::deque<std::function<void()>> control_jobs_;
+  std::thread control_thread_;
+  /// True while the control thread is inside a job; stop()'s quiesce
+  /// waits on it like it does for the timer thread.
+  std::atomic<bool> control_busy_{false};
+
   std::atomic<bool> stop_{false};
   /// True while the timer thread is inside a callback (set under
   /// timer_mu_ at extraction); stop()'s quiesce waits on it so a
@@ -124,6 +144,10 @@ struct RuntimeConfig {
   double launch_slack_wall_seconds = 0.004;
   std::uint64_t arrival_seed = 1;
   trace::ArrivalConfig arrivals;
+  /// Forwarded into the engine config: the approximate prompt-reuse cache
+  /// and the prompt popularity model (defaults keep both off).
+  cache::CacheConfig cache;
+  trace::PromptMixConfig prompt_mix;
 };
 
 struct RuntimeResult {
@@ -137,6 +161,9 @@ struct RuntimeResult {
   /// Completed-query share per chain stage (size = chain depth).
   std::vector<double> stage_served_fraction;
   std::size_t reconfigurations = 0;
+  /// Prompt-reuse cache probe ratios (0 when the cache is disabled).
+  double cache_hit_ratio = 0.0;
+  double cache_exact_hit_ratio = 0.0;
 };
 
 /// Replay `trace` through the threaded runtime with the given allocation

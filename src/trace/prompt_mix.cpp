@@ -1,0 +1,52 @@
+#include "trace/prompt_mix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace diffserve::trace {
+
+PromptSampler::PromptSampler(std::size_t n_prompts, PromptMixConfig cfg)
+    : cfg_(cfg), n_(n_prompts), rng_(cfg.seed) {
+  DS_REQUIRE(n_ >= 1, "sampler needs at least one prompt");
+  if (cfg_.kind == PromptMixConfig::Kind::kZipf) {
+    DS_REQUIRE(cfg_.zipf_exponent >= 0.0, "negative Zipf exponent");
+    DS_REQUIRE(cfg_.locality >= 0.0 && cfg_.locality <= 1.0,
+               "locality must be a probability");
+    cdf_.resize(n_);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n_; ++r) {
+      acc += std::pow(static_cast<double>(r + 1), -cfg_.zipf_exponent);
+      cdf_[r] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+  }
+}
+
+std::uint32_t PromptSampler::next() {
+  if (cfg_.kind == PromptMixConfig::Kind::kRoundRobin)
+    return static_cast<std::uint32_t>(counter_++ % n_);
+
+  std::uint32_t id;
+  if (!recent_.empty() && rng_.uniform() < cfg_.locality) {
+    const auto i = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(recent_.size()) - 1));
+    id = recent_[i];
+  } else {
+    // Popularity rank == prompt id: the workload's style vectors are iid,
+    // so no de-correlating permutation is needed.
+    const double u = rng_.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    id = static_cast<std::uint32_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(it - cdf_.begin()),
+                              n_ - 1));
+  }
+  if (cfg_.locality_window > 0) {
+    recent_.push_back(id);
+    if (recent_.size() > cfg_.locality_window) recent_.pop_front();
+  }
+  return id;
+}
+
+}  // namespace diffserve::trace

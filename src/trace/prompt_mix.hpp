@@ -1,0 +1,63 @@
+// Prompt popularity model for arrival streams.
+//
+// The rate trace decides *when* queries arrive; this module decides *which
+// prompt* each one carries. Production text-to-image traffic is heavily
+// repetitive — prompt popularity is Zipf-like and trending prompts cluster
+// in time — and a reuse cache's hit ratio is an emergent property of that
+// repetition, so the sampler has to model it rather than cycling the
+// evaluation set round-robin.
+//
+// Two kinds:
+//   * kRoundRobin — the historical behaviour: prompt i for the i-th
+//     admission (modulo the workload size). Deterministic and
+//     repetition-free beyond full cycles; the engine default.
+//   * kZipf — rank-r prompt drawn with probability proportional to
+//     (r+1)^-s, plus temporal locality: with probability `locality` the
+//     next prompt instead repeats one of the last `locality_window` draws
+//     (a trending prompt re-requested while it is hot).
+//
+// Sampling is a pure function of the seed and the draw sequence, so the
+// DES and the threaded testbed see identical prompt streams for the same
+// trace.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace diffserve::trace {
+
+struct PromptMixConfig {
+  enum class Kind { kRoundRobin, kZipf };
+  Kind kind = Kind::kRoundRobin;
+  /// Zipf skew s: 0 = uniform; ~1 matches observed prompt popularity.
+  double zipf_exponent = 1.05;
+  /// Probability the next draw repeats one of the recent prompts.
+  double locality = 0.3;
+  /// How many recent draws the locality pool keeps.
+  std::size_t locality_window = 64;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Stateful prompt-id stream over a workload of `n_prompts` prompts.
+class PromptSampler {
+ public:
+  PromptSampler(std::size_t n_prompts, PromptMixConfig cfg = {});
+
+  /// Prompt id of the next admission.
+  std::uint32_t next();
+
+  const PromptMixConfig& config() const { return cfg_; }
+
+ private:
+  PromptMixConfig cfg_;
+  std::size_t n_;
+  util::Rng rng_;
+  std::uint64_t counter_ = 0;      ///< round-robin position
+  std::vector<double> cdf_;        ///< Zipf CDF over popularity ranks
+  std::deque<std::uint32_t> recent_;
+};
+
+}  // namespace diffserve::trace

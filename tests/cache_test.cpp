@@ -1,0 +1,399 @@
+// Tests for the approximate prompt-reuse cache: the ApproxCache store
+// (tiered hit levels, popularity-weighted LRU eviction, determinism), the
+// Zipfian prompt sampler, the reuse-noise quality perturbation, and the
+// end-to-end behaviour the subsystem exists for — on a Zipfian trace the
+// cache absorbs repeated prompts (hit ratio > 0.2), lowers mean latency
+// and SLO violations at equal capacity with a bounded FID cost, agrees
+// across the DES and threaded backends, and feeds the controller's
+// effective-demand discount.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cache/approx_cache.hpp"
+#include "control/exhaustive_allocator.hpp"
+#include "core/environment.hpp"
+#include "core/experiment.hpp"
+#include "runtime/threaded_runtime.hpp"
+#include "serving/system.hpp"
+#include "trace/prompt_mix.hpp"
+
+namespace diffserve::cache {
+namespace {
+
+std::vector<double> key_at(double x) { return {x, 0.0, 0.0}; }
+
+CacheConfig small_config() {
+  CacheConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity = 4;
+  cfg.exact_distance = 1e-9;
+  cfg.near_distance = 1.0;
+  cfg.far_distance = 2.0;
+  return cfg;
+}
+
+TEST(ApproxCache, TieredHitLevelsByDistance) {
+  ApproxCache cache(small_config());
+  cache.insert(/*prompt=*/7, /*tier=*/2, /*stage=*/0, key_at(0.0), 0.0);
+
+  const auto exact = cache.lookup(key_at(0.0), 1.0);
+  EXPECT_EQ(exact.level, HitLevel::kExact);
+  EXPECT_EQ(exact.donor_prompt, 7u);
+  EXPECT_EQ(exact.donor_tier, 2);
+  EXPECT_EQ(exact.step_fraction, 0.0);
+
+  const auto near = cache.lookup(key_at(0.5), 2.0);
+  EXPECT_EQ(near.level, HitLevel::kApproxNear);
+  EXPECT_NEAR(near.distance, 0.5, 1e-12);
+  EXPECT_EQ(near.step_fraction, cache.config().near_step_fraction);
+
+  const auto far = cache.lookup(key_at(1.5), 3.0);
+  EXPECT_EQ(far.level, HitLevel::kApproxFar);
+  EXPECT_EQ(far.step_fraction, cache.config().far_step_fraction);
+
+  const auto miss = cache.lookup(key_at(5.0), 4.0);
+  EXPECT_EQ(miss.level, HitLevel::kMiss);
+  EXPECT_EQ(miss.step_fraction, 1.0);
+
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.lookups, 4u);
+  EXPECT_EQ(s.exact_hits, 1u);
+  EXPECT_EQ(s.near_hits, 1u);
+  EXPECT_EQ(s.far_hits, 1u);
+  EXPECT_NEAR(s.hit_ratio(), 0.75, 1e-12);
+  EXPECT_NEAR(s.exact_hit_ratio(), 0.25, 1e-12);
+}
+
+TEST(ApproxCache, CapacityBoundWithEviction) {
+  ApproxCache cache(small_config());
+  for (int i = 0; i < 6; ++i)
+    cache.insert(static_cast<quality::QueryId>(i), 1, 0,
+                 key_at(10.0 * i), static_cast<double>(i));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(ApproxCache, PopularEntriesSurviveEviction) {
+  CacheConfig cfg = small_config();
+  cfg.popularity_weight = 100.0;  // popularity dominates recency
+  ApproxCache cache(cfg);
+  cache.insert(0, 1, 0, key_at(0.0), 0.0);
+  // Make entry 0 popular, then flood the cache with one-off entries.
+  for (int i = 0; i < 8; ++i) cache.lookup(key_at(0.0), 1.0 + i);
+  for (int i = 1; i < 8; ++i)
+    cache.insert(static_cast<quality::QueryId>(i), 1, 0,
+                 key_at(10.0 * i), 20.0 + i);
+  // The popular entry outlived the LRU churn.
+  const auto r = cache.lookup(key_at(0.0), 100.0);
+  EXPECT_EQ(r.level, HitLevel::kExact);
+  EXPECT_EQ(r.donor_prompt, 0u);
+}
+
+TEST(ApproxCache, ReinsertKeepsHigherTier) {
+  ApproxCache cache(small_config());
+  cache.insert(3, /*tier=*/5, /*stage=*/1, key_at(0.0), 0.0);
+  cache.insert(3, /*tier=*/2, /*stage=*/0, key_at(0.0), 1.0);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto r = cache.lookup(key_at(0.0), 2.0);
+  EXPECT_EQ(r.donor_tier, 5);  // the lighter re-serve did not downgrade it
+}
+
+TEST(ApproxCache, CosineMetricIgnoresMagnitude) {
+  CacheConfig cfg = small_config();
+  cfg.metric = SimilarityMetric::kCosine;
+  cfg.exact_distance = 1e-9;
+  cfg.near_distance = 0.3;
+  cfg.far_distance = 1.0;
+  ApproxCache cache(cfg);
+  cache.insert(1, 1, 0, {1.0, 0.0, 0.0}, 0.0);
+  // Parallel but scaled: cosine distance 0 -> exact.
+  EXPECT_EQ(cache.lookup({5.0, 0.0, 0.0}, 1.0).level, HitLevel::kExact);
+  // Orthogonal: cosine distance 1 -> far tier.
+  EXPECT_EQ(cache.lookup({0.0, 1.0, 0.0}, 2.0).level,
+            HitLevel::kApproxFar);
+  // Opposed: cosine distance 2 -> miss.
+  EXPECT_EQ(cache.lookup({-1.0, 0.0, 0.0}, 3.0).level, HitLevel::kMiss);
+}
+
+TEST(ApproxCache, DeterministicAcrossInstances) {
+  // The cache has no internal randomness: two instances fed the same
+  // operation sequence report identical stats (the property that keeps
+  // DES and threaded runs in agreement).
+  ApproxCache a(small_config()), b(small_config());
+  for (int i = 0; i < 40; ++i) {
+    const double x = (i * 7) % 13 * 0.4;
+    a.lookup(key_at(x), i);
+    b.lookup(key_at(x), i);
+    if (i % 3 == 0) {
+      a.insert(static_cast<quality::QueryId>(i), 1, 0, key_at(x), i);
+      b.insert(static_cast<quality::QueryId>(i), 1, 0, key_at(x), i);
+    }
+  }
+  EXPECT_EQ(a.stats().lookups, b.stats().lookups);
+  EXPECT_EQ(a.stats().exact_hits, b.stats().exact_hits);
+  EXPECT_EQ(a.stats().near_hits, b.stats().near_hits);
+  EXPECT_EQ(a.stats().far_hits, b.stats().far_hits);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(ApproxCache, RejectsBadConfig) {
+  CacheConfig cfg = small_config();
+  cfg.capacity = 0;
+  EXPECT_THROW(ApproxCache{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.near_distance = 3.0;  // near > far
+  EXPECT_THROW(ApproxCache{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.near_step_fraction = 0.0;
+  EXPECT_THROW(ApproxCache{cfg}, std::invalid_argument);
+}
+
+// ---- prompt popularity sampler --------------------------------------------
+
+TEST(PromptSampler, RoundRobinMatchesModuloCycling) {
+  trace::PromptSampler s(5);
+  for (std::uint32_t i = 0; i < 12; ++i) EXPECT_EQ(s.next(), i % 5);
+}
+
+TEST(PromptSampler, ZipfSkewsTowardPopularPrompts) {
+  trace::PromptMixConfig cfg;
+  cfg.kind = trace::PromptMixConfig::Kind::kZipf;
+  cfg.zipf_exponent = 1.2;
+  cfg.locality = 0.0;
+  trace::PromptSampler s(200, cfg);
+  std::size_t top10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (s.next() < 10) ++top10;
+  // Under uniform sampling the top-10 share would be 5%; Zipf(1.2)
+  // concentrates well over a third of the mass there.
+  EXPECT_GT(static_cast<double>(top10) / n, 0.35);
+}
+
+TEST(PromptSampler, DeterministicPerSeed) {
+  trace::PromptMixConfig cfg;
+  cfg.kind = trace::PromptMixConfig::Kind::kZipf;
+  trace::PromptSampler a(100, cfg), b(100, cfg);
+  cfg.seed += 1;
+  trace::PromptSampler c(100, cfg);
+  bool any_diff = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    any_diff = any_diff || va != c.next();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PromptSampler, LocalityIncreasesShortRangeRepeats) {
+  auto repeat_fraction = [](double locality) {
+    trace::PromptMixConfig cfg;
+    cfg.kind = trace::PromptMixConfig::Kind::kZipf;
+    cfg.zipf_exponent = 0.6;  // mild skew so repeats come from locality
+    cfg.locality = locality;
+    cfg.locality_window = 16;
+    trace::PromptSampler s(2000, cfg);
+    std::deque<std::uint32_t> window;
+    int repeats = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+      const auto id = s.next();
+      for (const auto w : window)
+        if (w == id) {
+          ++repeats;
+          break;
+        }
+      window.push_back(id);
+      if (window.size() > 16) window.pop_front();
+    }
+    return static_cast<double>(repeats) / n;
+  };
+  EXPECT_GT(repeat_fraction(0.5), repeat_fraction(0.0) + 0.2);
+}
+
+// ---- reuse-noise quality perturbation -------------------------------------
+
+TEST(Workload, CachedFeatureInheritsDonorPlusDistanceNoise) {
+  quality::Workload w(64);
+  const auto donor = w.generated_feature(3, 2);
+  // Zero distance: the donor's image verbatim.
+  EXPECT_EQ(w.cached_feature(9, 3, 2, 0.0), donor);
+  // Deterministic per (q, donor, tier, distance).
+  EXPECT_EQ(w.cached_feature(9, 3, 2, 1.0), w.cached_feature(9, 3, 2, 1.0));
+  // Noise grows with distance.
+  auto err = [&](double dist) {
+    const auto x = w.cached_feature(9, 3, 2, dist);
+    double sq = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d)
+      sq += (x[d] - donor[d]) * (x[d] - donor[d]);
+    return std::sqrt(sq);
+  };
+  EXPECT_GT(err(0.5), 0.0);
+  EXPECT_GT(err(4.0), err(0.5));
+}
+
+// ---- end-to-end: the cache as part of the serving stack -------------------
+
+const core::CascadeEnvironment& shared_env() {
+  static const core::CascadeEnvironment env = [] {
+    core::EnvironmentConfig cfg;
+    cfg.workload_queries = 600;
+    cfg.discriminator.train_queries = 400;
+    cfg.profile_queries = 400;
+    return core::CascadeEnvironment(cfg);
+  }();
+  return env;
+}
+
+trace::PromptMixConfig zipf_mix() {
+  trace::PromptMixConfig mix;
+  mix.kind = trace::PromptMixConfig::Kind::kZipf;
+  mix.zipf_exponent = 1.1;
+  mix.locality = 0.3;
+  return mix;
+}
+
+CacheConfig serving_cache() {
+  CacheConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity = 128;
+  return cfg;
+}
+
+core::RunConfig zipf_run(const trace::RateTrace& tr) {
+  core::RunConfig rc;
+  rc.approach = core::Approach::kDiffServeExhaustive;
+  rc.total_workers = 6;
+  rc.trace = tr;
+  rc.controller.initial_demand_guess = tr.qps_at(0.0);
+  rc.system.prompt_mix = zipf_mix();
+  return rc;
+}
+
+TEST(CacheServing, ZipfTraceHitsAndImprovesLatencyAndSlo) {
+  const auto tr = trace::RateTrace::constant(10.0, 120.0);
+  const auto off = core::run_experiment(shared_env(), zipf_run(tr));
+
+  auto on_cfg = zipf_run(tr);
+  on_cfg.system.cache = serving_cache();
+  const auto on = core::run_experiment(shared_env(), on_cfg);
+
+  // The repetition in the Zipfian trace is reused, not recomputed.
+  EXPECT_GT(on.cache_hit_ratio, 0.2);
+  EXPECT_GT(on.cache_exact_hit_ratio, 0.0);
+  EXPECT_EQ(off.cache_hit_ratio, 0.0);
+
+  // Equal capacity, identical arrivals: reuse buys latency and SLO.
+  EXPECT_EQ(on.submitted, off.submitted);
+  EXPECT_LT(on.mean_latency, off.mean_latency);
+  EXPECT_LE(on.violation_ratio, off.violation_ratio);
+
+  // Query conservation through the new cache terminal paths: after the
+  // DES drains, every admitted query reached exactly one terminal
+  // outcome — a double-completed exact hit or a completion lost behind a
+  // pending hit_latency timer would break the equality.
+  EXPECT_EQ(on.completed + on.dropped, on.submitted);
+
+  // Reuse error is bounded: FID moves, but stays in the same band.
+  ASSERT_GT(off.overall_fid, 0.0);
+  ASSERT_GT(on.overall_fid, 0.0);
+  EXPECT_LT(std::fabs(on.overall_fid - off.overall_fid),
+            0.35 * off.overall_fid);
+}
+
+TEST(CacheServing, ControllerDiscountsDemandByExactHits) {
+  const auto tr = trace::RateTrace::constant(10.0, 100.0);
+  auto rc = zipf_run(tr);
+  rc.system.cache = serving_cache();
+  const auto r = core::run_experiment(shared_env(), rc);
+
+  ASSERT_FALSE(r.control_history.empty());
+  const auto& last = r.control_history.back();
+  // The online EWMA saw the hits and the allocator planned for the
+  // discounted effective demand.
+  EXPECT_GT(last.cache_exact_hit_ratio, 0.05);
+  EXPECT_LE(last.cache_service_discount, 1.0);
+  EXPECT_LT(last.demand_estimate, 10.0);
+}
+
+TEST(CacheServing, ExactHitsServeAtCacheLatency) {
+  // Tiny workload + round-robin cycling: every prompt repeats every 64
+  // queries, so a warm cache serves exact hits at hit_latency.
+  core::EnvironmentConfig ec;
+  ec.workload_queries = 64;
+  ec.discriminator.train_queries = 64;
+  ec.profile_queries = 64;
+  const core::CascadeEnvironment env(ec);
+
+  sim::Simulation sim;
+  serving::SystemConfig cfg;
+  cfg.total_workers = 2;
+  cfg.slo_seconds = 10.0;
+  cfg.cache = serving_cache();
+  serving::ServingSystem system(sim, env.workload(), env.repository(),
+                                env.cascade(), env.discs(), env.scorer(),
+                                cfg);
+  serving::AllocationPlan plan;
+  plan.light_workers() = 1;
+  plan.heavy_workers() = 1;
+  plan.threshold() = 0.0;  // no deferrals; keep the flow simple
+  system.apply(plan);
+
+  std::vector<double> arrivals;
+  for (int i = 0; i < 160; ++i) arrivals.push_back(0.5 * i);
+  system.inject_arrivals(arrivals);
+  sim.run_all();
+
+  const auto stats = system.engine().cache_stats();
+  // Second and later cycles hit. Not every repeat is exact: a prompt
+  // whose first query approx-hit a neighbour is never inserted (approx
+  // results stay out of the cache), so its repeats keep approx-hitting.
+  EXPECT_GT(stats.exact_hits, 40u);
+  EXPECT_GT(stats.hits(), 80u);
+  // Conservation: each arrival terminated exactly once.
+  EXPECT_EQ(system.sink().total(), 160u);
+  const auto& sink = system.sink();
+  EXPECT_GT(sink.hit_level_count(HitLevel::kExact), 0u);
+  EXPECT_NEAR(sink.mean_cache_latency(), cfg.cache.hit_latency, 1e-9);
+  EXPECT_LT(sink.mean_cache_latency(), sink.mean_latency());
+}
+
+TEST(CacheServing, DesAndThreadedBackendsAgreeWithCacheOn) {
+  // The §4.3 parity property must survive the cache: same trace, same
+  // Zipfian prompt stream, cache enabled on both backends.
+  const auto tr = trace::RateTrace::azure_like(2.0, 8.0, 80.0, 7);
+
+  auto sim_cfg = zipf_run(tr);
+  sim_cfg.system.cache = serving_cache();
+  const auto des = core::run_experiment(shared_env(), sim_cfg);
+
+  control::ExhaustiveAllocator alloc;
+  runtime::RuntimeConfig rt_cfg;
+  rt_cfg.total_workers = 6;
+  rt_cfg.time_scale = 30.0;
+  rt_cfg.cache = serving_cache();
+  rt_cfg.prompt_mix = zipf_mix();
+  const auto threaded =
+      runtime::run_threaded(shared_env(), alloc, tr, rt_cfg);
+
+  EXPECT_EQ(des.submitted, threaded.submitted);
+  // Conservation on the threaded backend: nothing terminates twice, and
+  // at most a small in-flight slack remains unterminated at shutdown.
+  EXPECT_LE(threaded.completed + threaded.dropped, threaded.submitted);
+  EXPECT_GE(threaded.completed + threaded.dropped + 5, threaded.submitted);
+  ASSERT_GT(des.overall_fid, 0.0);
+  ASSERT_GT(threaded.overall_fid, 0.0);
+  const double fid_rel_diff =
+      std::fabs(des.overall_fid - threaded.overall_fid) / des.overall_fid;
+  EXPECT_LT(fid_rel_diff, 0.05);
+  EXPECT_LT(std::fabs(des.violation_ratio - threaded.violation_ratio),
+            0.05);
+  EXPECT_GT(threaded.cache_hit_ratio, 0.2);
+  EXPECT_LT(std::fabs(des.cache_hit_ratio - threaded.cache_hit_ratio),
+            0.05);
+}
+
+}  // namespace
+}  // namespace diffserve::cache

@@ -91,6 +91,38 @@ TEST(EngineEquivalence, ChainRegistrationMatchesPairRegistration) {
   EXPECT_EQ(pair_run.reconfigurations, chain_run.reconfigurations);
 }
 
+TEST(EngineEquivalence, DisabledCacheIsByteIdentical) {
+  // The reuse cache must be a pure switch: with cache.enabled == false,
+  // every other cache/prompt-mix knob in the config is dead state and the
+  // run reproduces the default configuration *exactly* — FID, SLO
+  // violations, latency, and every terminal count.
+  const auto tr = trace::RateTrace::azure_like(2.0, 8.0, 80.0, 7);
+  core::RunConfig rc;
+  rc.approach = core::Approach::kDiffServeExhaustive;
+  rc.total_workers = 6;
+  rc.trace = tr;
+  rc.controller.initial_demand_guess = tr.qps_at(0.0);
+  const auto plain = core::run_experiment(shared_env(), rc);
+
+  core::RunConfig off = rc;
+  off.system.cache.enabled = false;  // the switch under test
+  off.system.cache.capacity = 8;     // aggressive dead knobs
+  off.system.cache.near_distance = 50.0;
+  off.system.cache.far_distance = 50.0;
+  off.system.cache.hit_latency = 0.5;
+  const auto gated = core::run_experiment(shared_env(), off);
+
+  EXPECT_EQ(plain.overall_fid, gated.overall_fid);
+  EXPECT_EQ(plain.violation_ratio, gated.violation_ratio);
+  EXPECT_EQ(plain.mean_latency, gated.mean_latency);
+  EXPECT_EQ(plain.light_served_fraction, gated.light_served_fraction);
+  EXPECT_EQ(plain.submitted, gated.submitted);
+  EXPECT_EQ(plain.completed, gated.completed);
+  EXPECT_EQ(plain.dropped, gated.dropped);
+  EXPECT_EQ(plain.reconfigurations, gated.reconfigurations);
+  EXPECT_EQ(gated.cache_hit_ratio, 0.0);
+}
+
 TEST(EngineReconfig, DesEvictionReroutesAndCountsOncePerPlan) {
   const auto& env = shared_env();
   sim::Simulation sim;

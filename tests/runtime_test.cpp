@@ -2,12 +2,16 @@
 // comparison the paper reports in §4.3.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "control/exhaustive_allocator.hpp"
 #include "core/environment.hpp"
 #include "core/experiment.hpp"
 #include "runtime/threaded_runtime.hpp"
+#include "util/trace_clock.hpp"
 
 namespace diffserve::runtime {
 namespace {
@@ -108,6 +112,77 @@ TEST(ThreadedRuntime, ServesThreeStageChain) {
   EXPECT_GT(r.completed, 100u);
   ASSERT_EQ(r.stage_served_fraction.size(), 3u);
   for (const double f : r.stage_served_fraction) EXPECT_GT(f, 0.0);
+}
+
+TEST(ThreadedBackendOffload, SlowControlJobDoesNotDelayTimers) {
+  // The ROADMAP regression: controller ticks (and their allocator solves)
+  // used to run inline on the timer thread, so a slow MILP delayed
+  // batch-launch timers. offload() routes them to a dedicated control
+  // thread; a timer due in the middle of a long-running control job must
+  // still fire on time.
+  util::TraceClock clock(1.0);  // 1 trace second == 1 wall second
+  ThreadedBackend backend(clock, /*workers=*/1);
+  backend.start();
+
+  std::atomic<bool> timer_fired{false};
+  std::atomic<double> timer_at{0.0};
+  backend.offload([&] {
+    // A 500 ms "allocator solve" straddling the timer's due time.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  });
+  backend.defer(0.05, [&] {
+    timer_at.store(clock.now());
+    timer_fired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_TRUE(timer_fired.load());
+  // Fired near its due time, not after the control job released the
+  // timer thread at ~0.5 (which the inline design would have forced).
+  // The slack absorbs scheduling noise on loaded CI runners.
+  EXPECT_LT(timer_at.load(), 0.25);
+  backend.stop();
+}
+
+/// Wraps an allocator with an artificial wall-clock solve delay.
+class SlowAllocator final : public control::Allocator {
+ public:
+  SlowAllocator(control::Allocator& inner, int delay_ms)
+      : inner_(inner), delay_ms_(delay_ms) {}
+  control::AllocationDecision allocate(
+      const control::AllocationInput& input) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return inner_.allocate(input);
+  }
+  std::string name() const override { return "slow-" + inner_.name(); }
+
+ private:
+  control::Allocator& inner_;
+  int delay_ms_;
+};
+
+TEST(ThreadedRuntime, SlowAllocatorSolvesDoNotStarveBatchTimers) {
+  // At time_scale 40 a 5 s control period is 125 ms of wall time; a
+  // 100 ms solve per tick would have blocked the timer thread for ~80%
+  // of every period under the old inline design, turning deadline-edge
+  // batches into drops. On the control executor the same solve must
+  // leave serving quality close to the fast-allocator run.
+  const auto tr = trace::RateTrace::constant(4.0, 40.0);
+  RuntimeConfig cfg;
+  cfg.total_workers = 6;
+  cfg.time_scale = 40.0;
+
+  control::ExhaustiveAllocator fast;
+  const auto base = run_threaded(shared_env(), fast, tr, cfg);
+
+  control::ExhaustiveAllocator inner;
+  SlowAllocator slow(inner, /*delay_ms=*/100);
+  const auto r = run_threaded(shared_env(), slow, tr, cfg);
+
+  EXPECT_GT(r.submitted, 100u);
+  EXPECT_GE(r.completed + r.dropped + 5, r.submitted);
+  // The inline design pushed violations up by tens of points here; the
+  // margin only absorbs scheduling noise on loaded CI runners.
+  EXPECT_LT(r.violation_ratio, base.violation_ratio + 0.15);
 }
 
 TEST(ThreadedRuntime, RejectsBadConfig) {

@@ -141,6 +141,32 @@ TEST(Arrivals, BurstyPreservesMeanRate) {
   EXPECT_NEAR(static_cast<double>(a.size()), 2000.0, 250.0);
 }
 
+class BurstyMeanRateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BurstyMeanRateProperty, OnOffModulationPreservesMeanRate) {
+  // The on/off burst factor is constructed so on- and off-phase scalings
+  // average to 1 (lo = 2 - hi with equal expected phase lengths): the
+  // realized arrival count must track the trace integral across seeds,
+  // not just for one lucky draw. The tolerance covers Poisson noise plus
+  // the extra variance the phase modulation adds.
+  const int seed = GetParam();
+  const auto t = RateTrace::constant(10.0, 600.0);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kBursty;
+  cfg.burstiness = 2.0;
+  cfg.burst_phase_mean = 2.0;
+  const auto a = generate_arrivals(t, rng, cfg);
+  const double expected = t.total_queries();
+  // ~300 phases over the trace keep the realized on-time fraction within
+  // a few percent of 1/2; a broken off-phase scaling (lo != 2 - hi)
+  // would shift the count by ~50%, far outside this band.
+  EXPECT_NEAR(static_cast<double>(a.size()), expected, 0.15 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BurstyMeanRateProperty,
+                         ::testing::Range(1, 9));
+
 TEST(Arrivals, BurstyIsBurstier) {
   // Compare coefficient of variation of inter-arrival gaps.
   const auto t = RateTrace::constant(10.0, 300.0);
