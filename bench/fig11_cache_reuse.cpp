@@ -1,21 +1,48 @@
 // Figure 11: the approximate prompt-reuse cache across capacity and
-// prompt-popularity skew.
+// prompt-popularity skew, plus the indexed-lookup microbenchmark.
 //
-// Sweeps cache capacity (0 = cache off) x Zipf exponent on a Zipfian
-// prompt stream with temporal locality, at fixed demand and cluster size.
-// Expected shape: hit ratio grows with both capacity and skew; mean
-// latency and the SLO-violation ratio fall as the cache absorbs repeated
-// prompts and the cache-aware controller re-provisions for the effective
-// demand; FID pays a bounded reuse-noise cost that shrinks as capacity
-// lets more queries hit exactly instead of approximately.
+// Part 1 sweeps cache capacity (0 = cache off) x Zipf exponent on a
+// Zipfian prompt stream with temporal locality, at fixed demand and
+// cluster size. Expected shape: hit ratio grows with both capacity and
+// skew; mean latency and the SLO-violation ratio fall as the cache
+// absorbs repeated prompts and the cache-aware controller re-provisions
+// for the effective demand; FID pays a bounded reuse-noise cost that
+// shrinks as capacity lets more queries hit exactly instead of
+// approximately. The sweep extends to 10^5 entries, where kAuto switches
+// the lookup to the LSH index (a production trace from millions of users
+// wants a million-entry cache, which the O(N) scan cannot serve).
 //
-//   --smoke   one small combination (CI: exercises the JSON emission)
+// Part 2 isolates the lookup path: two caches with identical contents at
+// 10^5 entries, one scanning and one LSH-indexed, timed over the same
+// probe stream. The smoke run asserts the index wins by >= 5x — the CI
+// guard for the indexed-lookup speedup claim.
+//
+//   --smoke   one small sweep combination + the large-capacity index
+//             microbenchmark (CI: exercises the JSON emission and the
+//             speedup floor)
+#include <chrono>
 #include <cstring>
 
 #include "bench_common.hpp"
+#include "cache/approx_cache.hpp"
 #include "trace/prompt_mix.hpp"
+#include "util/rng.hpp"
 
 using namespace diffserve;
+
+namespace {
+
+/// Wall-clock seconds to run every key in `probes` through `c.lookup`.
+double time_lookups(cache::ApproxCache& c,
+                    const std::vector<std::vector<double>>& probes) {
+  const auto start = std::chrono::steady_clock::now();
+  double t = 0.0;
+  for (const auto& k : probes) c.lookup(k, t += 1.0);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
@@ -24,7 +51,7 @@ int main(int argc, char** argv) {
   const double duration = smoke ? 60.0 : 120.0;
   const std::vector<std::size_t> capacities =
       smoke ? std::vector<std::size_t>{128}
-            : std::vector<std::size_t>{0, 64, 256, 1024};
+            : std::vector<std::size_t>{0, 64, 256, 1024, 100000};
   const std::vector<double> skews =
       smoke ? std::vector<double>{1.1} : std::vector<double>{0.7, 1.1, 1.4};
 
@@ -54,6 +81,11 @@ int main(int argc, char** argv) {
       if (cap > 0) {
         rc.system.cache.enabled = true;
         rc.system.cache.capacity = cap;
+        // Large capacities flip kAuto to the LSH index; the sweep also
+        // exercises the latent levels + interpolated fractions the big
+        // configs exist for.
+        rc.system.cache.interpolate_step_fraction = true;
+        rc.system.cache.latent_levels = true;
       }
       const auto r = run_experiment(env, rc);
 
@@ -68,6 +100,74 @@ int main(int argc, char** argv) {
           bench::ReportTable::fmt(r.mean_latency),
           bench::ReportTable::fmt(100.0 * r.light_served_fraction)});
     }
+  }
+
+  // --- Part 2: indexed lookup vs the linear scan at 10^5 entries ----------
+  bench::banner("Figure 11b",
+                "ApproxCache lookup: LSH index vs linear scan, 1e5 entries");
+  const std::size_t entries = 100000;
+  const std::size_t n_probes = smoke ? 1000 : 4000;
+  const std::size_t dim = 6;
+
+  cache::CacheConfig scan_cfg;
+  scan_cfg.enabled = true;
+  scan_cfg.capacity = entries;
+  scan_cfg.index_kind = cache::IndexKind::kScan;
+  cache::CacheConfig lsh_cfg = scan_cfg;
+  lsh_cfg.index_kind = cache::IndexKind::kLsh;
+  cache::ApproxCache scan_cache(scan_cfg);
+  cache::ApproxCache lsh_cache(lsh_cfg);
+
+  util::Rng rng(7);
+  std::vector<double> key(dim);
+  double t = 0.0;
+  std::vector<std::vector<double>> sample;  // donors the probe stream reuses
+  for (std::size_t i = 0; i < entries; ++i) {
+    for (auto& v : key) v = rng.normal();
+    scan_cache.insert(static_cast<quality::QueryId>(i), 1, 0, key, t += 1.0);
+    lsh_cache.insert(static_cast<quality::QueryId>(i), 1, 0, key, t);
+    if (i % (entries / 64) == 0) sample.push_back(key);
+  }
+  // Probe stream: half near-duplicates of cached keys (the hit path),
+  // half fresh vectors (the miss path).
+  std::vector<std::vector<double>> probes;
+  probes.reserve(n_probes);
+  for (std::size_t i = 0; i < n_probes; ++i) {
+    if (i % 2 == 0) {
+      auto k = sample[i % sample.size()];
+      for (auto& v : k) v += rng.normal(0.0, 0.05);
+      probes.push_back(std::move(k));
+    } else {
+      for (auto& v : key) v = rng.normal();
+      probes.push_back(key);
+    }
+  }
+
+  const double scan_s = time_lookups(scan_cache, probes);
+  const double lsh_s = time_lookups(lsh_cache, probes);
+  const double scan_us = 1e6 * scan_s / static_cast<double>(n_probes);
+  const double lsh_us = 1e6 * lsh_s / static_cast<double>(n_probes);
+  const double speedup = lsh_s > 0.0 ? scan_s / lsh_s : 0.0;
+  const double lsh_hit = lsh_cache.stats().hit_ratio();
+  const double scan_hit = scan_cache.stats().hit_ratio();
+  // Recall of the approximate index against the exact scan, on this
+  // probe stream (hits over the scan's hits).
+  const double recall = scan_hit > 0.0 ? lsh_hit / scan_hit : 1.0;
+
+  std::printf("scan: %8.2f us/lookup   hit_ratio %.3f\n", scan_us, scan_hit);
+  std::printf("lsh:  %8.2f us/lookup   hit_ratio %.3f   recall %.3f\n",
+              lsh_us, lsh_hit, recall);
+  std::printf("speedup: %.1fx at %zu entries\n", speedup, entries);
+  table.metric("index.scan_us_per_lookup", scan_us);
+  table.metric("index.lsh_us_per_lookup", lsh_us);
+  table.metric("index.speedup_1e5", speedup);
+  table.metric("index.recall_vs_scan", recall);
+
+  if (smoke && speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: LSH index speedup %.2fx < 5x at %zu entries\n",
+                 speedup, entries);
+    return 1;
   }
   return 0;
 }

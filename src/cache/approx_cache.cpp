@@ -1,9 +1,11 @@
 #include "cache/approx_cache.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace diffserve::cache {
 
@@ -43,8 +45,40 @@ ApproxCache::ApproxCache(CacheConfig cfg) : cfg_(cfg) {
              "near step fraction must be in (0, 1]");
   DS_REQUIRE(cfg_.far_step_fraction > 0.0 && cfg_.far_step_fraction <= 1.0,
              "far step fraction must be in (0, 1]");
+  DS_REQUIRE(cfg_.min_step_fraction > 0.0 && cfg_.min_step_fraction <= 1.0,
+             "min step fraction must be in (0, 1]");
+  // Interpolation assumes a monotone profile: a closer donor never costs
+  // more steps than a farther one (the distance thresholds get the
+  // analogous ordering check above).
+  if (cfg_.interpolate_step_fraction)
+    DS_REQUIRE(cfg_.min_step_fraction <= cfg_.near_step_fraction &&
+                   cfg_.near_step_fraction <= cfg_.far_step_fraction,
+               "interpolation anchors must be ordered min <= near <= far");
   DS_REQUIRE(cfg_.hit_latency >= 0.0, "negative hit latency");
   DS_REQUIRE(cfg_.popularity_weight >= 0.0, "negative popularity weight");
+  DS_REQUIRE(cfg_.lsh_projections >= 1 && cfg_.lsh_projections <= 32,
+             "lsh_projections must be in [1, 32]");
+  DS_REQUIRE(cfg_.lsh_tables >= 1, "need at least one LSH table");
+  DS_REQUIRE(cfg_.lsh_width_scale > 0.0, "lsh_width_scale must be positive");
+  indexed_ = cfg_.index_kind == IndexKind::kLsh ||
+             (cfg_.index_kind == IndexKind::kAuto &&
+              cfg_.capacity > kAutoIndexThreshold);
+  if (indexed_) {
+    buckets_.resize(cfg_.lsh_tables);
+    // Cells sized to the near radius *in projection units*: a near
+    // neighbour then lands in the same or an adjacent cell per projection
+    // with high probability. For L2 a neighbour's projection differs by
+    // at most the distance itself; cosine distance d between normalized
+    // keys corresponds to a chord of sqrt(2d), so the cell width must be
+    // in chord units or near neighbours land several cells away. A
+    // degenerate radius still quantizes (exact duplicates always share
+    // every cell).
+    const double near_span =
+        cfg_.metric == SimilarityMetric::kCosine
+            ? std::sqrt(2.0 * cfg_.near_distance)
+            : cfg_.near_distance;
+    lsh_cell_width_ = std::max(cfg_.lsh_width_scale * near_span, 1e-9);
+  }
   entries_.reserve(cfg_.capacity);
 }
 
@@ -66,8 +100,33 @@ double ApproxCache::distance(const std::vector<double>& a,
     nb += b[d] * b[d];
   }
   const double denom = std::sqrt(na) * std::sqrt(nb);
-  if (denom <= 1e-12) return 1.0;  // a zero vector is similar to nothing
+  // A degenerate vector has no direction, so it is similar to *nothing*:
+  // any finite placeholder (the old 1.0) silently classified it as an
+  // approx-far hit whenever far_distance >= 1.
+  if (denom <= 1e-12) return std::numeric_limits<double>::infinity();
   return 1.0 - dot / denom;
+}
+
+double ApproxCache::approx_step_fraction(double d) const {
+  if (!cfg_.interpolate_step_fraction)
+    return d <= cfg_.near_distance ? cfg_.near_step_fraction
+                                   : cfg_.far_step_fraction;
+  // Continuous piecewise-linear through the tier anchors:
+  // (exact -> min) -> (near -> near_frac) -> (far -> far_frac).
+  const double lo = cfg_.exact_distance;
+  const double mid = cfg_.near_distance;
+  const double hi = cfg_.far_distance;
+  if (d <= lo) return cfg_.min_step_fraction;
+  if (d <= mid) {
+    if (mid - lo <= 0.0) return cfg_.near_step_fraction;
+    const double t = (d - lo) / (mid - lo);
+    return cfg_.min_step_fraction +
+           t * (cfg_.near_step_fraction - cfg_.min_step_fraction);
+  }
+  if (hi - mid <= 0.0) return cfg_.far_step_fraction;
+  const double t = std::min(1.0, (d - mid) / (hi - mid));
+  return cfg_.near_step_fraction +
+         t * (cfg_.far_step_fraction - cfg_.near_step_fraction);
 }
 
 double ApproxCache::eviction_score(const Entry& e) const {
@@ -75,87 +134,362 @@ double ApproxCache::eviction_score(const Entry& e) const {
          cfg_.popularity_weight * std::log1p(static_cast<double>(e.hits));
 }
 
-LookupResult ApproxCache::lookup(const std::vector<double>& key, double now) {
-  ++stats_.lookups;
-  Entry* best = nullptr;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (auto& e : entries_) {
-    const double d = distance(e.key, key);
-    // Strict < with an in-order scan: ties resolve to the earliest
-    // insertion, independent of eviction history.
+std::uint32_t ApproxCache::level_mask_of(const Entry& e) {
+  std::uint32_t mask = 0;
+  for (const auto& l : e.levels)
+    if (l.stage >= 0 && l.stage < 32) mask |= 1u << l.stage;
+  if (e.has_image() && e.stage >= 0 && e.stage < 32) mask |= 1u << e.stage;
+  return mask;
+}
+
+void ApproxCache::deepest_of(const Entry& e, int& stage, int& tier) {
+  stage = -1;
+  tier = -1;
+  for (const auto& l : e.levels)
+    if (l.stage > stage) {
+      stage = l.stage;
+      tier = l.tier;
+    }
+  if (e.has_image() && e.stage >= stage) {
+    stage = e.stage;
+    tier = e.tier;
+  }
+}
+
+// ---- nearest-neighbour search ----------------------------------------------
+
+std::size_t ApproxCache::nearest_scan(const std::vector<double>& key,
+                                      double& best_d) {
+  std::size_t best = npos;
+  best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const double d = distance(entries_[i].key, key);
+    // Strict < with an in-order scan: ties resolve to the lowest entry
+    // index, independent of eviction history.
     if (d < best_d) {
       best_d = d;
-      best = &e;
+      best = i;
     }
   }
+  return best;
+}
+
+std::size_t ApproxCache::nearest_lsh(const std::vector<double>& key,
+                                     double& best_d) {
+  ensure_planes(key.size());
+  std::size_t best = npos;
+  best_d = std::numeric_limits<double>::infinity();
+  const std::uint64_t epoch = ++lookup_epoch_;
+  auto probe = [&](std::size_t table, std::uint64_t code) {
+    const auto it = buckets_[table].find(code);
+    if (it == buckets_[table].end()) return;
+    for (const std::size_t idx : it->second) {
+      Entry& e = entries_[idx];
+      // An entry can share buckets with the query in several tables and
+      // probes; compute its distance once per lookup.
+      if (e.visit_epoch == epoch) continue;
+      e.visit_epoch = epoch;
+      const double d = distance(e.key, key);
+      // Tie-break on the lower entry index — the same winner the in-order
+      // scan picks, so the index agrees with the scan whenever the true
+      // nearest neighbour lands in a probed bucket.
+      if (d < best_d || (d == best_d && idx < best)) {
+        best_d = d;
+        best = idx;
+      }
+    }
+  };
+  const std::size_t k = cfg_.lsh_projections;
+  std::int64_t cells[32];
+  for (std::size_t t = 0; t < cfg_.lsh_tables; ++t) {
+    cells_of(t, key, cells);
+    probe(t, hash_cells(t, cells));
+    if (cfg_.lsh_probe_neighbors) {
+      // One quantization cell away in a single projection — the bucket an
+      // in-radius neighbour most likely fell into when it missed ours.
+      for (std::size_t j = 0; j < k; ++j) {
+        ++cells[j];
+        probe(t, hash_cells(t, cells));
+        cells[j] -= 2;
+        probe(t, hash_cells(t, cells));
+        ++cells[j];
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t ApproxCache::nearest(const std::vector<double>& key,
+                                 double& best_d) {
+  if (entries_.empty()) {
+    best_d = std::numeric_limits<double>::infinity();
+    return npos;
+  }
+  return indexed_ ? nearest_lsh(key, best_d) : nearest_scan(key, best_d);
+}
+
+LookupResult ApproxCache::lookup(const std::vector<double>& key, double now) {
+  ++stats_.lookups;
+  double best_d = 0.0;
+  const std::size_t best = nearest(key, best_d);
 
   LookupResult r;
-  if (best != nullptr && best_d <= cfg_.far_distance) {
-    if (best_d <= cfg_.exact_distance) {
+  // What the non-exact stats sums record: with latent levels and a known
+  // chain depth, the fraction a hit saves applies only at the donor's
+  // covered stages (the rest run full steps), so the controller-facing
+  // number is coverage-weighted; otherwise the raw fraction.
+  double recorded_fraction = 1.0;
+  if (best != npos && best_d <= cfg_.far_distance) {
+    Entry& e = entries_[best];
+    r.donor_prompt = e.prompt;
+    deepest_of(e, r.donor_stage, r.donor_tier);
+    r.distance = best_d;
+    r.level_mask = level_mask_of(e);
+    if (best_d <= cfg_.exact_distance && e.has_image()) {
+      // Only a terminal image can be served as-is; an exact-distance match
+      // against a latent-only entry still resumes like an approx hit.
+      // What an exact hit serves is the terminal image, whatever the
+      // deepest recorded latent happens to be.
       r.level = HitLevel::kExact;
       r.step_fraction = 0.0;
+      r.donor_tier = e.tier;
+      r.donor_stage = e.stage;
       ++stats_.exact_hits;
-    } else if (best_d <= cfg_.near_distance) {
-      r.level = HitLevel::kApproxNear;
-      r.step_fraction = cfg_.near_step_fraction;
-      ++stats_.near_hits;
     } else {
-      r.level = HitLevel::kApproxFar;
-      r.step_fraction = cfg_.far_step_fraction;
-      ++stats_.far_hits;
+      r.step_fraction = approx_step_fraction(best_d);
+      recorded_fraction = r.step_fraction;
+      if (cfg_.latent_levels && cfg_.chain_stages > 0) {
+        std::size_t covered = 0;
+        for (std::size_t s = 0; s < cfg_.chain_stages && s < 32; ++s)
+          if ((r.level_mask >> s) & 1u) ++covered;
+        const double n = static_cast<double>(cfg_.chain_stages);
+        recorded_fraction =
+            (static_cast<double>(covered) * r.step_fraction + (n - covered)) /
+            n;
+      }
+      if (best_d <= cfg_.near_distance) {
+        r.level = HitLevel::kApproxNear;
+        ++stats_.near_hits;
+        stats_.near_step_fraction_sum += recorded_fraction;
+      } else {
+        r.level = HitLevel::kApproxFar;
+        ++stats_.far_hits;
+        stats_.far_step_fraction_sum += recorded_fraction;
+      }
     }
-    r.donor_prompt = best->prompt;
-    r.donor_tier = best->tier;
-    r.donor_stage = best->stage;
-    r.distance = best_d;
-    ++best->hits;
-    best->last_used = now;
+    ++e.hits;
+    e.last_used = now;
   }
   if (r.level != HitLevel::kExact)
-    stats_.step_fraction_sum += r.step_fraction;
+    stats_.step_fraction_sum += recorded_fraction;
   return r;
+}
+
+// ---- insertion -------------------------------------------------------------
+
+std::size_t ApproxCache::find_prompt(quality::QueryId prompt) const {
+  const auto it = by_prompt_.find(prompt);
+  return it == by_prompt_.end() ? npos : it->second;
+}
+
+void ApproxCache::evict_one() {
+  std::size_t victim = 0;
+  double victim_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const double s = eviction_score(entries_[i]);
+    if (s < victim_score ||
+        (s == victim_score && entries_[i].order < entries_[victim].order)) {
+      victim_score = s;
+      victim = i;
+    }
+  }
+  if (indexed_) index_remove(victim);
+  by_prompt_.erase(entries_[victim].prompt);
+  const std::size_t last = entries_.size() - 1;
+  if (victim != last) {
+    if (indexed_) index_move(last, victim);
+    by_prompt_[entries_[last].prompt] = victim;
+    entries_[victim] = std::move(entries_[last]);
+  }
+  entries_.pop_back();
+  ++stats_.evictions;
+}
+
+std::size_t ApproxCache::upsert_entry(quality::QueryId prompt,
+                                      const std::vector<double>& key,
+                                      double now) {
+  std::size_t idx = find_prompt(prompt);
+  if (idx != npos) {
+    Entry& e = entries_[idx];
+    // Refresh the key alongside the entry: a prompt whose style vector has
+    // drifted must match against its *current* key, not the one it was
+    // first inserted under.
+    if (e.key != key) {
+      if (indexed_) index_remove(idx);
+      e.key = key;
+      if (indexed_) {
+        ensure_planes(key.size());
+        for (std::size_t t = 0; t < cfg_.lsh_tables; ++t)
+          e.codes[t] = code_of(t, key);
+        index_add(idx);
+      }
+    }
+    e.last_used = now;
+    return idx;
+  }
+  if (entries_.size() >= cfg_.capacity) evict_one();
+  Entry e;
+  e.prompt = prompt;
+  e.key = key;
+  e.last_used = now;
+  e.order = next_order_++;
+  if (indexed_) {
+    ensure_planes(key.size());
+    e.codes.resize(cfg_.lsh_tables);
+    for (std::size_t t = 0; t < cfg_.lsh_tables; ++t)
+      e.codes[t] = code_of(t, key);
+  }
+  idx = entries_.size();
+  entries_.push_back(std::move(e));
+  by_prompt_[prompt] = idx;
+  if (indexed_) index_add(idx);
+  return idx;
 }
 
 void ApproxCache::insert(quality::QueryId prompt, int tier, int stage,
                          const std::vector<double>& key, double now) {
   DS_REQUIRE(tier > 0, "cached images need a diffusion tier");
-  // Refresh an already-cached prompt in place, keeping the higher-quality
-  // image (a deferral may re-serve the same prompt at a heavier tier).
-  for (auto& e : entries_) {
-    if (e.prompt == prompt) {
-      if (tier >= e.tier) {
-        e.tier = tier;
-        e.stage = stage;
-      }
-      e.last_used = now;
+  const bool existed = find_prompt(prompt) != npos;
+  Entry& e = entries_[upsert_entry(prompt, key, now)];
+  // Keep the higher-quality terminal image (a deferral may re-serve the
+  // same prompt at a heavier tier).
+  if (tier >= e.tier) {
+    e.tier = tier;
+    e.stage = stage;
+  }
+  if (!existed) ++stats_.insertions;
+}
+
+void ApproxCache::insert_latent(quality::QueryId prompt, int tier, int stage,
+                                const std::vector<double>& key, double now) {
+  DS_REQUIRE(tier > 0, "latents need a diffusion tier");
+  DS_REQUIRE(stage >= 0, "latents need a producing stage");
+  Entry& e = entries_[upsert_entry(prompt, key, now)];
+  for (auto& l : e.levels) {
+    if (l.stage == stage) {
+      l.tier = std::max(l.tier, tier);
       return;
     }
   }
-  if (entries_.size() >= cfg_.capacity) {
-    std::size_t victim = 0;
-    double victim_score = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      const double s = eviction_score(entries_[i]);
-      if (s < victim_score ||
-          (s == victim_score &&
-           entries_[i].order < entries_[victim].order)) {
-        victim_score = s;
-        victim = i;
-      }
-    }
-    entries_[victim] = entries_.back();
-    entries_.pop_back();
-    ++stats_.evictions;
+  LatentLevel level;
+  level.stage = stage;
+  level.tier = tier;
+  // Keep levels ascending by stage (deterministic, and deepest_of /
+  // level_mask_of stay order-independent anyway).
+  const auto pos = std::find_if(
+      e.levels.begin(), e.levels.end(),
+      [stage](const LatentLevel& l) { return l.stage > stage; });
+  e.levels.insert(pos, level);
+  ++stats_.latent_insertions;
+}
+
+// ---- LSH index maintenance -------------------------------------------------
+
+void ApproxCache::ensure_planes(std::size_t dim) {
+  if (!planes_.empty()) {
+    DS_REQUIRE(planes_.front().size() == dim,
+               "key dimension changed under the LSH index");
+    return;
   }
-  Entry e;
-  e.prompt = prompt;
-  e.tier = tier;
-  e.stage = stage;
-  e.key = key;
-  e.last_used = now;
-  e.order = next_order_++;
-  entries_.push_back(std::move(e));
-  ++stats_.insertions;
+  DS_REQUIRE(dim >= 1, "empty cache key");
+  util::Rng rng(cfg_.lsh_seed);
+  planes_.resize(cfg_.lsh_tables * cfg_.lsh_projections);
+  plane_offsets_.resize(planes_.size());
+  for (std::size_t i = 0; i < planes_.size(); ++i) {
+    auto& p = planes_[i];
+    p.resize(dim);
+    // Unit-normalized direction: an in-radius neighbour's projection then
+    // differs by at most the radius's span in key space (the L2 distance,
+    // or the chord for cosine), which the cell width is sized against.
+    double norm = 0.0;
+    for (auto& v : p) {
+      v = rng.normal();
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    if (norm > 1e-12)
+      for (auto& v : p) v /= norm;
+    // Random offset decorrelates cell boundaries across projections.
+    plane_offsets_[i] = rng.uniform() * lsh_cell_width_;
+  }
+}
+
+void ApproxCache::cells_of(std::size_t table, const std::vector<double>& key,
+                           std::int64_t* cells) const {
+  // The cosine metric is magnitude-invariant, so project the direction,
+  // not the raw vector — otherwise scaled duplicates (cosine distance 0)
+  // land in distant cells and the index misses hits the scan finds. A
+  // degenerate vector keeps scale 1; it matches nothing anyway
+  // (distance() returns +infinity).
+  double scale = 1.0;
+  if (cfg_.metric == SimilarityMetric::kCosine) {
+    double sq = 0.0;
+    for (const double v : key) sq += v * v;
+    const double norm = std::sqrt(sq);
+    if (norm > 1e-12) scale = 1.0 / norm;
+  }
+  const std::size_t base = table * cfg_.lsh_projections;
+  for (std::size_t j = 0; j < cfg_.lsh_projections; ++j) {
+    const auto& plane = planes_[base + j];
+    double dot = plane_offsets_[base + j];
+    for (std::size_t d = 0; d < key.size(); ++d)
+      dot += plane[d] * key[d] * scale;
+    cells[j] = static_cast<std::int64_t>(std::floor(dot / lsh_cell_width_));
+  }
+}
+
+std::uint64_t ApproxCache::hash_cells(std::size_t table,
+                                      const std::int64_t* cells) const {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL * (table + 1);
+  for (std::size_t j = 0; j < cfg_.lsh_projections; ++j) {
+    std::uint64_t v = static_cast<std::uint64_t>(cells[j]);
+    v *= 0xBF58476D1CE4E5B9ULL;
+    v ^= v >> 31;
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::uint64_t ApproxCache::code_of(std::size_t table,
+                                   const std::vector<double>& key) const {
+  std::int64_t cells[32];
+  cells_of(table, key, cells);
+  return hash_cells(table, cells);
+}
+
+void ApproxCache::index_add(std::size_t idx) {
+  const Entry& e = entries_[idx];
+  for (std::size_t t = 0; t < cfg_.lsh_tables; ++t)
+    buckets_[t][e.codes[t]].push_back(idx);
+}
+
+void ApproxCache::index_remove(std::size_t idx) {
+  const Entry& e = entries_[idx];
+  for (std::size_t t = 0; t < cfg_.lsh_tables; ++t) {
+    auto it = buckets_[t].find(e.codes[t]);
+    DS_CHECK(it != buckets_[t].end(), "LSH bucket missing on remove");
+    auto& vec = it->second;
+    vec.erase(std::find(vec.begin(), vec.end(), idx));
+    if (vec.empty()) buckets_[t].erase(it);
+  }
+}
+
+void ApproxCache::index_move(std::size_t from, std::size_t to) {
+  const Entry& e = entries_[from];
+  for (std::size_t t = 0; t < cfg_.lsh_tables; ++t) {
+    auto& vec = buckets_[t][e.codes[t]];
+    *std::find(vec.begin(), vec.end(), from) = to;
+  }
 }
 
 }  // namespace diffserve::cache

@@ -10,14 +10,38 @@
 //
 // A lookup classifies the nearest cached neighbour into tiered hit levels:
 //
-//   exact       — distance <= exact_distance: the cached image is served
-//                 as-is; the query never enters a stage pool.
+//   exact       — distance <= exact_distance and the donor has a terminal
+//                 image: it is served as-is; the query never enters a
+//                 stage pool.
 //   approx-near — distance <= near_distance: the donor's intermediate
-//                 result seeds the generation, which then runs only
-//                 near_step_fraction of its diffusion steps.
-//   approx-far  — distance <= far_distance: a weaker seed; the generation
-//                 runs far_step_fraction of its steps.
+//                 result seeds the generation, which then runs only a
+//                 fraction of its diffusion steps.
+//   approx-far  — distance <= far_distance: a weaker seed; a larger
+//                 fraction of the steps still runs.
 //   miss        — nothing close enough; full generation.
+//
+// The step fraction an approx hit executes is either the tiered
+// near/far constant (the PR-3 behaviour, still the default) or — with
+// `interpolate_step_fraction` — a continuous piecewise-linear function of
+// the distance through the same constants as anchors (Nirvana-style: the
+// closer the donor, the later the resumption point).
+//
+// Entries are **multi-level**: besides the terminal image, a donor can
+// carry intermediate latents recorded at every cascade boundary its
+// generation crossed (`insert_latent`). An approx hit resumes from the
+// donor's deepest recorded stage; the lookup reports which stages the
+// donor has latents for so the engine can run full steps at stages the
+// donor never reached.
+//
+// Lookup is either the exact O(N) linear scan (small caches) or a bucketed
+// ANN index — multi-table LSH over random hyperplane projections of the
+// style vector, p-stable quantized (each table buckets the key by its cell
+// in `lsh_projections` random projections, cell width tied to
+// near_distance) with ±1-cell multi-probe. The index is approximate (a
+// near-threshold neighbour in a different bucket can be missed) but fully
+// deterministic: projections derive from `lsh_seed`, so two caches fed the
+// same operation sequence agree byte-for-byte, which is what keeps the DES
+// and threaded backends in lockstep.
 //
 // Eviction is LRU blended with popularity: the victim minimizes
 // last_used + popularity_weight * log1p(hits), so a frequently reused
@@ -29,6 +53,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "quality/workload.hpp"
@@ -45,6 +70,22 @@ enum class SimilarityMetric {
   kCosine,  ///< 1 - cosine similarity (0 = parallel, 2 = opposed)
 };
 
+/// How lookups find the nearest cached neighbour.
+enum class IndexKind {
+  /// Pick per capacity: the LSH index above `kAutoIndexThreshold` entries,
+  /// the exact scan below it (small caches scan faster than they hash, and
+  /// exactly).
+  kAuto,
+  /// Exact O(N) linear scan — the reference semantics.
+  kScan,
+  /// Bucketed multi-table LSH over quantized random hyperplane
+  /// projections, with ±1-cell multi-probe.
+  kLsh,
+};
+
+/// kAuto switches from the scan to the LSH index above this capacity.
+inline constexpr std::size_t kAutoIndexThreshold = 4096;
+
 struct CacheConfig {
   /// Master switch. Disabled (the default) means the engine never probes
   /// or inserts — behaviour is byte-identical to a build without the
@@ -60,9 +101,56 @@ struct CacheConfig {
   double near_distance = 1.0;
   double far_distance = 1.8;
   /// Fraction of the diffusion steps an approx hit still executes (the
-  /// donor's intermediate result replaces the skipped prefix).
+  /// donor's intermediate result replaces the skipped prefix). With
+  /// `interpolate_step_fraction` these become the interpolation anchors at
+  /// near_distance / far_distance.
   double near_step_fraction = 0.4;
   double far_step_fraction = 0.75;
+  /// Interpolate the step fraction continuously from the donor distance:
+  /// piecewise-linear from (exact_distance -> min_step_fraction) through
+  /// (near_distance -> near_step_fraction) to
+  /// (far_distance -> far_step_fraction). Off (the default) reproduces the
+  /// tiered near/far constants exactly.
+  bool interpolate_step_fraction = false;
+  /// Interpolation floor as the distance approaches exact_distance (a
+  /// near-duplicate prompt still runs a sliver of steps).
+  double min_step_fraction = 0.05;
+  /// Record intermediate latents at every cascade boundary a (cache-miss)
+  /// generation crosses, and resume approx hits from the donor's deepest
+  /// recorded stage. Off (the default) caches terminal images only — the
+  /// PR-3 behaviour.
+  bool latent_levels = false;
+  /// Lookup strategy; see IndexKind.
+  IndexKind index_kind = IndexKind::kAuto;
+  /// Random hyperplane projections per LSH table: a table's bucket is the
+  /// quantized cell of the key under its projections. More projections
+  /// mean finer buckets (fewer candidates, lower per-table recall — each
+  /// extra table then wins most of it back).
+  std::size_t lsh_projections = 10;
+  /// Independent LSH tables; a neighbour is found if any table buckets it
+  /// with the query (or one cell away when probing). Recall at a given
+  /// distance approaches 1 geometrically in the table count.
+  std::size_t lsh_tables = 8;
+  /// Quantization cell width as a multiple of near_distance. The index is
+  /// tuned for the traffic that matters — exact repeats and near
+  /// neighbours, which popularity-skewed prompt streams are dominated by;
+  /// recall decays toward the far edge of the hit radius, where the donor
+  /// is barely better than a fresh generation anyway.
+  double lsh_width_scale = 1.0;
+  /// Also probe, per table, every bucket one quantization cell away in a
+  /// single projection (2*lsh_projections extra probes) — recovers most
+  /// near-boundary neighbours.
+  bool lsh_probe_neighbors = true;
+  /// Seed of the projection directions/offsets. Fixed per cache instance,
+  /// so both execution backends derive identical buckets.
+  std::uint64_t lsh_seed = 0xD1FF5EEDCAFEULL;
+  /// Chain depth of the serving cascade (set by the engine). With latent
+  /// levels, stages outside the donor's level mask run full steps, so the
+  /// step fraction recorded into CacheStats — what the controller's
+  /// service-time discount consumes — is weighted by the donor's stage
+  /// coverage. 0 (unknown) records the raw fraction, i.e. assumes full
+  /// coverage.
+  std::size_t chain_stages = 0;
   /// Serving latency of an exact hit (lookup + image decode), trace
   /// seconds; the query completes after this delay without touching a
   /// stage pool.
@@ -79,11 +167,18 @@ struct CacheStats {
   std::uint64_t near_hits = 0;
   std::uint64_t far_hits = 0;
   std::uint64_t insertions = 0;
+  /// Intermediate latents recorded at boundary crossings (latent_levels).
+  std::uint64_t latent_insertions = 0;
   std::uint64_t evictions = 0;
   /// Sum of the step fractions the stages still had to run, over every
   /// lookup that was *not* an exact hit (a miss contributes 1.0). The
   /// controller's per-stage service-time discount is the mean of this.
   double step_fraction_sum = 0.0;
+  /// Per-level step-fraction sums (near/far hits only) — with interpolated
+  /// fractions the controller splits its service-time EWMAs by hit level,
+  /// so each level's discount reflects its actual mean fraction.
+  double near_step_fraction_sum = 0.0;
+  double far_step_fraction_sum = 0.0;
 
   std::uint64_t hits() const { return exact_hits + near_hits + far_hits; }
   /// Any-level hits over lookups (0 before the first lookup).
@@ -99,12 +194,17 @@ struct CacheStats {
 struct LookupResult {
   HitLevel level = HitLevel::kMiss;
   quality::QueryId donor_prompt = 0;  ///< prompt whose image is reused
-  int donor_tier = -1;                ///< quality tier of the donor image
+  int donor_tier = -1;                ///< tier of the donor's deepest result
   int donor_stage = -1;               ///< chain stage that produced it
   double distance = 0.0;              ///< distance to the donor's key
   /// Fraction of diffusion steps the chain still runs (1.0 on a miss,
-  /// 0.0 on an exact hit).
+  /// 0.0 on an exact hit). Tiered constant or distance-interpolated.
   double step_fraction = 1.0;
+  /// Bit s set when the donor has a result (latent or terminal image)
+  /// produced at chain stage s — the stages a resumed generation can skip
+  /// steps at. 0 on a miss. An approx hit resumes from `donor_stage`, the
+  /// deepest of these.
+  std::uint32_t level_mask = 0;
 };
 
 class ApproxCache {
@@ -116,39 +216,122 @@ class ApproxCache {
   /// backend clock (trace seconds).
   LookupResult lookup(const std::vector<double>& key, double now);
 
-  /// Insert a fully generated image (prompt, quality tier, producing
-  /// stage) under `key`. Re-inserting a cached prompt refreshes it and
-  /// keeps the higher-quality tier; a full cache evicts the entry with
-  /// the lowest recency+popularity score first.
+  /// Insert a fully generated terminal image (prompt, quality tier,
+  /// producing stage) under `key`. Re-inserting a cached prompt refreshes
+  /// it — including its key — and keeps the higher-quality tier; a full
+  /// cache evicts the entry with the lowest recency+popularity score
+  /// first.
   void insert(quality::QueryId prompt, int tier, int stage,
               const std::vector<double>& key, double now);
+
+  /// Record an intermediate latent: the stage-`stage` output (tier of that
+  /// stage's model) of a generation that is still travelling down the
+  /// chain. Creates an image-less entry if the prompt is not cached yet;
+  /// an approx hit on such an entry resumes from the latent (it can never
+  /// be an exact hit — there is no terminal image to serve).
+  void insert_latent(quality::QueryId prompt, int tier, int stage,
+                     const std::vector<double>& key, double now);
 
   std::size_t size() const { return entries_.size(); }
   const CacheConfig& config() const { return cfg_; }
   const CacheStats& stats() const { return stats_; }
+  /// Whether lookups go through the LSH index (resolved from index_kind
+  /// and capacity at construction).
+  bool indexed() const { return indexed_; }
 
   /// Distance between two keys under the configured metric (exposed for
-  /// tests and threshold calibration).
+  /// tests and threshold calibration). A degenerate (near-zero-norm)
+  /// vector under the cosine metric is similar to nothing: +infinity.
   double distance(const std::vector<double>& a,
                   const std::vector<double>& b) const;
 
+  /// The step fraction an approx hit at `d` executes (tiered constants or
+  /// the distance interpolation; exposed for tests and the controller's
+  /// calibration).
+  double approx_step_fraction(double d) const;
+
  private:
+  /// One recorded intermediate latent of a donor generation.
+  struct LatentLevel {
+    int stage = 0;  ///< chain stage that produced the latent
+    int tier = 0;   ///< quality tier of that stage's model
+  };
+
   struct Entry {
     quality::QueryId prompt = 0;
-    int tier = 0;
-    int stage = 0;
+    int tier = 0;    ///< terminal-image tier (0 = no terminal image yet)
+    int stage = -1;  ///< chain stage that produced the terminal image
     std::vector<double> key;
+    /// Intermediate latents, ascending by stage (terminal image excluded).
+    std::vector<LatentLevel> levels;
     std::uint64_t hits = 0;
     double last_used = 0.0;
     std::uint64_t order = 0;  ///< insertion sequence (deterministic ties)
+    /// Per-table LSH bucket hashes (filled only when the index is active).
+    std::vector<std::uint64_t> codes;
+    /// Scratch marker of the last lookup that computed this entry's
+    /// distance — multi-table probing visits an entry once per table it
+    /// shares a bucket with, and the distance is the expensive part.
+    std::uint64_t visit_epoch = 0;
+
+    bool has_image() const { return tier > 0; }
   };
 
   double eviction_score(const Entry& e) const;
+  /// Stages the entry has results for, as a bitmask.
+  static std::uint32_t level_mask_of(const Entry& e);
+  /// Deepest stage the entry's generation reached and its tier there.
+  static void deepest_of(const Entry& e, int& stage, int& tier);
+
+  /// Find the nearest entry (exact scan or LSH probe); returns the entry
+  /// index or npos, with the distance in `best_d`.
+  std::size_t nearest(const std::vector<double>& key, double& best_d);
+  std::size_t nearest_scan(const std::vector<double>& key, double& best_d);
+  std::size_t nearest_lsh(const std::vector<double>& key, double& best_d);
+
+  /// Entry index for a prompt, or npos.
+  std::size_t find_prompt(quality::QueryId prompt) const;
+  /// Shared refresh-or-create skeleton of insert / insert_latent: returns
+  /// the entry index (evicting if a new entry was needed), with the key
+  /// and recency refreshed.
+  std::size_t upsert_entry(quality::QueryId prompt,
+                           const std::vector<double>& key, double now);
+  void evict_one();
+
+  // --- LSH index maintenance ------------------------------------------------
+  void ensure_planes(std::size_t dim);
+  /// Quantized projection cells of `key` under table `table`.
+  void cells_of(std::size_t table, const std::vector<double>& key,
+                std::int64_t* cells) const;
+  /// Bucket hash of a table's cell vector.
+  std::uint64_t hash_cells(std::size_t table, const std::int64_t* cells) const;
+  std::uint64_t code_of(std::size_t table, const std::vector<double>& key) const;
+  void index_add(std::size_t idx);
+  void index_remove(std::size_t idx);
+  /// After a swap-remove moved the entry at `from` to `to`, rewrite its
+  /// bucket references.
+  void index_move(std::size_t from, std::size_t to);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   CacheConfig cfg_;
+  bool indexed_ = false;
   std::vector<Entry> entries_;
+  /// prompt -> entry index (keeps refresh O(1) at million-entry sizes).
+  std::unordered_map<quality::QueryId, std::size_t> by_prompt_;
+  /// Projection directions, lsh_tables * lsh_projections of them, built
+  /// lazily at the first key (the key dimension is not known at
+  /// construction), plus one quantization offset each.
+  std::vector<std::vector<double>> planes_;
+  std::vector<double> plane_offsets_;
+  double lsh_cell_width_ = 1.0;
+  /// Per-table bucket map: cell-vector hash -> entry indices.
+  std::vector<std::unordered_map<std::uint64_t, std::vector<std::size_t>>>
+      buckets_;
   CacheStats stats_;
   std::uint64_t next_order_ = 0;
+  /// Monotone lookup counter backing Entry::visit_epoch.
+  std::uint64_t lookup_epoch_ = 0;
 };
 
 }  // namespace diffserve::cache

@@ -29,7 +29,10 @@ Controller::Controller(
       cfg_(cfg),
       demand_holt_(cfg.ewma_alpha, cfg.trend_beta),
       cache_hit_ewma_(cfg.cache_alpha),
-      cache_step_ewma_(cfg.cache_alpha) {
+      cache_near_share_ewma_(cfg.cache_alpha),
+      cache_far_share_ewma_(cfg.cache_alpha),
+      cache_near_frac_ewma_(cfg.cache_alpha),
+      cache_far_frac_ewma_(cfg.cache_alpha) {
   DS_REQUIRE(allocator_ != nullptr, "controller needs an allocator");
   DS_REQUIRE(cfg_.period_seconds > 0.0, "control period must be positive");
   DS_REQUIRE(offline_profiles.size() == engine_.boundary_count(),
@@ -139,11 +142,30 @@ double Controller::effective_exact_hit_ratio() const {
   return std::min(0.95, cache_hit_ewma_.value());
 }
 
+double Controller::effective_near_hit_ratio() const {
+  if (!cfg_.cache_aware || !engine_.cache_enabled()) return 0.0;
+  return cache_near_share_ewma_.value();
+}
+
+double Controller::effective_far_hit_ratio() const {
+  if (!cfg_.cache_aware || !engine_.cache_enabled()) return 0.0;
+  return cache_far_share_ewma_.value();
+}
+
 double Controller::effective_service_discount() const {
-  if (!cfg_.cache_aware || !engine_.cache_enabled() ||
-      !cache_step_ewma_.has_value())
-    return 1.0;
-  return std::min(1.0, std::max(cache_step_ewma_.value(), 0.05));
+  if (!cfg_.cache_aware || !engine_.cache_enabled()) return 1.0;
+  // Each hit level contributes its own smoothed share x smoothed savings
+  // (1 - mean step fraction): with interpolated fractions the near and
+  // far means drift apart, and one pooled mean would misattribute the
+  // discount across a shifting near/far mix.
+  double discount = 1.0;
+  if (cache_near_share_ewma_.has_value() && cache_near_frac_ewma_.has_value())
+    discount -= cache_near_share_ewma_.value() *
+                (1.0 - cache_near_frac_ewma_.value());
+  if (cache_far_share_ewma_.has_value() && cache_far_frac_ewma_.has_value())
+    discount -= cache_far_share_ewma_.value() *
+                (1.0 - cache_far_frac_ewma_.value());
+  return std::min(1.0, std::max(discount, 0.05));
 }
 
 void Controller::observe_cache() {
@@ -155,13 +177,26 @@ void Controller::observe_cache() {
         stats.exact_hits - last_cache_stats_.exact_hits;
     cache_hit_ewma_.observe(static_cast<double>(exact) /
                             static_cast<double>(lookups));
-    // Mean step fraction over this period's non-exact lookups (the
-    // traffic that still reaches the chain; a miss contributes 1.0).
+    // Split the non-exact traffic (what still reaches the chain) by hit
+    // level: per-level shares and per-level mean step fractions over this
+    // period.
     const std::uint64_t non_exact = lookups - exact;
-    if (non_exact > 0)
-      cache_step_ewma_.observe(
-          (stats.step_fraction_sum - last_cache_stats_.step_fraction_sum) /
-          static_cast<double>(non_exact));
+    if (non_exact > 0) {
+      const std::uint64_t near = stats.near_hits - last_cache_stats_.near_hits;
+      const std::uint64_t far = stats.far_hits - last_cache_stats_.far_hits;
+      cache_near_share_ewma_.observe(static_cast<double>(near) /
+                                     static_cast<double>(non_exact));
+      cache_far_share_ewma_.observe(static_cast<double>(far) /
+                                    static_cast<double>(non_exact));
+      if (near > 0)
+        cache_near_frac_ewma_.observe((stats.near_step_fraction_sum -
+                                       last_cache_stats_.near_step_fraction_sum) /
+                                      static_cast<double>(near));
+      if (far > 0)
+        cache_far_frac_ewma_.observe((stats.far_step_fraction_sum -
+                                      last_cache_stats_.far_step_fraction_sum) /
+                                     static_cast<double>(far));
+    }
   }
   last_cache_stats_ = stats;
 }
@@ -183,6 +218,8 @@ void Controller::tick() {
   history_.push_back({now, in.demand_qps, observed,
                       in.recent_violation_ratio,
                       effective_exact_hit_ratio(),
+                      effective_near_hit_ratio(),
+                      effective_far_hit_ratio(),
                       effective_service_discount(), d});
   DS_LOG_DEBUG("controller")
       << "t=" << now << " demand=" << in.demand_qps

@@ -49,9 +49,12 @@ struct ControllerConfig {
   double initial_demand_guess = 4.0;
   /// Discount allocator inputs by the reuse cache's observed absorption:
   /// demand becomes lambda * (1 - h_exact) (exact hits never reach the
-  /// chain) and per-stage service times scale by the mean step fraction
-  /// of the remaining traffic (approx hits run fewer diffusion steps).
-  /// No-op when the engine's cache is disabled.
+  /// chain) and per-stage service times scale by the cache's step-fraction
+  /// savings (approx hits run fewer diffusion steps). The discount is
+  /// estimated per hit *level* — separate near / far hit-share and
+  /// step-fraction EWMAs — so with distance-interpolated fractions each
+  /// level's discount tracks its actual interpolated mean rather than one
+  /// pooled average. No-op when the engine's cache is disabled.
   bool cache_aware = true;
   /// EWMA smoothing of the per-period hit-ratio / step-fraction samples.
   double cache_alpha = 0.3;
@@ -86,8 +89,12 @@ class Controller {
     /// Smoothed exact-hit ratio the demand estimate was discounted by
     /// (0 with the cache off or cache_aware disabled).
     double cache_exact_hit_ratio = 0.0;
+    /// Smoothed per-level hit shares of the traffic that still reaches the
+    /// chain (0 with the cache off).
+    double cache_near_hit_ratio = 0.0;
+    double cache_far_hit_ratio = 0.0;
     /// Smoothed service-time multiplier applied to the stage models
-    /// (1 with the cache off).
+    /// (1 with the cache off) — combined from the per-level EWMAs.
     double cache_service_discount = 1.0;
     AllocationDecision decision;
   };
@@ -108,8 +115,14 @@ class Controller {
   /// a fully-absorbing cache never plans zero capacity (0 when not
   /// cache-aware).
   double effective_exact_hit_ratio() const;
-  /// Smoothed per-stage service-time multiplier (1 when not cache-aware).
+  /// Smoothed per-stage service-time multiplier (1 when not cache-aware):
+  /// 1 - near_share*(1 - near_fraction) - far_share*(1 - far_fraction),
+  /// each factor its own EWMA.
   double effective_service_discount() const;
+  /// Smoothed near/far hit share of non-exact traffic (0 when not
+  /// cache-aware).
+  double effective_near_hit_ratio() const;
+  double effective_far_hit_ratio() const;
 
   engine::CascadeEngine& engine_;
   std::unique_ptr<Allocator> allocator_;
@@ -123,9 +136,14 @@ class Controller {
 
   stats::HoltEwma demand_holt_;
   /// Online estimates of what the reuse cache absorbs, differenced from
-  /// the engine's cumulative cache counters each tick.
+  /// the engine's cumulative cache counters each tick and split by hit
+  /// level: exact hits discount demand; near/far hit shares and their
+  /// mean step fractions combine into the service-time discount.
   stats::Ewma cache_hit_ewma_;
-  stats::Ewma cache_step_ewma_;
+  stats::Ewma cache_near_share_ewma_;
+  stats::Ewma cache_far_share_ewma_;
+  stats::Ewma cache_near_frac_ewma_;
+  stats::Ewma cache_far_frac_ewma_;
   cache::CacheStats last_cache_stats_;
   bool first_tick_ = true;
   /// Absolute time of the most recently scheduled tick; the chain anchors

@@ -23,12 +23,17 @@ CascadeEngine::CascadeEngine(
       rng_(cfg.seed),
       prompt_sampler_(workload.size(), cfg.prompt_mix) {
   DS_REQUIRE(cfg_.total_workers >= 1, "need at least one worker");
-  if (cfg_.cache.enabled)
-    cache_ = std::make_unique<cache::ApproxCache>(cfg_.cache);
   cascade_.normalize();
   chain_ = cascade_.chain;
   disc_models_ = cascade_.discriminators;
   DS_REQUIRE(!chain_.empty(), "cascade chain must not be empty");
+  if (cfg_.cache.enabled) {
+    // The cache's controller-facing step-fraction accounting weighs a
+    // donor's stage coverage against the chain depth.
+    cache::CacheConfig ccfg = cfg_.cache;
+    ccfg.chain_stages = chain_.size();
+    cache_ = std::make_unique<cache::ApproxCache>(ccfg);
+  }
   stage_tiers_.reserve(chain_.size());
   for (const auto& m : chain_)
     stage_tiers_.push_back(repo_.model(m).quality_tier);
@@ -273,12 +278,25 @@ void CascadeEngine::submit_locked(Query q) {
     }
     if (hit.level != cache::HitLevel::kMiss) {
       // Approximate hit: the donor's intermediate result seeds the
-      // generation, so every stage this query executes on runs only
-      // step_fraction of its diffusion steps.
+      // generation, which resumes from the donor's stage and runs only
+      // step_fraction of its diffusion steps there.
       q.cache_hit = hit.level;
       q.cache_donor = hit.donor_prompt;
       q.cache_distance = hit.distance;
       q.cache_step_fraction = hit.step_fraction;
+      if (cfg_.cache.latent_levels) {
+        // Per-stage resumption: only stages the donor recorded a latent
+        // (or its terminal image) at can skip steps; deeper stages the
+        // donor never reached run in full. Without latent levels the
+        // fraction applies chain-wide (the terminal-image behaviour) and
+        // the mask keeps its all-ones default.
+        q.cache_level_mask = hit.level_mask;
+        q.cache_resume_depth =
+            chain_.size() > 1 && hit.donor_stage > 0
+                ? static_cast<double>(hit.donor_stage) /
+                      static_cast<double>(chain_.size() - 1)
+                : 0.0;
+      }
     }
   }
   if (plan_.mode == RoutingMode::kDirect && rng_.bernoulli(plan_.p_heavy)) {
@@ -411,22 +429,65 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
   const int b = w.batch_size;
   const double exec = exec_seconds(w);
   const double now = backend_.now();
-  const double done_at = now + exec;
+  const std::size_t stage = static_cast<std::size_t>(w.stage);
 
-  // Fill the batch, preemptively dropping queries that cannot finish by
-  // their stage deadline even if launched right now (counted as SLO
-  // violations, §4.1).
+  // Approximate cache hits skip a fraction of their diffusion steps, so a
+  // batch runs for the mean per-stage step fraction of its members (misses
+  // count 1.0) — and the drop decisions must use that *scaled* time, or a
+  // hit-heavy batch near the deadline is dropped for an execution it would
+  // never pay. Membership and the scaled time are interdependent (the mean
+  // moves when a member is dropped), so selection is two-pass:
+  //
+  //   pass 1 — provisional membership against the most optimistic finish
+  //            (exec scaled by the smallest queued fraction; 1.0 with the
+  //            cache off, which keeps this pass byte-identical to the
+  //            unscaled check);
+  //   pass 2 — re-check members against the finish time of the selected
+  //            batch, dropping at most one violator per round and
+  //            recomputing: each drop moves the mean, so checking further
+  //            members against the pre-drop finish time would over-drop.
+  //            The victim is the *slowest* violator (highest step
+  //            fraction) — its removal lowers the mean the most, giving
+  //            every other member the best chance — and its freed slot is
+  //            refilled from the queue before the next round, exactly as
+  //            the one-pass fill loop freed slots for queued queries.
+  //            Each round drops someone, so the rounds are bounded.
+  double min_fraction = 1.0;
+  if (cache_ != nullptr)
+    for (const auto& e : w.queue)
+      min_fraction = std::min(min_fraction, e.query.step_fraction_at(stage));
+  const double optimistic_done_at = now + exec * min_fraction;
+
   std::vector<Query> batch;
   batch.reserve(static_cast<std::size_t>(b));
-  while (!w.queue.empty() && static_cast<int>(batch.size()) < b) {
-    Query q = std::move(w.queue.front().query);
-    w.queue.pop_front();
-    if (done_at > q.stage_deadline) {
-      ++w.dropped;
-      sink_.drop(q, now);
-      continue;
+  double run_exec = exec;
+  for (;;) {
+    while (!w.queue.empty() && static_cast<int>(batch.size()) < b) {
+      Query q = std::move(w.queue.front().query);
+      w.queue.pop_front();
+      if (optimistic_done_at > q.stage_deadline) {
+        ++w.dropped;
+        sink_.drop(q, now);
+        continue;
+      }
+      batch.push_back(std::move(q));
     }
-    batch.push_back(std::move(q));
+    if (cache_ == nullptr || batch.empty()) break;
+    double fraction_sum = 0.0;
+    for (const auto& q : batch) fraction_sum += q.step_fraction_at(stage);
+    run_exec = exec * fraction_sum / static_cast<double>(batch.size());
+    const double done_at = now + run_exec;
+    auto victim = batch.end();
+    for (auto it = batch.begin(); it != batch.end(); ++it) {
+      if (done_at > it->stage_deadline &&
+          (victim == batch.end() ||
+           it->step_fraction_at(stage) > victim->step_fraction_at(stage)))
+        victim = it;
+    }
+    if (victim == batch.end()) break;
+    ++w.dropped;
+    sink_.drop(*victim, now);
+    batch.erase(victim);
   }
   if (batch.empty()) {
     // Everything at the head was overdue; try again with what remains.
@@ -434,26 +495,14 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
     return;
   }
 
-  // Approximate cache hits skip a fraction of their diffusion steps; a
-  // batch runs for the mean step fraction of its members (misses count
-  // 1.0). The drop decisions above used the unscaled execution time —
-  // conservative for mixed batches, and byte-identical when the cache is
-  // off (every fraction is then 1.0 and the branch is never taken).
-  double run_exec = exec;
-  if (cache_ != nullptr) {
-    double fraction_sum = 0.0;
-    for (const auto& q : batch) fraction_sum += q.cache_step_fraction;
-    run_exec = exec * fraction_sum / static_cast<double>(batch.size());
-  }
-
   w.busy = true;
   w.ready_at = std::max(w.ready_at, now + run_exec);
   ++w.batches;
   w.processed += batch.size();
 
-  // Capture the stage and tier at launch: a reconfiguration during the
-  // batch's execution must not change what this batch produced.
-  const std::size_t stage = static_cast<std::size_t>(w.stage);
+  // Capture the tier at launch (stage was captured above): a
+  // reconfiguration during the batch's execution must not change what
+  // this batch produced.
   const int tier = w.quality_tier;
   backend_.execute(
       w.id, run_exec,
@@ -503,6 +552,15 @@ void CascadeEngine::finish_batch_locked(std::size_t i,
         ++q.deferrals;
         q.stage = stage + 1;
         q.stage_deadline = q.deadline - reserve_[stage + 1];
+        // Boundary crossing: the stage's output is exactly the
+        // intermediate latent a future similar prompt can resume from.
+        // Only fully generated work is recorded (an approx hit's latent is
+        // already donor-contaminated).
+        if (cache_ != nullptr && cfg_.cache.latent_levels &&
+            q.cache_hit == cache::HitLevel::kMiss)
+          cache_->insert_latent(q.prompt_id, served_tier,
+                                static_cast<int>(stage),
+                                workload_.style(q.prompt_id), backend_.now());
         route_locked(std::move(q));
       }
     }

@@ -17,7 +17,7 @@ std::vector<double> served_image_feature(const quality::Workload& workload,
     case cache::HitLevel::kApproxNear:
     case cache::HitLevel::kApproxFar:
       return workload.cached_feature(q.prompt_id, q.cache_donor, tier,
-                                     q.cache_distance);
+                                     q.cache_distance, q.cache_resume_depth);
   }
   return workload.generated_feature(q.prompt_id, tier);
 }

@@ -22,10 +22,11 @@ namespace diffserve::engine {
 
 /// Feature vector of the image the system actually served for `q` at
 /// `tier`: the query's own generated image on a cache miss, the donor's
-/// image on an exact cache hit, and the donor's image plus distance-scaled
-/// reuse noise on an approximate hit. Shared by the sink (FID accounting)
-/// and the engine (boundary-discriminator scoring), so a reused image is
-/// scored exactly as it is served.
+/// image on an exact cache hit, and the donor's image plus reuse noise —
+/// scaled by the style distance and by the resumed-stage depth — on an
+/// approximate hit. Shared by the sink (FID accounting) and the engine
+/// (boundary-discriminator scoring), so a reused image is scored exactly
+/// as it is served.
 std::vector<double> served_image_feature(const quality::Workload& workload,
                                          const Query& q, int tier);
 

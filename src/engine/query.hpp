@@ -53,6 +53,23 @@ struct Query {
   /// Fraction of diffusion steps each serving stage still executes
   /// (1.0 = full generation).
   double cache_step_fraction = 1.0;
+  /// Bit s set when the donor has a cached result (intermediate latent or
+  /// terminal image) produced at chain stage s — the stages this query can
+  /// resume at `cache_step_fraction` instead of running full steps. The
+  /// all-ones default makes every stage resumable (the terminal-image-only
+  /// behaviour, where the step fraction applies chain-wide).
+  std::uint32_t cache_level_mask = 0xFFFFFFFFu;
+  /// Depth of the donor stage the reuse resumes from, normalized to [0, 1]
+  /// over the chain (0 when latent levels are disabled) — scales the reuse
+  /// noise: a deeper resumption inherits more donor-specific detail.
+  double cache_resume_depth = 0.0;
+
+  /// Step fraction this query executes at `stage`: the cached fraction at
+  /// stages the donor has a result for, full steps elsewhere.
+  double step_fraction_at(std::size_t stage) const {
+    if (stage < 32 && ((cache_level_mask >> stage) & 1u) == 0) return 1.0;
+    return cache_step_fraction;
+  }
 };
 
 /// Terminal record delivered to the sink.

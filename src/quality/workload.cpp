@@ -126,17 +126,20 @@ std::vector<double> Workload::generated_feature(QueryId q, int tier) const {
 }
 
 std::vector<double> Workload::cached_feature(QueryId q, QueryId donor,
-                                             int tier,
-                                             double distance) const {
+                                             int tier, double distance,
+                                             double resume_depth) const {
   DS_REQUIRE(q < size(), "query id out of range");
   DS_REQUIRE(distance >= 0.0, "negative style distance");
+  DS_REQUIRE(resume_depth >= 0.0 && resume_depth <= 1.0,
+             "resume depth must be normalized to [0, 1]");
   auto x = generated_feature(donor, tier);
   // Mix the donor into the stream so (q, donor) pairs draw independent
   // reuse noise while staying a pure function of the workload seed.
   const std::uint64_t mixed =
       cfg_.seed ^ (static_cast<std::uint64_t>(donor) * 0xA24BAED4963EE407ULL);
   auto rng = stream(mixed, q, tier, kPurposeReuse);
-  const double sigma = cfg_.reuse_noise * distance;
+  const double sigma =
+      (cfg_.reuse_noise + cfg_.reuse_depth_noise * resume_depth) * distance;
   if (sigma > 0.0)
     for (auto& v : x) v += rng.normal(0.0, sigma);
   return x;

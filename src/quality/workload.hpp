@@ -73,6 +73,12 @@ struct QualityConfig {
   /// approximate hit inherits the donor's image plus this distance-scaled
   /// reuse error, so FID sees the real cost of serving from the cache.
   double reuse_noise = 0.35;
+  /// Additional reuse noise per unit distance *per unit resumed-stage
+  /// depth* (0 = shallowest stage, 1 = deepest): resuming from a deeper
+  /// donor latent leaves fewer steps to re-steer toward the requesting
+  /// prompt, so more donor-specific detail survives. Contributes nothing
+  /// when latent-level caching is off (depth is then always 0).
+  double reuse_depth_noise = 0.25;
 
   /// Error-model parameters per quality tier (indices 1..6 used by the
   /// built-in catalog; see models::ModelRepository).
@@ -98,11 +104,15 @@ class Workload {
   /// Feature vector of the image model tier `m` generates for query q.
   std::vector<double> generated_feature(QueryId q, int tier) const;
   /// Feature vector of the image served for query q by reusing `donor`'s
-  /// tier-`tier` image: the donor's feature plus reuse noise scaled by
-  /// the prompts' style `distance` (see QualityConfig::reuse_noise).
-  /// Deterministic in (workload seed, q, donor, tier).
+  /// tier-`tier` result: the donor's feature plus reuse noise scaled by
+  /// the prompts' style `distance` and by the normalized chain depth the
+  /// reuse resumed from (see QualityConfig::reuse_noise /
+  /// reuse_depth_noise). Deterministic in (workload seed, q, donor, tier,
+  /// distance, resume_depth); resume_depth = 0 reproduces the
+  /// terminal-image-only noise model exactly.
   std::vector<double> cached_feature(QueryId q, QueryId donor, int tier,
-                                     double distance) const;
+                                     double distance,
+                                     double resume_depth = 0.0) const;
   /// Latent error magnitude eps_m(q) — the ground-truth quality signal
   /// (never visible to the serving system; used by tests and oracles).
   double true_error(QueryId q, int tier) const;

@@ -8,9 +8,13 @@
 // effective-demand discount.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "cache/approx_cache.hpp"
+#include "engine/query.hpp"
+#include "util/rng.hpp"
 #include "control/exhaustive_allocator.hpp"
 #include "core/environment.hpp"
 #include "core/experiment.hpp"
@@ -138,6 +142,161 @@ TEST(ApproxCache, DeterministicAcrossInstances) {
   EXPECT_EQ(a.size(), b.size());
 }
 
+TEST(ApproxCache, DegenerateCosineVectorMatchesNothing) {
+  // A near-zero-norm vector has no direction. The old code returned a
+  // placeholder distance of 1.0, which far_distance >= 1 silently
+  // classified as an approx-far hit.
+  CacheConfig cfg = small_config();
+  cfg.metric = SimilarityMetric::kCosine;
+  cfg.near_distance = 0.5;
+  cfg.far_distance = 1.9;  // wide: would swallow the old placeholder
+  ApproxCache cache(cfg);
+  cache.insert(1, 1, 0, {1.0, 0.0, 0.0}, 0.0);
+  EXPECT_TRUE(std::isinf(cache.distance({0.0, 0.0, 0.0}, {1.0, 0.0, 0.0})));
+  const auto r = cache.lookup({0.0, 0.0, 0.0}, 1.0);
+  EXPECT_EQ(r.level, HitLevel::kMiss);
+  EXPECT_EQ(r.step_fraction, 1.0);
+}
+
+TEST(ApproxCache, ReinsertRefreshesKey) {
+  // A prompt whose style vector drifts must match against its current
+  // key; the old refresh updated tier/stage but kept the stale key.
+  ApproxCache cache(small_config());
+  cache.insert(3, 1, 0, key_at(0.0), 0.0);
+  EXPECT_EQ(cache.lookup(key_at(10.0), 1.0).level, HitLevel::kMiss);
+  cache.insert(3, 1, 0, key_at(10.0), 2.0);  // refresh under the new key
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.lookup(key_at(10.0), 3.0);
+  EXPECT_EQ(hit.level, HitLevel::kExact);
+  EXPECT_EQ(hit.donor_prompt, 3u);
+  EXPECT_EQ(cache.lookup(key_at(0.0), 4.0).level, HitLevel::kMiss);
+}
+
+TEST(ApproxCache, InterpolatedStepFractionFollowsDistanceAnchors) {
+  CacheConfig cfg = small_config();
+  cfg.exact_distance = 0.0;
+  cfg.near_distance = 1.0;
+  cfg.far_distance = 2.0;
+  cfg.near_step_fraction = 0.4;
+  cfg.far_step_fraction = 0.8;
+  cfg.min_step_fraction = 0.05;
+  cfg.interpolate_step_fraction = true;
+  ApproxCache cache(cfg);
+  // The tier constants are the anchors...
+  EXPECT_NEAR(cache.approx_step_fraction(1.0), 0.4, 1e-12);
+  EXPECT_NEAR(cache.approx_step_fraction(2.0), 0.8, 1e-12);
+  // ...with linear segments between them and the min-fraction floor.
+  EXPECT_NEAR(cache.approx_step_fraction(0.5), 0.05 + 0.5 * 0.35, 1e-12);
+  EXPECT_NEAR(cache.approx_step_fraction(1.5), 0.6, 1e-12);
+  EXPECT_NEAR(cache.approx_step_fraction(0.0), 0.05, 1e-12);
+  // A lookup carries the interpolated fraction.
+  cache.insert(1, 1, 0, key_at(0.0), 0.0);
+  const auto r = cache.lookup(key_at(1.5), 1.0);
+  EXPECT_EQ(r.level, HitLevel::kApproxFar);
+  EXPECT_NEAR(r.step_fraction, 0.6, 1e-12);
+  // Interpolation off: the same distances collapse to the constants.
+  cfg.interpolate_step_fraction = false;
+  ApproxCache tiered(cfg);
+  EXPECT_EQ(tiered.approx_step_fraction(0.5), 0.4);
+  EXPECT_EQ(tiered.approx_step_fraction(1.5), 0.8);
+}
+
+TEST(ApproxCache, LatentOnlyEntriesResumeInsteadOfServing) {
+  CacheConfig cfg = small_config();
+  cfg.latent_levels = true;
+  ApproxCache cache(cfg);
+  // A latent recorded at stage 1 without a terminal image: even an
+  // exact-distance match cannot be served as-is — it resumes.
+  cache.insert_latent(5, /*tier=*/2, /*stage=*/1, key_at(0.0), 0.0);
+  auto r = cache.lookup(key_at(0.0), 1.0);
+  EXPECT_EQ(r.level, HitLevel::kApproxNear);
+  EXPECT_EQ(r.donor_prompt, 5u);
+  EXPECT_EQ(r.donor_tier, 2);
+  EXPECT_EQ(r.donor_stage, 1);
+  EXPECT_EQ(r.level_mask, 0b10u);
+  EXPECT_EQ(r.step_fraction, cache.config().near_step_fraction);
+  EXPECT_EQ(cache.stats().latent_insertions, 1u);
+
+  // The terminal image arrives later (the donor finished the chain at a
+  // deeper stage): the entry upgrades to exact-servable and the level
+  // mask covers both stages.
+  cache.insert(5, /*tier=*/5, /*stage=*/2, key_at(0.0), 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+  r = cache.lookup(key_at(0.0), 3.0);
+  EXPECT_EQ(r.level, HitLevel::kExact);
+  EXPECT_EQ(r.donor_tier, 5);
+  EXPECT_EQ(r.level_mask, 0b110u);
+
+  // A shallower latent joins the set without disturbing the deepest.
+  cache.insert_latent(5, /*tier=*/1, /*stage=*/0, key_at(0.0), 4.0);
+  r = cache.lookup(key_at(0.5), 5.0);  // approx: mask drives resumption
+  EXPECT_EQ(r.level, HitLevel::kApproxNear);
+  EXPECT_EQ(r.level_mask, 0b111u);
+}
+
+TEST(ApproxCache, StatsWeightStepFractionByStageCoverage) {
+  // The controller's service-time discount consumes the stats sums; with
+  // latent levels a donor covering only stage 0 of a 2-stage chain saves
+  // steps at half the chain, so the recorded fraction is the coverage
+  // blend (f + 1)/2, not the raw per-stage fraction.
+  CacheConfig cfg = small_config();
+  cfg.latent_levels = true;
+  cfg.chain_stages = 2;
+  ApproxCache cache(cfg);
+  cache.insert_latent(5, /*tier=*/1, /*stage=*/0, key_at(0.0), 0.0);
+  const auto r = cache.lookup(key_at(0.5), 1.0);
+  ASSERT_EQ(r.level, HitLevel::kApproxNear);
+  // The query-facing fraction stays per-stage...
+  EXPECT_EQ(r.step_fraction, cfg.near_step_fraction);
+  // ...the controller-facing sum is coverage-weighted.
+  EXPECT_NEAR(cache.stats().near_step_fraction_sum,
+              (cfg.near_step_fraction + 1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(cache.stats().step_fraction_sum,
+              (cfg.near_step_fraction + 1.0) / 2.0, 1e-12);
+}
+
+TEST(ApproxCache, LshIndexRespectsCosineMetric) {
+  // Cosine distance is magnitude-invariant; the index must bucket by
+  // direction or a scaled duplicate (cosine distance 0) lands in distant
+  // cells and the indexed lookup misses a hit the scan finds.
+  CacheConfig cfg = small_config();
+  cfg.metric = SimilarityMetric::kCosine;
+  cfg.exact_distance = 1e-9;
+  cfg.near_distance = 0.3;
+  cfg.far_distance = 1.0;
+  cfg.index_kind = IndexKind::kLsh;
+  ApproxCache cache(cfg);
+  cache.insert(1, 1, 0, {1.0, 0.0, 0.0}, 0.0);
+  cache.insert(2, 1, 0, {0.0, 2.0, 0.0}, 1.0);
+  const auto r = cache.lookup({5.0, 0.0, 0.0}, 2.0);  // parallel, scaled
+  EXPECT_EQ(r.level, HitLevel::kExact);
+  EXPECT_EQ(r.donor_prompt, 1u);
+  // Orthogonal-but-scaled still classifies by direction.
+  EXPECT_EQ(cache.lookup({0.0, 0.1, 0.0}, 3.0).donor_prompt, 2u);
+  // A near (not exact) neighbour: cosine distance 0.02 is a chord of
+  // 0.2 — a quarter cell under the chord-sized width, which the raw
+  // near_distance-sized cells (0.3 cosine units) would have scattered
+  // across several cells per projection.
+  const double c = 0.98, s = std::sqrt(1.0 - 0.98 * 0.98);
+  const auto near = cache.lookup({5.0 * c, 5.0 * s, 0.0}, 4.0);
+  EXPECT_EQ(near.level, HitLevel::kApproxNear);
+  EXPECT_EQ(near.donor_prompt, 1u);
+  EXPECT_NEAR(near.distance, 0.02, 1e-12);
+}
+
+TEST(Query, StepFractionAtRespectsLevelMask) {
+  engine::Query q;
+  q.cache_step_fraction = 0.3;
+  // Default all-ones mask: the fraction applies chain-wide.
+  EXPECT_EQ(q.step_fraction_at(0), 0.3);
+  EXPECT_EQ(q.step_fraction_at(2), 0.3);
+  // With latent levels the donor only reached stages 0 and 1.
+  q.cache_level_mask = 0b011u;
+  EXPECT_EQ(q.step_fraction_at(0), 0.3);
+  EXPECT_EQ(q.step_fraction_at(1), 0.3);
+  EXPECT_EQ(q.step_fraction_at(2), 1.0);
+}
+
 TEST(ApproxCache, RejectsBadConfig) {
   CacheConfig cfg = small_config();
   cfg.capacity = 0;
@@ -148,6 +307,226 @@ TEST(ApproxCache, RejectsBadConfig) {
   cfg = small_config();
   cfg.near_step_fraction = 0.0;
   EXPECT_THROW(ApproxCache{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.interpolate_step_fraction = true;
+  cfg.min_step_fraction = 0.6;  // inverted anchors: closer costs more
+  cfg.near_step_fraction = 0.4;
+  EXPECT_THROW(ApproxCache{cfg}, std::invalid_argument);
+  cfg.interpolate_step_fraction = false;  // dead knob when tiered
+  EXPECT_NO_THROW(ApproxCache{cfg});
+}
+
+// ---- equivalence pinning --------------------------------------------------
+
+/// Independent reimplementation of the PR-3 terminal-image cache — linear
+/// scan, tiered constant step fractions, LRU+popularity eviction — plus
+/// the two intended bugfixes (key refresh on re-insert; degenerate
+/// distance handled by the shared distance()). Pins the interpolation-off
+/// mode of the real cache: with interpolation, latent levels, and the
+/// index all disabled, ApproxCache must reproduce this reference exactly,
+/// operation for operation.
+struct Pr3ReferenceCache {
+  struct Entry {
+    quality::QueryId prompt;
+    int tier, stage;
+    std::vector<double> key;
+    std::uint64_t hits = 0;
+    double last_used = 0.0;
+    std::uint64_t order = 0;
+  };
+  const ApproxCache& metric;  // borrow distance() so the metric is shared
+  CacheConfig cfg;
+  std::vector<Entry> entries;
+  std::uint64_t next_order = 0;
+  std::uint64_t evictions = 0;
+
+  LookupResult lookup(const std::vector<double>& key, double now) {
+    Entry* best = nullptr;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (auto& e : entries) {
+      const double d = metric.distance(e.key, key);
+      if (d < best_d) {
+        best_d = d;
+        best = &e;
+      }
+    }
+    LookupResult r;
+    if (best != nullptr && best_d <= cfg.far_distance) {
+      if (best_d <= cfg.exact_distance) {
+        r.level = HitLevel::kExact;
+        r.step_fraction = 0.0;
+      } else if (best_d <= cfg.near_distance) {
+        r.level = HitLevel::kApproxNear;
+        r.step_fraction = cfg.near_step_fraction;
+      } else {
+        r.level = HitLevel::kApproxFar;
+        r.step_fraction = cfg.far_step_fraction;
+      }
+      r.donor_prompt = best->prompt;
+      r.donor_tier = best->tier;
+      r.donor_stage = best->stage;
+      r.distance = best_d;
+      ++best->hits;
+      best->last_used = now;
+    }
+    return r;
+  }
+
+  void insert(quality::QueryId prompt, int tier, int stage,
+              const std::vector<double>& key, double now) {
+    for (auto& e : entries) {
+      if (e.prompt == prompt) {
+        if (tier >= e.tier) {
+          e.tier = tier;
+          e.stage = stage;
+        }
+        e.key = key;  // the key-refresh fix
+        e.last_used = now;
+        return;
+      }
+    }
+    if (entries.size() >= cfg.capacity) {
+      std::size_t victim = 0;
+      double victim_score = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const double s =
+            entries[i].last_used +
+            cfg.popularity_weight *
+                std::log1p(static_cast<double>(entries[i].hits));
+        if (s < victim_score ||
+            (s == victim_score && entries[i].order < entries[victim].order)) {
+          victim_score = s;
+          victim = i;
+        }
+      }
+      entries[victim] = entries.back();
+      entries.pop_back();
+      ++evictions;
+    }
+    Entry e;
+    e.prompt = prompt;
+    e.tier = tier;
+    e.stage = stage;
+    e.key = key;
+    e.last_used = now;
+    e.order = next_order++;
+    entries.push_back(std::move(e));
+  }
+};
+
+TEST(ApproxCache, InterpolationOffModePinsPr3TieredBehavior) {
+  // Randomized op sequences against the reference: every lookup result
+  // and the eviction trajectory must agree exactly, across seeds.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    CacheConfig cfg;
+    cfg.enabled = true;
+    cfg.capacity = 12;
+    cfg.exact_distance = 1e-9;
+    cfg.near_distance = 1.0;
+    cfg.far_distance = 2.0;
+    cfg.index_kind = IndexKind::kScan;  // interpolation-off reference mode
+    ApproxCache cache(cfg);
+    Pr3ReferenceCache ref{cache, cfg, {}, 0, 0};
+
+    util::Rng rng(seed * 7919 + 11);
+    for (int op = 0; op < 300; ++op) {
+      const double now = static_cast<double>(op);
+      std::vector<double> key(3);
+      for (auto& v : key) v = rng.uniform(0.0, 3.0);
+      if (rng.bernoulli(0.5)) {
+        const auto a = cache.lookup(key, now);
+        const auto b = ref.lookup(key, now);
+        ASSERT_EQ(a.level, b.level) << "seed " << seed << " op " << op;
+        ASSERT_EQ(a.donor_prompt, b.donor_prompt);
+        ASSERT_EQ(a.donor_tier, b.donor_tier);
+        ASSERT_EQ(a.donor_stage, b.donor_stage);
+        ASSERT_EQ(a.distance, b.distance);
+        ASSERT_EQ(a.step_fraction, b.step_fraction);
+      } else {
+        // A small id pool exercises refresh; fresh ids exercise eviction.
+        const auto prompt = static_cast<quality::QueryId>(
+            rng.bernoulli(0.4) ? rng.uniform_int(0, 7)
+                               : 100 + op);
+        const int tier = static_cast<int>(rng.uniform_int(1, 5));
+        const int stage = static_cast<int>(rng.uniform_int(0, 2));
+        cache.insert(prompt, tier, stage, key, now);
+        ref.insert(prompt, tier, stage, key, now);
+      }
+      ASSERT_EQ(cache.size(), ref.entries.size());
+      ASSERT_EQ(cache.stats().evictions, ref.evictions);
+    }
+  }
+}
+
+TEST(ApproxCache, LshIndexMatchesScanAcross50Seeds) {
+  // Eviction determinism of the indexed cache: on clustered keys (the
+  // regime a reuse cache lives in) the LSH-indexed cache and the
+  // brute-force scan must produce identical hit and evict sequences —
+  // same donors, same distances, same victims — across 50 randomized op
+  // sequences. Both backends drive the cache through the same guarded op
+  // sequence, so agreement here is agreement there (asserted end-to-end
+  // by DesAndThreadedBackendsAgreeWithCacheOn).
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    CacheConfig cfg;
+    cfg.enabled = true;
+    cfg.capacity = 24;  // small: constant eviction churn
+    cfg.exact_distance = 1e-9;
+    cfg.near_distance = 1.0;
+    cfg.far_distance = 2.0;
+    cfg.interpolate_step_fraction = true;
+    cfg.latent_levels = true;
+    CacheConfig scan_cfg = cfg;
+    scan_cfg.index_kind = IndexKind::kScan;
+    CacheConfig lsh_cfg = cfg;
+    lsh_cfg.index_kind = IndexKind::kLsh;
+    ApproxCache scan(scan_cfg), lsh(lsh_cfg);
+
+    util::Rng rng(seed * 977 + 3);
+    std::vector<double> key(6);
+    for (int op = 0; op < 400; ++op) {
+      const double now = static_cast<double>(op);
+      // Clustered keys: 27 well-separated centers, tiny within-cluster
+      // jitter — in-cluster neighbours are near-duplicates, cross-cluster
+      // distances are far beyond the hit radius.
+      const auto c = static_cast<std::uint32_t>(rng.uniform_int(0, 26));
+      key[0] = 6.0 * static_cast<double>(c % 3);
+      key[1] = 6.0 * static_cast<double>((c / 3) % 3);
+      key[2] = 6.0 * static_cast<double>((c / 9) % 3);
+      key[3] = key[4] = key[5] = 0.0;
+      for (auto& v : key) v += rng.uniform(-0.03, 0.03);
+
+      if (rng.bernoulli(0.45)) {
+        const auto a = scan.lookup(key, now);
+        const auto b = lsh.lookup(key, now);
+        ASSERT_EQ(a.level, b.level) << "seed " << seed << " op " << op;
+        ASSERT_EQ(a.donor_prompt, b.donor_prompt);
+        ASSERT_EQ(a.distance, b.distance);
+        ASSERT_EQ(a.step_fraction, b.step_fraction);
+        ASSERT_EQ(a.level_mask, b.level_mask);
+      } else {
+        // Prompt ids cluster too, so re-inserts exercise the key-refresh
+        // rebucketing path of the index.
+        const auto prompt =
+            static_cast<quality::QueryId>(c * 8 + rng.uniform_int(0, 5));
+        const int tier = static_cast<int>(rng.uniform_int(1, 5));
+        const int stage = static_cast<int>(rng.uniform_int(0, 2));
+        if (rng.bernoulli(0.3)) {
+          scan.insert_latent(prompt, tier, stage, key, now);
+          lsh.insert_latent(prompt, tier, stage, key, now);
+        } else {
+          scan.insert(prompt, tier, stage, key, now);
+          lsh.insert(prompt, tier, stage, key, now);
+        }
+      }
+      ASSERT_EQ(scan.size(), lsh.size()) << "seed " << seed << " op " << op;
+      ASSERT_EQ(scan.stats().evictions, lsh.stats().evictions);
+      ASSERT_EQ(scan.stats().exact_hits, lsh.stats().exact_hits);
+      ASSERT_EQ(scan.stats().near_hits, lsh.stats().near_hits);
+      ASSERT_EQ(scan.stats().far_hits, lsh.stats().far_hits);
+    }
+    ASSERT_TRUE(lsh.indexed());
+    ASSERT_FALSE(scan.indexed());
+  }
 }
 
 // ---- prompt popularity sampler --------------------------------------------
@@ -256,9 +635,15 @@ trace::PromptMixConfig zipf_mix() {
 }
 
 CacheConfig serving_cache() {
+  // The full feature set: interpolated fractions, latent levels, and the
+  // LSH index (forced on despite the small capacity so the end-to-end
+  // suites cover the indexed lookup path on both backends).
   CacheConfig cfg;
   cfg.enabled = true;
   cfg.capacity = 128;
+  cfg.interpolate_step_fraction = true;
+  cfg.latent_levels = true;
+  cfg.index_kind = IndexKind::kLsh;
   return cfg;
 }
 
@@ -316,6 +701,10 @@ TEST(CacheServing, ControllerDiscountsDemandByExactHits) {
   EXPECT_GT(last.cache_exact_hit_ratio, 0.05);
   EXPECT_LE(last.cache_service_discount, 1.0);
   EXPECT_LT(last.demand_estimate, 10.0);
+  // The discount is estimated per hit level: the split EWMAs saw the
+  // near/far mix of the non-exact traffic.
+  EXPECT_GT(last.cache_near_hit_ratio + last.cache_far_hit_ratio, 0.0);
+  EXPECT_LT(last.cache_service_discount, 1.0);
 }
 
 TEST(CacheServing, ExactHitsServeAtCacheLatency) {
@@ -358,6 +747,233 @@ TEST(CacheServing, ExactHitsServeAtCacheLatency) {
   EXPECT_GT(sink.hit_level_count(HitLevel::kExact), 0u);
   EXPECT_NEAR(sink.mean_cache_latency(), cfg.cache.hit_latency, 1e-9);
   EXPECT_LT(sink.mean_cache_latency(), sink.mean_latency());
+}
+
+TEST(CacheServing, ScaledDropDecisionKeepsHitHeavyBatch) {
+  // Regression for the batch drop decision: it must use the cache-scaled
+  // execution time. A mixed near-hit/miss batch whose deadline sits
+  // between the scaled and the unscaled finish time survives only under
+  // scaled timing — the old unscaled check dropped it wholesale.
+  core::EnvironmentConfig ec;
+  ec.cascade = models::catalog::kSoloHeavy;  // depth 1: no reserve math
+  ec.workload_queries = 64;
+  ec.discriminator.train_queries = 64;
+  ec.profile_queries = 64;
+  const core::CascadeEnvironment env(ec);
+
+  // Find a donor-near prompt (the hit) and two donor-far prompts (the
+  // batched miss and a filler that keeps the worker busy).
+  const auto& donor_style = env.workload().style(0);
+  auto l2 = [&](quality::QueryId q) {
+    const auto& s = env.workload().style(q);
+    double sq = 0.0;
+    for (std::size_t d = 0; d < s.size(); ++d)
+      sq += (s[d] - donor_style[d]) * (s[d] - donor_style[d]);
+    return std::sqrt(sq);
+  };
+  quality::QueryId near_prompt = 1, far_a = 1, far_b = 1;
+  double near_d = std::numeric_limits<double>::infinity();
+  double far_d = 0.0, far_d2 = 0.0;
+  for (quality::QueryId q = 1; q < 64; ++q) {
+    const double d = l2(q);
+    if (d < near_d) {
+      near_d = d;
+      near_prompt = q;
+    }
+    if (d > far_d) {
+      far_d2 = far_d;
+      far_b = far_a;
+      far_d = d;
+      far_a = q;
+    } else if (d > far_d2) {
+      far_d2 = d;
+      far_b = q;
+    }
+  }
+  ASSERT_LT(near_d, far_d2);
+
+  sim::Simulation sim;
+  serving::SystemConfig cfg;
+  cfg.total_workers = 1;
+  cfg.slo_seconds = 3.5;
+  cfg.cache.enabled = true;
+  cfg.cache.capacity = 16;
+  // Thresholds bracketing the found prompts: the near prompt approx-hits
+  // at the tiered near fraction, the far prompts miss.
+  cfg.cache.near_distance = near_d + 0.01;
+  cfg.cache.far_distance = near_d + 0.01;
+  serving::ServingSystem system(sim, env.workload(), env.repository(),
+                                env.cascade(), env.discs(), env.scorer(),
+                                cfg);
+  serving::AllocationPlan plan = serving::AllocationPlan::for_stages(1);
+  plan.workers = {1};
+  plan.batches = {2};
+  system.apply(plan);
+
+  const double exec2 = system.heavy_exec_latency(2);
+  const double frac = cfg.cache.near_step_fraction;
+  // The pair below waits 1.0 s behind the filler; its remaining slack at
+  // launch must admit the scaled mixed batch but not the unscaled one.
+  ASSERT_GT(exec2, cfg.slo_seconds - 1.0);
+  ASSERT_LE((1.0 + frac) / 2.0 * exec2, cfg.slo_seconds - 1.0);
+
+  auto submit = [&](quality::QueryId prompt) {
+    engine::Query q;
+    q.prompt_id = prompt;
+    q.arrival_time = sim.now();
+    q.deadline = sim.now() + cfg.slo_seconds;
+    system.engine().submit(std::move(q));
+  };
+  // t=1.5: the donor generates, completes, and is cached.
+  sim.schedule_at(1.5, [&] { submit(0); });
+  // t=5.2: a filler occupies the worker until its own deadline.
+  sim.schedule_at(5.2, [&] { submit(far_a); });
+  // t=7.7: the mixed pair queues behind the filler; when the worker frees
+  // their slack is below exec2 but above the scaled mixed-batch time.
+  sim.schedule_at(7.7, [&] {
+    submit(near_prompt);
+    submit(far_b);
+  });
+  sim.run_all();
+
+  // Unscaled timing would have dropped the pair (documented arithmetic:
+  // the worker frees at the filler's deadline).
+  const double free_at = 5.2 + cfg.slo_seconds;
+  const double pair_deadline = 7.7 + cfg.slo_seconds;
+  EXPECT_GT(free_at + exec2, pair_deadline);
+  EXPECT_LE(free_at + (1.0 + frac) / 2.0 * exec2, pair_deadline);
+
+  const auto& sink = system.sink();
+  EXPECT_EQ(sink.completed(), 4u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.violation_ratio(), 0.0);
+  EXPECT_EQ(system.engine().cache_stats().near_hits, 1u);
+}
+
+TEST(CacheServing, ScaledDropSacrificesSlowestViolatorOnly) {
+  // Re-checking a batch against its scaled finish time must recompute the
+  // mean after every drop and sacrifice the *slowest* violator first: in
+  // a {near-hit, miss, miss, miss} batch whose deadline admits the mean
+  // of three members but not four, exactly one miss is dropped and the
+  // remaining three complete. Checking all members against the stale
+  // four-member finish time (or dropping the fast hit first) would
+  // cascade into dropping the whole batch.
+  core::EnvironmentConfig ec;
+  ec.cascade = models::catalog::kSoloHeavy;
+  ec.workload_queries = 64;
+  ec.discriminator.train_queries = 64;
+  ec.profile_queries = 64;
+  const core::CascadeEnvironment env(ec);
+
+  const auto& donor_style = env.workload().style(0);
+  auto l2 = [&](quality::QueryId q) {
+    const auto& s = env.workload().style(q);
+    double sq = 0.0;
+    for (std::size_t d = 0; d < s.size(); ++d)
+      sq += (s[d] - donor_style[d]) * (s[d] - donor_style[d]);
+    return std::sqrt(sq);
+  };
+  std::vector<quality::QueryId> by_distance;
+  for (quality::QueryId q = 1; q < 64; ++q) by_distance.push_back(q);
+  std::sort(by_distance.begin(), by_distance.end(),
+            [&](quality::QueryId a, quality::QueryId b) {
+              return l2(a) < l2(b);
+            });
+  const quality::QueryId near_prompt = by_distance.front();
+  // Five donor-far prompts: a filler plus four batched misses (the last
+  // one only fits after a sacrifice frees its slot).
+  const auto far_end = std::vector<quality::QueryId>(by_distance.end() - 5,
+                                                     by_distance.end());
+  ASSERT_GT(l2(far_end.front()), l2(near_prompt) + 0.02);
+
+  sim::Simulation sim;
+  serving::SystemConfig cfg;
+  cfg.total_workers = 1;
+  cfg.slo_seconds = 5.6;
+  cfg.cache.enabled = true;
+  cfg.cache.capacity = 16;
+  cfg.cache.near_distance = l2(near_prompt) + 0.01;
+  cfg.cache.far_distance = l2(near_prompt) + 0.01;
+  serving::ServingSystem system(sim, env.workload(), env.repository(),
+                                env.cascade(), env.discs(), env.scorer(),
+                                cfg);
+  serving::AllocationPlan plan = serving::AllocationPlan::for_stages(1);
+  plan.workers = {1};
+  plan.batches = {4};
+  system.apply(plan);
+
+  const double exec4 = system.heavy_exec_latency(4);
+  const double frac = cfg.cache.near_step_fraction;
+  // The quad below waits 1.0 s behind the filler. Its remaining slack
+  // must admit the three-member mean (hit + 2 misses) but not the
+  // four-member mean (hit + 3 misses).
+  const double slack = cfg.slo_seconds - 1.0;
+  ASSERT_GT((frac + 3.0) / 4.0 * exec4, slack);
+  ASSERT_LE((frac + 2.0) / 3.0 * exec4, slack);
+
+  std::uint64_t next_seq = 0;
+  auto submit = [&](quality::QueryId prompt) {
+    engine::Query q;
+    q.seq = next_seq++;
+    q.prompt_id = prompt;
+    q.arrival_time = sim.now();
+    q.deadline = sim.now() + cfg.slo_seconds;
+    system.engine().submit(std::move(q));
+  };
+  sim.schedule_at(1.5, [&] { submit(0); });           // donor: cached at 7.1
+  sim.schedule_at(7.3, [&] { submit(far_end[0]); });  // filler: busy to 12.9
+  sim.schedule_at(11.9, [&] {                         // four fill the batch,
+    submit(near_prompt);                              // the fifth queues
+    submit(far_end[1]);
+    submit(far_end[2]);
+    submit(far_end[3]);
+    submit(far_end[4]);
+  });
+  sim.run_all();
+
+  // Each sacrifice frees a slot that is refilled from the queue before
+  // the next scaled re-check: two misses are dropped, and the queued
+  // fifth query rides the freed slot to an on-time completion (without
+  // the refill it would languish a full batch execution and be dropped).
+  const auto& sink = system.sink();
+  EXPECT_EQ(sink.completed(), 5u);  // donor + filler + hit + two misses
+  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_EQ(system.engine().cache_stats().near_hits, 1u);
+  bool refilled_completed = false;
+  for (const auto& rec : sink.records())
+    if (rec.seq == 6) refilled_completed = !rec.dropped && !rec.violated;
+  EXPECT_TRUE(refilled_completed);
+}
+
+TEST(CacheServing, LatentLevelsRecordBoundaryCrossings) {
+  // With latent levels on, a cache-miss generation that defers leaves its
+  // stage output behind as a resumable intermediate latent — so donors
+  // exist even for prompts that never finished at the light stage.
+  const auto& env = shared_env();
+  sim::Simulation sim;
+  serving::SystemConfig cfg;
+  cfg.total_workers = 4;
+  cfg.slo_seconds = 20.0;
+  cfg.cache = serving_cache();
+  serving::ServingSystem system(sim, env.workload(), env.repository(),
+                                env.cascade(), env.discs(), env.scorer(),
+                                cfg);
+  serving::AllocationPlan plan;
+  plan.light_workers() = 2;
+  plan.heavy_workers() = 2;
+  plan.threshold() = 0.95;  // defer aggressively: many boundary crossings
+  system.apply(plan);
+
+  std::vector<double> arrivals;
+  for (int i = 0; i < 120; ++i) arrivals.push_back(0.4 * i);
+  system.inject_arrivals(arrivals);
+  sim.run_all();
+
+  const auto stats = system.engine().cache_stats();
+  EXPECT_GT(stats.latent_insertions, 0u);
+  EXPECT_GT(stats.hits(), 0u);
+  // Conservation through the latent-insert path.
+  EXPECT_EQ(system.sink().total(), 120u);
 }
 
 TEST(CacheServing, DesAndThreadedBackendsAgreeWithCacheOn) {

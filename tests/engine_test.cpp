@@ -110,6 +110,9 @@ TEST(EngineEquivalence, DisabledCacheIsByteIdentical) {
   off.system.cache.near_distance = 50.0;
   off.system.cache.far_distance = 50.0;
   off.system.cache.hit_latency = 0.5;
+  off.system.cache.interpolate_step_fraction = true;
+  off.system.cache.latent_levels = true;
+  off.system.cache.index_kind = cache::IndexKind::kLsh;
   const auto gated = core::run_experiment(shared_env(), off);
 
   EXPECT_EQ(plain.overall_fid, gated.overall_fid);
