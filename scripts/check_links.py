@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check relative markdown links so cross-references cannot rot.
+
+Scans the repo's user-facing markdown (README.md, ROADMAP.md, docs/*.md)
+for inline links/images `[text](target)`. Relative targets must resolve
+to an existing file; `#fragment` anchors into markdown files must match a
+heading's GitHub-style slug. External (scheme://) and mailto links are
+skipped — this guards the repo's own cross-links, not the internet.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link
+is listed). Run from anywhere; paths resolve against the repo root.
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FILES = [REPO / "README.md", REPO / "ROADMAP.md",
+         *sorted((REPO / "docs").glob("*.md"))]
+
+# Inline links/images, skipping code spans line-wise (good enough for the
+# docs' idiom; fenced code blocks are stripped below).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_slugs(path: Path) -> set:
+    """GitHub-style anchors of every markdown heading in `path`."""
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        text = line.lstrip("#").strip()
+        # Strip markdown emphasis/code markers, then slugify.
+        text = re.sub(r"[`*_]", "", text)
+        slug = re.sub(r"[^\w\- ]", "", text.lower()).strip().replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    broken = []
+    for md in FILES:
+        if not md.exists():
+            broken.append(f"{md.relative_to(REPO)}: file listed for "
+                          "checking does not exist")
+            continue
+        for lineno, target in iter_links(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # scheme: external
+                continue
+            ref, _, fragment = target.partition("#")
+            dest = md if not ref else (md.parent / ref).resolve()
+            where = f"{md.relative_to(REPO)}:{lineno}"
+            if ref and not dest.exists():
+                broken.append(f"{where}: broken link -> {target}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in heading_slugs(dest):
+                    broken.append(
+                        f"{where}: missing anchor -> {target}")
+    for b in broken:
+        print(b, file=sys.stderr)
+    checked = ", ".join(str(f.relative_to(REPO)) for f in FILES)
+    if broken:
+        print(f"link check FAILED ({len(broken)} broken) over: {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"link check OK over: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

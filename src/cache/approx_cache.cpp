@@ -35,6 +35,11 @@ double CacheStats::mean_step_fraction() const {
   return step_fraction_sum / static_cast<double>(n);
 }
 
+double CacheStats::mean_probed_cells() const {
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(lsh_probed_cells) / static_cast<double>(lookups);
+}
+
 ApproxCache::ApproxCache(CacheConfig cfg) : cfg_(cfg) {
   DS_REQUIRE(cfg_.capacity >= 1, "cache capacity must be >= 1");
   DS_REQUIRE(cfg_.exact_distance >= 0.0, "negative exact threshold");
@@ -60,24 +65,39 @@ ApproxCache::ApproxCache(CacheConfig cfg) : cfg_(cfg) {
              "lsh_projections must be in [1, 32]");
   DS_REQUIRE(cfg_.lsh_tables >= 1, "need at least one LSH table");
   DS_REQUIRE(cfg_.lsh_width_scale > 0.0, "lsh_width_scale must be positive");
+  DS_REQUIRE(cfg_.lsh_target_recall > 0.0 && cfg_.lsh_target_recall < 1.0,
+             "lsh_target_recall must be in (0, 1)");
+  DS_REQUIRE(cfg_.lsh_probe_budget >= 1, "lsh_probe_budget must be >= 1");
   indexed_ = cfg_.index_kind == IndexKind::kLsh ||
              (cfg_.index_kind == IndexKind::kAuto &&
               cfg_.capacity > kAutoIndexThreshold);
   if (indexed_) {
     buckets_.resize(cfg_.lsh_tables);
-    // Cells sized to the near radius *in projection units*: a near
+    // Cells sized to a hit radius *in projection units*: an in-radius
     // neighbour then lands in the same or an adjacent cell per projection
     // with high probability. For L2 a neighbour's projection differs by
     // at most the distance itself; cosine distance d between normalized
     // keys corresponds to a chord of sqrt(2d), so the cell width must be
     // in chord units or near neighbours land several cells away. A
     // degenerate radius still quantizes (exact duplicates always share
-    // every cell).
-    const double near_span =
-        cfg_.metric == SimilarityMetric::kCosine
-            ? std::sqrt(2.0 * cfg_.near_distance)
-            : cfg_.near_distance;
-    lsh_cell_width_ = std::max(cfg_.lsh_width_scale * near_span, 1e-9);
+    // every cell). Adaptive probing tunes the width to the *far* radius —
+    // a far-edge neighbour then crosses at most a couple of boundaries
+    // and the directed probe set can recover it, where near-sized cells
+    // scatter it across combinatorially many buckets no budget reaches;
+    // fixed probing keeps the legacy near-sized cells.
+    const auto span = [&](double d) {
+      return cfg_.metric == SimilarityMetric::kCosine ? std::sqrt(2.0 * d)
+                                                      : d;
+    };
+    far_span_ = span(cfg_.far_distance);
+    const double tuned =
+        cfg_.lsh_adaptive_probe ? far_span_ : span(cfg_.near_distance);
+    lsh_cell_width_ = std::max(cfg_.lsh_width_scale * tuned, 1e-9);
+    // The per-table bound that compounds to the configured overall one:
+    // 1 - (1 - r_table)^tables >= lsh_target_recall.
+    table_recall_target_ =
+        1.0 - std::pow(1.0 - cfg_.lsh_target_recall,
+                       1.0 / static_cast<double>(cfg_.lsh_tables));
   }
   entries_.reserve(cfg_.capacity);
 }
@@ -174,13 +194,36 @@ std::size_t ApproxCache::nearest_scan(const std::vector<double>& key,
   return best;
 }
 
+namespace {
+
+/// Standard normal CDF (the neighbour-shift model adaptive probing
+/// estimates recall with).
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x * 0.70710678118654752440);
+}
+
+/// One candidate ±1-cell perturbation of a single projection, ranked by
+/// its projection-space cost (Lv et al.-style query-directed probing).
+struct Perturbation {
+  double cost = 0.0;   ///< squared distance from the query to the crossed
+                       ///< cell boundary — cheap boundaries probe first
+  double ratio = 0.0;  ///< P(neighbour lands in the perturbed cell) /
+                       ///< P(it stays home) for this projection
+  std::uint8_t proj = 0;
+  std::int8_t delta = 0;  ///< +1 or -1 cell
+};
+
+}  // namespace
+
 std::size_t ApproxCache::nearest_lsh(const std::vector<double>& key,
                                      double& best_d) {
   ensure_planes(key.size());
   std::size_t best = npos;
   best_d = std::numeric_limits<double>::infinity();
   const std::uint64_t epoch = ++lookup_epoch_;
+  std::uint64_t probed = 0, candidates = 0;
   auto probe = [&](std::size_t table, std::uint64_t code) {
+    ++probed;
     const auto it = buckets_[table].find(code);
     if (it == buckets_[table].end()) return;
     for (const std::size_t idx : it->second) {
@@ -189,6 +232,7 @@ std::size_t ApproxCache::nearest_lsh(const std::vector<double>& key,
       // probes; compute its distance once per lookup.
       if (e.visit_epoch == epoch) continue;
       e.visit_epoch = epoch;
+      ++candidates;
       const double d = distance(e.key, key);
       // Tie-break on the lower entry index — the same winner the in-order
       // scan picks, so the index agrees with the scan whenever the true
@@ -201,22 +245,151 @@ std::size_t ApproxCache::nearest_lsh(const std::vector<double>& key,
   };
   const std::size_t k = cfg_.lsh_projections;
   std::int64_t cells[32];
-  for (std::size_t t = 0; t < cfg_.lsh_tables; ++t) {
-    cells_of(t, key, cells);
-    probe(t, hash_cells(t, cells));
-    if (cfg_.lsh_probe_neighbors) {
-      // One quantization cell away in a single projection — the bucket an
-      // in-radius neighbour most likely fell into when it missed ours.
-      for (std::size_t j = 0; j < k; ++j) {
-        ++cells[j];
-        probe(t, hash_cells(t, cells));
-        cells[j] -= 2;
-        probe(t, hash_cells(t, cells));
-        ++cells[j];
+  if (!cfg_.lsh_adaptive_probe) {
+    // Legacy fixed probing: the home bucket plus (optionally) every
+    // bucket one cell away in a single projection.
+    for (std::size_t t = 0; t < cfg_.lsh_tables; ++t) {
+      cells_of(t, key, cells);
+      probe(t, hash_cells(t, cells));
+      if (cfg_.lsh_probe_neighbors) {
+        for (std::size_t j = 0; j < k; ++j) {
+          ++cells[j];
+          probe(t, hash_cells(t, cells));
+          cells[j] -= 2;
+          probe(t, hash_cells(t, cells));
+          ++cells[j];
+        }
       }
     }
+  } else {
+    nearest_lsh_adaptive(key, probe);
+  }
+  stats_.lsh_probed_cells += probed;
+  stats_.lsh_probe_candidates += candidates;
+  if (probed > 0) {
+    // The yield the budget tuner divides by: how many candidate distance
+    // computations one probed cell costs on the current contents.
+    const double yield =
+        static_cast<double>(candidates) / static_cast<double>(probed);
+    probe_yield_ewma_ = 0.9 * probe_yield_ewma_ + 0.1 * yield;
   }
   return best;
+}
+
+template <typename ProbeFn>
+void ApproxCache::nearest_lsh_adaptive(const std::vector<double>& key,
+                                       ProbeFn&& probe) {
+  const std::size_t k = cfg_.lsh_projections;
+  const double w = lsh_cell_width_;
+  // Shift model: a neighbour at far_distance moves each (unit) projection
+  // by ~N(0, far_span / sqrt(dim)) — the average-case spread of a fixed
+  // direction's share of a randomly oriented difference vector.
+  const double sigma =
+      std::max(far_span_ / std::sqrt(static_cast<double>(key.size())), 1e-12);
+  // Effective per-table probe count: the configured budget is in units of
+  // expected candidate evaluations, so divide by the observed
+  // candidates-per-probe yield — dense buckets probe less, sparse buckets
+  // probe more, and the distance work per lookup stays roughly flat.
+  const double denom = std::max(probe_yield_ewma_, 0.5);
+  const double scaled =
+      static_cast<double>(cfg_.lsh_probe_budget) / denom + 0.5;
+  const std::size_t budget = std::min(
+      2 * cfg_.lsh_probe_budget,
+      std::max(std::min<std::size_t>(2, cfg_.lsh_probe_budget),
+               static_cast<std::size_t>(scaled)));
+
+  std::int64_t cells[32], perturbed[32];
+  double fracs[32];
+  Perturbation perts[64];
+  // Member scratch: the expansion frontier is bounded by the iteration
+  // cap, so after the first lookup its capacity sticks and the hot path
+  // never allocates.
+  std::vector<ProbeSet>& frontier = probe_frontier_;
+  frontier.reserve(4 * budget + 18);
+  for (std::size_t t = 0; t < cfg_.lsh_tables; ++t) {
+    cells_of(t, key, cells, fracs);
+    // Per-projection landing probabilities of a far_distance neighbour:
+    // home cell, one cell up, one cell down.
+    double home_prob = 1.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double lo = -fracs[j] * w;        // to the lower boundary
+      const double hi = (1.0 - fracs[j]) * w; // to the upper boundary
+      const double p0 = normal_cdf(hi / sigma) - normal_cdf(lo / sigma);
+      const double up =
+          normal_cdf((hi + w) / sigma) - normal_cdf(hi / sigma);
+      const double dn =
+          normal_cdf(lo / sigma) - normal_cdf((lo - w) / sigma);
+      home_prob *= p0;
+      const double floor_p = std::max(p0, 1e-12);
+      perts[2 * j] = {hi * hi, up / floor_p, static_cast<std::uint8_t>(j),
+                      std::int8_t{1}};
+      perts[2 * j + 1] = {lo * lo, dn / floor_p,
+                          static_cast<std::uint8_t>(j), std::int8_t{-1}};
+    }
+    probe(t, hash_cells(t, cells));
+    double est_recall = home_prob;
+    if (est_recall >= table_recall_target_) continue;
+
+    // Cheapest boundaries first; exact ties settled by (proj, delta) so
+    // the expansion order is deterministic.
+    std::sort(perts, perts + 2 * k,
+              [](const Perturbation& a, const Perturbation& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                if (a.proj != b.proj) return a.proj < b.proj;
+                return a.delta < b.delta;
+              });
+    frontier.clear();
+    frontier.push_back({perts[0].cost, 1, 0});
+    std::size_t spent = 0;
+    // Each iteration pops one set and pushes at most two successors, so
+    // the frontier work is O(budget log budget); invalid sets (both
+    // directions of one projection) still expand but do not probe.
+    for (std::size_t iter = 0;
+         spent < budget && est_recall < table_recall_target_ &&
+         !frontier.empty() && iter < 4 * budget + 16;
+         ++iter) {
+      std::pop_heap(frontier.begin(), frontier.end(), probe_set_after);
+      const ProbeSet set = frontier.back();
+      frontier.pop_back();
+      if (set.last + 1u < 2 * k) {
+        ProbeSet shift = set;  // swap the highest perturbation for the
+        shift.cost += perts[set.last + 1].cost - perts[set.last].cost;
+        shift.mask ^= 3ull << set.last;  // next one up the cost order
+        ++shift.last;
+        frontier.push_back(shift);
+        std::push_heap(frontier.begin(), frontier.end(), probe_set_after);
+        ProbeSet expand = set;  // or add it on top
+        expand.cost += perts[set.last + 1].cost;
+        expand.mask |= 2ull << set.last;
+        ++expand.last;
+        frontier.push_back(expand);
+        std::push_heap(frontier.begin(), frontier.end(), probe_set_after);
+      }
+      // Valid sets perturb distinct projections (+1 and -1 on the same
+      // one would be two assignments to one coordinate).
+      std::uint32_t seen = 0;
+      bool valid = true;
+      double set_prob = home_prob;
+      for (std::size_t i = 0; i <= set.last; ++i) {
+        if (!((set.mask >> i) & 1ull)) continue;
+        const std::uint32_t bit = 1u << perts[i].proj;
+        if (seen & bit) {
+          valid = false;
+          break;
+        }
+        seen |= bit;
+        set_prob *= perts[i].ratio;
+      }
+      if (!valid) continue;
+      for (std::size_t j = 0; j < k; ++j) perturbed[j] = cells[j];
+      for (std::size_t i = 0; i <= set.last; ++i)
+        if ((set.mask >> i) & 1ull)
+          perturbed[perts[i].proj] += perts[i].delta;
+      probe(t, hash_cells(t, perturbed));
+      ++spent;
+      est_recall += set_prob;
+    }
+  }
 }
 
 std::size_t ApproxCache::nearest(const std::vector<double>& key,
@@ -279,10 +452,18 @@ LookupResult ApproxCache::lookup(const std::vector<double>& key, double now) {
     }
     ++e.hits;
     e.last_used = now;
+    heap_touch(e);  // the hit bump moved the eviction score
   }
   if (r.level != HitLevel::kExact)
     stats_.step_fraction_sum += recorded_fraction;
   return r;
+}
+
+std::vector<quality::QueryId> ApproxCache::cached_prompts() const {
+  std::vector<quality::QueryId> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.prompt);
+  return out;
 }
 
 // ---- insertion -------------------------------------------------------------
@@ -292,7 +473,7 @@ std::size_t ApproxCache::find_prompt(quality::QueryId prompt) const {
   return it == by_prompt_.end() ? npos : it->second;
 }
 
-void ApproxCache::evict_one() {
+std::size_t ApproxCache::victim_scan() const {
   std::size_t victim = 0;
   double victim_score = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -303,6 +484,56 @@ void ApproxCache::evict_one() {
       victim = i;
     }
   }
+  return victim;
+}
+
+std::size_t ApproxCache::victim_heap() {
+  // Lazy pops: a pair whose version no longer matches its entry (or whose
+  // prompt was evicted outright) was superseded by a later touch — skip
+  // it. The newest pair per live entry carries its current score, so the
+  // first current-version pop is exactly the scan's (score, order)
+  // minimum. The victim's own pair leaves the heap here, which is also
+  // its removal from the structure.
+  for (;;) {
+    DS_CHECK(!heap_.empty(), "eviction heap drained with entries live");
+    const HeapItem top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+    heap_.pop_back();
+    const auto it = by_prompt_.find(top.prompt);
+    if (it == by_prompt_.end() || entries_[it->second].version != top.version) {
+      ++stats_.heap_stale_pops;
+      continue;
+    }
+    return it->second;
+  }
+}
+
+void ApproxCache::heap_touch(Entry& e) {
+  if (cfg_.eviction_kind != EvictionKind::kHeap) return;
+  // Globally unique stamps: pairs from an evicted incarnation of a
+  // re-used prompt can never collide with the live entry's version.
+  e.version = ++next_version_;
+  heap_.push_back({eviction_score(e), e.order, e.version, e.prompt});
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+  // Compact once stale pairs outnumber live entries: each compaction is
+  // O(N) but needs >= N touches to re-arm, so the amortized cost per
+  // operation stays O(log N).
+  if (heap_.size() > std::max<std::size_t>(64, 2 * entries_.size()))
+    heap_compact();
+}
+
+void ApproxCache::heap_compact() {
+  heap_.clear();
+  for (const Entry& e : entries_)
+    heap_.push_back({eviction_score(e), e.order, e.version, e.prompt});
+  std::make_heap(heap_.begin(), heap_.end(), heap_after);
+  ++stats_.heap_compactions;
+}
+
+void ApproxCache::evict_one() {
+  const std::size_t victim = cfg_.eviction_kind == EvictionKind::kHeap
+                                 ? victim_heap()
+                                 : victim_scan();
   if (indexed_) index_remove(victim);
   by_prompt_.erase(entries_[victim].prompt);
   const std::size_t last = entries_.size() - 1;
@@ -335,6 +566,7 @@ std::size_t ApproxCache::upsert_entry(quality::QueryId prompt,
       }
     }
     e.last_used = now;
+    heap_touch(e);
     return idx;
   }
   if (entries_.size() >= cfg_.capacity) evict_one();
@@ -353,6 +585,7 @@ std::size_t ApproxCache::upsert_entry(quality::QueryId prompt,
   entries_.push_back(std::move(e));
   by_prompt_[prompt] = idx;
   if (indexed_) index_add(idx);
+  heap_touch(entries_[idx]);
   return idx;
 }
 
@@ -425,7 +658,7 @@ void ApproxCache::ensure_planes(std::size_t dim) {
 }
 
 void ApproxCache::cells_of(std::size_t table, const std::vector<double>& key,
-                           std::int64_t* cells) const {
+                           std::int64_t* cells, double* fracs) const {
   // The cosine metric is magnitude-invariant, so project the direction,
   // not the raw vector — otherwise scaled duplicates (cosine distance 0)
   // land in distant cells and the index misses hits the scan finds. A
@@ -444,7 +677,10 @@ void ApproxCache::cells_of(std::size_t table, const std::vector<double>& key,
     double dot = plane_offsets_[base + j];
     for (std::size_t d = 0; d < key.size(); ++d)
       dot += plane[d] * key[d] * scale;
-    cells[j] = static_cast<std::int64_t>(std::floor(dot / lsh_cell_width_));
+    const double scaled = dot / lsh_cell_width_;
+    cells[j] = static_cast<std::int64_t>(std::floor(scaled));
+    if (fracs != nullptr)
+      fracs[j] = scaled - static_cast<double>(cells[j]);
   }
 }
 

@@ -36,20 +36,36 @@
 // Lookup is either the exact O(N) linear scan (small caches) or a bucketed
 // ANN index — multi-table LSH over random hyperplane projections of the
 // style vector, p-stable quantized (each table buckets the key by its cell
-// in `lsh_projections` random projections, cell width tied to
-// near_distance) with ±1-cell multi-probe. The index is approximate (a
-// near-threshold neighbour in a different bucket can be missed) but fully
-// deterministic: projections derive from `lsh_seed`, so two caches fed the
-// same operation sequence agree byte-for-byte, which is what keeps the DES
-// and threaded backends in lockstep.
+// in `lsh_projections` random projections). Probing is adaptive by
+// default (`lsh_adaptive_probe`): the cell width is tied to the *far*
+// radius, and each table expands a query-directed probe set (Lv et
+// al.-style — neighbour cells ranked by projection-space boundary
+// distance) until the modelled expected recall of a far_distance
+// neighbour meets `lsh_target_recall` or a per-table probe budget —
+// auto-tuned from the observed candidates-per-probe yield — runs out,
+// which keeps recall flat across the hit radius instead of decaying
+// toward its far edge. The legacy fixed ±1-cell probing (cell width tied
+// to near_distance) remains behind `lsh_adaptive_probe = false`. Either
+// way the index is approximate (a near-threshold neighbour in an
+// unprobed bucket can be missed) but fully deterministic: projections
+// derive from `lsh_seed` and the budget tuner from the operation
+// sequence alone, so two caches fed the same operation sequence agree
+// byte-for-byte, which is what keeps the DES and threaded backends in
+// lockstep.
 //
 // Eviction is LRU blended with popularity: the victim minimizes
 // last_used + popularity_weight * log1p(hits), so a frequently reused
-// entry survives a burst of one-off insertions. All behaviour is a
-// deterministic function of the operation sequence (no internal
-// randomness), which is how the DES and threaded backends stay in
-// agreement; the engine's guard serializes access, so the cache itself
-// holds no lock.
+// entry survives a burst of one-off insertions. The victim is found by a
+// deterministic *lazy min-heap* over that score (`EvictionKind::kHeap`):
+// every score change pushes a fresh (score, version) pair instead of
+// re-heapifying, and evict_one pops until the top's version is current —
+// amortized O(log N) per insert where the reference scan
+// (`EvictionKind::kScan`) pays O(N), with a byte-identical victim
+// sequence (pinned by `HeapEvictionMatchesScanAcross50Seeds`). All
+// behaviour is a deterministic function of the operation sequence (no
+// internal randomness), which is how the DES and threaded backends stay
+// in agreement; the engine's guard serializes access, so the cache
+// itself holds no lock.
 #pragma once
 
 #include <cstdint>
@@ -85,6 +101,18 @@ enum class IndexKind {
 
 /// kAuto switches from the scan to the LSH index above this capacity.
 inline constexpr std::size_t kAutoIndexThreshold = 4096;
+
+/// How evict_one finds the LRU+popularity victim.
+enum class EvictionKind {
+  /// Lazy min-heap over the eviction score: touches push updated
+  /// (score, version) pairs, evict_one pops past stale ones — amortized
+  /// O(log N) per insert on a full cache. Byte-identical victim sequence
+  /// to the scan.
+  kHeap,
+  /// Exact O(N) scan per eviction — the reference semantics (and the
+  /// baseline `bench/fig11_cache_reuse.cpp` Part 3 measures against).
+  kScan,
+};
 
 struct CacheConfig {
   /// Master switch. Disabled (the default) means the engine never probes
@@ -125,22 +153,51 @@ struct CacheConfig {
   /// Random hyperplane projections per LSH table: a table's bucket is the
   /// quantized cell of the key under its projections. More projections
   /// mean finer buckets (fewer candidates, lower per-table recall — each
-  /// extra table then wins most of it back).
-  std::size_t lsh_projections = 10;
+  /// extra table then wins most of it back). The default balances the
+  /// far-tuned adaptive cells: 12 projections of far-sized cells carry
+  /// about the candidate density 10 projections of near-sized cells did.
+  std::size_t lsh_projections = 12;
   /// Independent LSH tables; a neighbour is found if any table buckets it
   /// with the query (or one cell away when probing). Recall at a given
-  /// distance approaches 1 geometrically in the table count.
-  std::size_t lsh_tables = 8;
-  /// Quantization cell width as a multiple of near_distance. The index is
-  /// tuned for the traffic that matters — exact repeats and near
-  /// neighbours, which popularity-skewed prompt streams are dominated by;
-  /// recall decays toward the far edge of the hit radius, where the donor
-  /// is barely better than a fresh generation anyway.
+  /// distance approaches 1 geometrically in the table count — the tenth
+  /// table is what holds the far-edge decile clear of its CI floor.
+  std::size_t lsh_tables = 10;
+  /// Quantization cell width as a multiple of the hit radius the index is
+  /// tuned for: far_distance under adaptive probing (so a far-edge
+  /// neighbour typically crosses at most a couple of cell boundaries and
+  /// the directed probe set can recover it), near_distance under the
+  /// legacy fixed probing (finer cells, recall decaying toward the far
+  /// edge).
   double lsh_width_scale = 1.0;
   /// Also probe, per table, every bucket one quantization cell away in a
   /// single projection (2*lsh_projections extra probes) — recovers most
-  /// near-boundary neighbours.
+  /// near-boundary neighbours. Fixed-probing mode only (adaptive probing
+  /// supersedes it).
   bool lsh_probe_neighbors = true;
+  /// Query-directed adaptive multi-probe (the default): rank neighbour
+  /// cells by projection-space boundary distance and expand each table's
+  /// probe set until the expected recall of a far_distance neighbour
+  /// meets lsh_target_recall or the (yield-tuned) probe budget runs out.
+  /// Off restores the legacy near-tuned cell width and fixed ±1-cell
+  /// probing — byte-for-byte the PR-4 index at equal lsh_projections and
+  /// lsh_tables (their defaults moved 10 -> 12 and 8 -> 10 alongside the
+  /// wider adaptive cells).
+  bool lsh_adaptive_probe = true;
+  /// Adaptive probing stops expanding once the modelled recall of a
+  /// neighbour at far_distance (across all tables) reaches this bound.
+  double lsh_target_recall = 0.9;
+  /// Per-table probe budget for adaptive probing, in units of expected
+  /// *candidate evaluations* (distance computations): the effective probe
+  /// count is this divided by the observed candidates-per-probe yield
+  /// (EWMA, deterministic), clamped to [2, 2x] probes — dense buckets
+  /// probe a handful of cells that already carry plenty of candidates,
+  /// sparse buckets fan out to 2x (cells there are near-free), and the
+  /// distance-computation work per lookup stays roughly flat either way.
+  /// The default is sized for the sparse regime's far edge: up to 2x96
+  /// probes per table hold far-decile recall comfortably over 0.9 of the
+  /// near decile's (fig11 Part 3a), while dense caches tune down to a
+  /// few probes regardless.
+  std::size_t lsh_probe_budget = 96;
   /// Seed of the projection directions/offsets. Fixed per cache instance,
   /// so both execution backends derive identical buckets.
   std::uint64_t lsh_seed = 0xD1FF5EEDCAFEULL;
@@ -158,6 +215,10 @@ struct CacheConfig {
   /// Eviction blend: seconds of recency one e-fold of hits is worth. 0 is
   /// pure LRU; larger values protect popular entries longer.
   double popularity_weight = 5.0;
+  /// Victim search strategy; see EvictionKind. kHeap (the default) keeps
+  /// the insert path sublinear on a full cache; kScan is the O(N)
+  /// reference both must agree with victim-for-victim.
+  EvictionKind eviction_kind = EvictionKind::kHeap;
 };
 
 /// Aggregate probe/insert counters (engine- and controller-facing).
@@ -179,6 +240,15 @@ struct CacheStats {
   /// so each level's discount reflects its actual mean fraction.
   double near_step_fraction_sum = 0.0;
   double far_step_fraction_sum = 0.0;
+  /// LSH probe-depth counters (indexed lookups only): buckets probed and
+  /// candidate distance computations performed. Their ratio is the yield
+  /// the adaptive probe budget tunes itself from.
+  std::uint64_t lsh_probed_cells = 0;
+  std::uint64_t lsh_probe_candidates = 0;
+  /// Lazy-heap maintenance counters: full rebuilds that shed stale
+  /// (score, version) pairs, and stale pairs skipped during evictions.
+  std::uint64_t heap_compactions = 0;
+  std::uint64_t heap_stale_pops = 0;
 
   std::uint64_t hits() const { return exact_hits + near_hits + far_hits; }
   /// Any-level hits over lookups (0 before the first lookup).
@@ -188,6 +258,8 @@ struct CacheStats {
   double exact_hit_ratio() const;
   /// Mean step fraction over non-exact lookups (1.0 before any).
   double mean_step_fraction() const;
+  /// Mean LSH buckets probed per lookup (0 for unindexed caches).
+  double mean_probed_cells() const;
 };
 
 /// Result of one admission-time probe.
@@ -239,6 +311,13 @@ class ApproxCache {
   /// and capacity at construction).
   bool indexed() const { return indexed_; }
 
+  /// Cached prompt ids in internal storage order. Two caches fed the same
+  /// operation sequence evolve identical entry vectors iff they evict the
+  /// same victims in the same order, so equality here pins the victim
+  /// sequence byte-for-byte (exposed for the heap-vs-scan and
+  /// LSH-vs-scan equivalence tests).
+  std::vector<quality::QueryId> cached_prompts() const;
+
   /// Distance between two keys under the configured metric (exposed for
   /// tests and threshold calibration). A degenerate (near-zero-norm)
   /// vector under the cosine metric is similar to nothing: +infinity.
@@ -267,6 +346,10 @@ class ApproxCache {
     std::uint64_t hits = 0;
     double last_used = 0.0;
     std::uint64_t order = 0;  ///< insertion sequence (deterministic ties)
+    /// Stamp of the entry's newest (score, version) pair in the lazy
+    /// eviction heap; older pairs for this entry (or for an evicted
+    /// incarnation of its prompt) are stale and skipped on pop.
+    std::uint64_t version = 0;
     /// Per-table LSH bucket hashes (filled only when the index is active).
     std::vector<std::uint64_t> codes;
     /// Scratch marker of the last lookup that computed this entry's
@@ -288,6 +371,28 @@ class ApproxCache {
   std::size_t nearest(const std::vector<double>& key, double& best_d);
   std::size_t nearest_scan(const std::vector<double>& key, double& best_d);
   std::size_t nearest_lsh(const std::vector<double>& key, double& best_d);
+  /// The query-directed probe expansion of nearest_lsh (instantiated only
+  /// there): calls `probe(table, code)` for every cell the budget and the
+  /// expected-recall bound admit.
+  template <typename ProbeFn>
+  void nearest_lsh_adaptive(const std::vector<double>& key, ProbeFn&& probe);
+
+  /// A candidate probe set of the adaptive expansion: a bitmask over the
+  /// cost-sorted perturbation array (at most 2*32 = 64 perturbations, so
+  /// one word always fits) plus the highest set index — a 24-byte POD,
+  /// so frontier churn allocates nothing.
+  struct ProbeSet {
+    double cost = 0.0;
+    std::uint64_t mask = 0;
+    std::uint8_t last = 0;
+  };
+  /// Min-order for the expansion frontier: cheapest set first, exact
+  /// cost ties broken on the smaller mask (any fixed order keeps the
+  /// expansion deterministic).
+  static bool probe_set_after(const ProbeSet& a, const ProbeSet& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.mask > b.mask;
+  }
 
   /// Entry index for a prompt, or npos.
   std::size_t find_prompt(quality::QueryId prompt) const;
@@ -297,12 +402,42 @@ class ApproxCache {
   std::size_t upsert_entry(quality::QueryId prompt,
                            const std::vector<double>& key, double now);
   void evict_one();
+  /// Victim index under the reference O(N) scan.
+  std::size_t victim_scan() const;
+  /// Victim index under the lazy heap (pops stale pairs on the way).
+  std::size_t victim_heap();
+
+  // --- lazy eviction heap ---------------------------------------------------
+  /// One pushed (score, version) pair. Identified by prompt (stable
+  /// across the entry vector's swap-removes); `order` breaks score ties
+  /// exactly like the scan does.
+  struct HeapItem {
+    double score = 0.0;
+    std::uint64_t order = 0;
+    std::uint64_t version = 0;
+    quality::QueryId prompt = 0;
+  };
+  /// Min-heap order over (score, order) — `a` sorts after `b`. The same
+  /// lexicographic minimum the scan's strict-<-with-order-tie-break finds.
+  static bool heap_after(const HeapItem& a, const HeapItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.order > b.order;
+  }
+  /// Re-stamp the entry's version and push its current score; compacts
+  /// the heap when stale pairs outnumber live entries. No-op under
+  /// EvictionKind::kScan.
+  void heap_touch(Entry& e);
+  /// Rebuild the heap from the live entries, shedding stale pairs.
+  void heap_compact();
 
   // --- LSH index maintenance ------------------------------------------------
   void ensure_planes(std::size_t dim);
-  /// Quantized projection cells of `key` under table `table`.
+  /// Quantized projection cells of `key` under table `table`. With
+  /// `fracs`, also the key's fractional position inside each cell in
+  /// [0, 1) (0 = lower boundary) — what query-directed probing ranks
+  /// neighbour cells by.
   void cells_of(std::size_t table, const std::vector<double>& key,
-                std::int64_t* cells) const;
+                std::int64_t* cells, double* fracs = nullptr) const;
   /// Bucket hash of a table's cell vector.
   std::uint64_t hash_cells(std::size_t table, const std::int64_t* cells) const;
   std::uint64_t code_of(std::size_t table, const std::vector<double>& key) const;
@@ -332,6 +467,22 @@ class ApproxCache {
   std::uint64_t next_order_ = 0;
   /// Monotone lookup counter backing Entry::visit_epoch.
   std::uint64_t lookup_epoch_ = 0;
+  /// Lazy eviction min-heap over (score, order), std::*_heap-managed.
+  std::vector<HeapItem> heap_;
+  /// Monotone stamp backing Entry::version / HeapItem::version.
+  std::uint64_t next_version_ = 0;
+  /// Smoothed candidates-per-probed-cell yield the adaptive probe budget
+  /// divides by (updated per indexed lookup; deterministic).
+  double probe_yield_ewma_ = 1.0;
+  /// Adaptive-probe frontier scratch (reused across lookups so the hot
+  /// path never allocates).
+  std::vector<ProbeSet> probe_frontier_;
+  /// Per-table expected-recall target: 1 - (1 - lsh_target_recall)^(1/T).
+  double table_recall_target_ = 1.0;
+  /// Projection-space span of far_distance (the chord for cosine): the
+  /// scale of the neighbour-shift model adaptive probing estimates
+  /// recall with.
+  double far_span_ = 0.0;
 };
 
 }  // namespace diffserve::cache

@@ -123,6 +123,8 @@ ExperimentResult run_experiment(const CascadeEnvironment& env,
   const auto cache_stats = system.engine().cache_stats();
   r.cache_hit_ratio = cache_stats.hit_ratio();
   r.cache_exact_hit_ratio = cache_stats.exact_hit_ratio();
+  r.cache_mean_probed_cells = cache_stats.mean_probed_cells();
+  r.cache_heap_compactions = cache_stats.heap_compactions;
   r.overall_fid = sink.completed() >= 2 ? sink.overall_fid() : -1.0;
   r.timeline = sink.timeline(cfg.timeline_window);
   r.control_history = controller.history();

@@ -75,6 +75,10 @@ struct ExperimentResult {
   /// Prompt-reuse cache probe ratios (0 when the cache is disabled).
   double cache_hit_ratio = 0.0;
   double cache_exact_hit_ratio = 0.0;
+  /// Cache maintenance depth: mean LSH buckets probed per lookup (0 when
+  /// unindexed) and lazy-eviction-heap compactions over the run.
+  double cache_mean_probed_cells = 0.0;
+  std::uint64_t cache_heap_compactions = 0;
   std::vector<engine::MetricsSink::TimelinePoint> timeline;
   std::vector<control::Controller::Snapshot> control_history;
 };

@@ -23,6 +23,13 @@
 // completion, batching timers) re-enter through guarded wrappers. The
 // latency accessors and tier/config getters read immutable state and need
 // no guard.
+//
+// Determinism contract: the engine itself holds no randomness — routing,
+// deferral, batching, and every cache interaction (probe, insert, evict)
+// are pure functions of the submitted query sequence and the backend
+// clock. Two backends that deliver the same arrivals at the same trace
+// times produce identical serving decisions, which is what the
+// DES-vs-threaded parity suites pin.
 #pragma once
 
 #include <cstdint>

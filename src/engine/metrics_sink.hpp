@@ -6,7 +6,13 @@
 // quality (FID of the served distribution vs. the real reference) and the
 // SLO violation ratio ("queries that fail to meet the SLO latency
 // requirement or are preemptively dropped", §4.1) — both overall and as
-// time series for the Figure 5/8 timelines.
+// time series for the Figure 5/8 timelines. Also the per-hit-level
+// completion counts and cache-path latency the cache suites assert on.
+//
+// Determinism requirement: aggregation is a pure fold over the terminal
+// event sequence (per-query records are kept for the invariant suites),
+// so identical event sequences give identical metrics on every backend;
+// the engine feeds it monotone timestamps even on wall-clock backends.
 #pragma once
 
 #include <array>

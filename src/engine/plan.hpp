@@ -1,5 +1,18 @@
 // The controller's output and the engine's static configuration — shared
 // by every execution backend.
+//
+// AllocationPlan is what one §3.3 control decision materializes to:
+// per-stage worker and batch-size vectors plus one confidence threshold
+// per cascade boundary (the `light_*()`/`heavy_*()` accessors alias the
+// first/last stage for two-stage callers). EngineConfig is everything the
+// engine is constructed with — SLO, reserve factor, launch slack, the
+// prompt-popularity mix, and the embedded cache::CacheConfig.
+//
+// Determinism requirement: both are plain value types with no hidden
+// state; applying the same plan to engines holding the same state must
+// reconfigure them identically on every backend (worker role assignment
+// is stable and order-deterministic), or the DES and threaded runs
+// diverge.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,14 @@
 // Query lifecycle types shared across the serving data path. These are
 // backend-agnostic: the same Query travels through the discrete-event
 // simulator and the threaded testbed.
+//
+// A Query carries its admission-time cache verdict (hit level, donor,
+// step fraction, per-stage level mask) through the chain;
+// `step_fraction_at(stage)` is how batch execution scales per-stage work
+// for approx hits. Determinism requirement: everything here is plain
+// data derived from the admission decision — no field may depend on
+// wall-clock time or backend identity, so a query's journey is
+// replayable on any backend.
 #pragma once
 
 #include <cstdint>

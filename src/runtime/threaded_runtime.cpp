@@ -281,6 +281,8 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   const auto cache_stats = eng.cache_stats();
   r.cache_hit_ratio = cache_stats.hit_ratio();
   r.cache_exact_hit_ratio = cache_stats.exact_hit_ratio();
+  r.cache_mean_probed_cells = cache_stats.mean_probed_cells();
+  r.cache_heap_compactions = cache_stats.heap_compactions;
   r.violation_ratio = sink.violation_ratio();
   r.mean_latency = sink.mean_latency();
   r.light_served_fraction = sink.light_served_fraction();
