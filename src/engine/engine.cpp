@@ -23,6 +23,7 @@ CascadeEngine::CascadeEngine(
       rng_(cfg.seed),
       prompt_sampler_(workload.size(), cfg.prompt_mix) {
   DS_REQUIRE(cfg_.total_workers >= 1, "need at least one worker");
+  sink_.set_record_terminal_events(cfg_.record_terminal_events);
   cascade_.normalize();
   chain_ = cascade_.chain;
   disc_models_ = cascade_.discriminators;
@@ -204,7 +205,8 @@ std::vector<Query> CascadeEngine::configure_locked(WorkerSlot& w, int stage) {
     // Queued work targeted the old model/stage; hand it back for
     // re-routing.
     evicted.reserve(w.queue.size());
-    for (auto& e : w.queue) evicted.push_back(std::move(e.query));
+    for (std::size_t k = 0; k < w.queue.size(); ++k)
+      evicted.push_back(std::move(w.queue[k].query));
     w.queue.clear();
     disarm_timer_locked(w);
   }
@@ -395,7 +397,8 @@ void CascadeEngine::maybe_start_batch_locked(std::size_t i) {
   const double exec = exec_seconds(w);
   double tightest = w.queue.front().query.stage_deadline;
   double oldest = w.queue.front().at;
-  for (const auto& e : w.queue) {
+  for (std::size_t k = 0; k < w.queue.size(); ++k) {
+    const Enqueued& e = w.queue[k];
     tightest = std::min(tightest, e.query.stage_deadline);
     oldest = std::min(oldest, e.at);
   }
@@ -452,17 +455,25 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
   //            refilled from the queue before the next round, exactly as
   //            the one-pass fill loop freed slots for queued queries.
   //            Each round drops someone, so the rounds are bounded.
+  //
+  // Victim removal is a bitmask (drop_mask_), not an erase: dropping marks
+  // the member and later scans skip it, so rounds shift no Query objects
+  // and the selection sequence — hence every serving decision — is
+  // identical to the erase formulation (stable member order, refills
+  // append at the end either way).
   double min_fraction = 1.0;
   if (cache_ != nullptr)
-    for (const auto& e : w.queue)
-      min_fraction = std::min(min_fraction, e.query.step_fraction_at(stage));
+    for (std::size_t k = 0; k < w.queue.size(); ++k)
+      min_fraction =
+          std::min(min_fraction, w.queue[k].query.step_fraction_at(stage));
   const double optimistic_done_at = now + exec * min_fraction;
 
-  std::vector<Query> batch;
-  batch.reserve(static_cast<std::size_t>(b));
+  std::vector<Query> batch = acquire_batch_locked(static_cast<std::size_t>(b));
+  drop_mask_.clear();
+  std::size_t alive = 0;
   double run_exec = exec;
   for (;;) {
-    while (!w.queue.empty() && static_cast<int>(batch.size()) < b) {
+    while (!w.queue.empty() && alive < static_cast<std::size_t>(b)) {
       Query q = std::move(w.queue.front().query);
       w.queue.pop_front();
       if (optimistic_done_at > q.stage_deadline) {
@@ -471,28 +482,46 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
         continue;
       }
       batch.push_back(std::move(q));
+      drop_mask_.push_back(0);
+      ++alive;
     }
-    if (cache_ == nullptr || batch.empty()) break;
+    if (cache_ == nullptr || alive == 0) break;
     double fraction_sum = 0.0;
-    for (const auto& q : batch) fraction_sum += q.step_fraction_at(stage);
-    run_exec = exec * fraction_sum / static_cast<double>(batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k)
+      if (!drop_mask_[k]) fraction_sum += batch[k].step_fraction_at(stage);
+    run_exec = exec * fraction_sum / static_cast<double>(alive);
     const double done_at = now + run_exec;
-    auto victim = batch.end();
-    for (auto it = batch.begin(); it != batch.end(); ++it) {
-      if (done_at > it->stage_deadline &&
-          (victim == batch.end() ||
-           it->step_fraction_at(stage) > victim->step_fraction_at(stage)))
-        victim = it;
+    std::size_t victim = batch.size();
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      if (drop_mask_[k]) continue;
+      if (done_at > batch[k].stage_deadline &&
+          (victim == batch.size() ||
+           batch[k].step_fraction_at(stage) >
+               batch[victim].step_fraction_at(stage)))
+        victim = k;
     }
-    if (victim == batch.end()) break;
+    if (victim == batch.size()) break;
     ++w.dropped;
-    sink_.drop(*victim, now);
-    batch.erase(victim);
+    sink_.drop(batch[victim], now);
+    drop_mask_[victim] = 1;
+    --alive;
   }
-  if (batch.empty()) {
+  if (alive == 0) {
+    recycle_batch_locked(std::move(batch));
     // Everything at the head was overdue; try again with what remains.
     if (!w.queue.empty()) maybe_start_batch_locked(i);
     return;
+  }
+  if (alive != batch.size()) {
+    // Compact the survivors (stable) so the execute closure carries only
+    // live members.
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      if (drop_mask_[k]) continue;
+      if (out != k) batch[out] = std::move(batch[k]);
+      ++out;
+    }
+    batch.resize(out);
   }
 
   w.busy = true;
@@ -533,15 +562,12 @@ void CascadeEngine::finish_batch_locked(std::size_t i,
     }
   } else {
     // Cascade: score the stage's image with the boundary discriminator.
-    const discriminator::Discriminator* disc = discs_[stage];
-    DS_CHECK(disc != nullptr, "cascade boundary requires a discriminator");
     const double threshold = plan_.thresholds[stage];
     for (auto& q : batch) {
       // Score the image the stage actually produced: for an approx cache
       // hit that is the donor's image plus reuse noise, so a degraded
       // reuse naturally scores lower and defers down the chain.
-      const auto feature = served_image_feature(workload_, q, served_tier);
-      q.confidence = disc->confidence(feature);
+      q.confidence = scoring_confidence_locked(q, stage, served_tier);
       q.image_tier = served_tier;
       q.image_stage = static_cast<int>(stage);
       if (confidence_observer_) confidence_observer_(stage, q.confidence);
@@ -565,7 +591,50 @@ void CascadeEngine::finish_batch_locked(std::size_t i,
       }
     }
   }
+  // The closure's vector is done; recycle its storage before the next
+  // batch forms so it can be reused immediately.
+  recycle_batch_locked(std::move(batch));
   maybe_start_batch_locked(i);
+}
+
+double CascadeEngine::scoring_confidence_locked(const Query& q,
+                                                std::size_t stage, int tier) {
+  const discriminator::Discriminator* disc = discs_[stage];
+  DS_CHECK(disc != nullptr, "cascade boundary requires a discriminator");
+  if (q.cache_hit == cache::HitLevel::kMiss) {
+    // generated_feature reseeds its RNG stream from (prompt, tier) on
+    // every call — a pure function — and the discriminator is stateless,
+    // so the memoized score is bit-identical to a fresh forward pass.
+    const std::uint64_t key = (static_cast<std::uint64_t>(q.prompt_id) << 16) |
+                              (static_cast<std::uint64_t>(stage & 0xFF) << 8) |
+                              static_cast<std::uint64_t>(tier & 0xFF);
+    auto it = miss_confidence_memo_.find(key);
+    if (it == miss_confidence_memo_.end())
+      it = miss_confidence_memo_
+               .emplace(key, disc->confidence(workload_.generated_feature(
+                                 q.prompt_id, tier)))
+               .first;
+    return it->second;
+  }
+  return disc->confidence(served_image_feature(workload_, q, tier));
+}
+
+std::vector<Query> CascadeEngine::acquire_batch_locked(std::size_t reserve) {
+  std::vector<Query> batch;
+  if (!batch_pool_.empty()) {
+    batch = std::move(batch_pool_.back());
+    batch_pool_.pop_back();
+  }
+  batch.reserve(reserve);
+  return batch;
+}
+
+void CascadeEngine::recycle_batch_locked(std::vector<Query>&& batch) {
+  batch.clear();
+  // Bounded: one vector per plausible in-flight batch is plenty; beyond
+  // that, let the allocator have it back.
+  if (batch_pool_.size() < workers_.size() + 4)
+    batch_pool_.push_back(std::move(batch));
 }
 
 void CascadeEngine::complete_locked(const Query& q, int served_tier) {
@@ -623,6 +692,11 @@ std::size_t CascadeEngine::reconfigurations() const {
 double CascadeEngine::recent_violation_ratio() const {
   auto g = backend_.guard();
   return sink_.recent_violation_ratio(backend_.now());
+}
+
+void CascadeEngine::sink_reserve(std::size_t expected_terminals) {
+  auto g = backend_.guard();
+  sink_.reserve(expected_terminals);
 }
 
 cache::CacheStats CascadeEngine::cache_stats() const {

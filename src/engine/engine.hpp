@@ -33,10 +33,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/approx_cache.hpp"
@@ -50,6 +50,7 @@
 #include "quality/workload.hpp"
 #include "stats/window.hpp"
 #include "trace/prompt_mix.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 
 namespace diffserve::engine {
@@ -144,6 +145,9 @@ class CascadeEngine {
   /// has quiesced (post-run), or through recent_violation_ratio() live.
   MetricsSink& sink() { return sink_; }
   const MetricsSink& sink() const { return sink_; }
+  /// Guarded pass-through to MetricsSink::reserve — callers that know the
+  /// arrival count up front pre-size the terminal-record log.
+  void sink_reserve(std::size_t expected_terminals);
 
   // --- worker introspection (tests, benches) -----------------------------
   std::size_t worker_count() const { return workers_.size(); }
@@ -183,7 +187,10 @@ class CascadeEngine {
     int batch_size = 1;
     int quality_tier = 0;
 
-    std::deque<Enqueued> queue;
+    /// Growable ring, not std::deque: slots (and the flat Query payloads
+    /// in them) are recycled in place, so steady-state enqueue/dequeue is
+    /// allocation-free once the ring reaches its high-water mark.
+    util::RingDeque<Enqueued> queue;
     bool busy = false;
     double ready_at = 0.0;  ///< model-load completion time
     TimerHandle timer{};
@@ -219,6 +226,21 @@ class CascadeEngine {
   std::vector<Query> configure_locked(WorkerSlot& w, int stage);
   double exec_seconds(const WorkerSlot& w) const;
   PoolStats pool_stats_locked(int stage) const;
+  /// Batch-vector pool: start_batch_locked draws here, finish_batch_locked
+  /// returns the (cleared) vector, so steady-state batch formation touches
+  /// the allocator only until every in-flight depth has warmed a vector.
+  std::vector<Query> acquire_batch_locked(std::size_t reserve);
+  void recycle_batch_locked(std::vector<Query>&& batch);
+  /// Boundary-discriminator confidence for the image stage `stage` served
+  /// at `tier`. For cache misses (every query with the cache off) the
+  /// served feature — and therefore the discriminator's score — is a pure
+  /// function of (prompt, boundary, tier), so the whole MLP forward pass
+  /// collapses to one memo lookup after the first occurrence: same bytes,
+  /// none of the per-query RNG replay, vector allocation, or matrix
+  /// arithmetic. Cache-hit features depend on the donor and are computed
+  /// directly.
+  double scoring_confidence_locked(const Query& q, std::size_t stage,
+                                   int tier);
 
   ExecutionBackend& backend_;
   const quality::Workload& workload_;
@@ -241,6 +263,16 @@ class CascadeEngine {
   std::unique_ptr<cache::ApproxCache> cache_;
   std::vector<WorkerSlot> workers_;
   AllocationPlan plan_;
+  /// Recycled batch vectors (see acquire_batch_locked).
+  std::vector<std::vector<Query>> batch_pool_;
+  /// Frontier bitmask for start_batch_locked's two-pass drop selection:
+  /// a marked member is dropped without erasing (no mid-vector shifts);
+  /// scans walk the mask. Member scratch, reused across batches.
+  std::vector<std::uint8_t> drop_mask_;
+  /// Memoized cache-miss confidences keyed by (prompt << 16) |
+  /// (stage << 8) | tier (see scoring_confidence_locked). Guard-protected
+  /// like all engine state.
+  std::unordered_map<std::uint64_t, double> miss_confidence_memo_;
   /// Per-stage downstream reserve: SLO time kept for the rest of the chain
   /// (reserve of the final stage is 0).
   std::vector<double> reserve_;

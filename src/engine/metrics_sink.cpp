@@ -26,22 +26,28 @@ MetricsSink::MetricsSink(const quality::Workload& workload,
                          const quality::FidScorer& scorer)
     : workload_(workload), scorer_(scorer) {}
 
+void MetricsSink::reserve(std::size_t expected_terminals) {
+  if (record_terminal_events_) records_.reserve(expected_terminals);
+}
+
 void MetricsSink::complete(const Query& q, int served_tier,
                            double completion_time) {
   DS_REQUIRE(served_tier > 0, "completion needs a diffusion tier");
   const bool late = completion_time > q.deadline;
-  Record r;
-  r.seq = q.seq;
-  r.time = completion_time;
-  r.latency = completion_time - q.arrival_time;
-  r.violated = late;
-  r.dropped = false;
-  r.tier = served_tier;
-  r.stage = q.stage;
-  r.deferrals = q.deferrals;
-  r.hit_level = q.cache_hit;
-  r.feature = served_image_feature(workload_, q, served_tier);
-  records_.push_back(std::move(r));
+  if (record_terminal_events_) {
+    Record r;
+    r.seq = q.seq;
+    r.time = completion_time;
+    r.latency = completion_time - q.arrival_time;
+    r.violated = late;
+    r.dropped = false;
+    r.tier = served_tier;
+    r.stage = q.stage;
+    r.deferrals = q.deferrals;
+    r.hit_level = q.cache_hit;
+    r.feature = served_image_feature(workload_, q, served_tier);
+    records_.push_back(std::move(r));
+  }
   ++n_completed_;
   if (late) ++n_late_;
   ++hit_level_counts_[static_cast<std::size_t>(q.cache_hit)];
@@ -67,17 +73,19 @@ void MetricsSink::complete(const Query& q, int served_tier,
 }
 
 void MetricsSink::drop(const Query& q, double drop_time) {
-  Record r;
-  r.seq = q.seq;
-  r.time = drop_time;
-  r.latency = -1.0;
-  r.violated = true;
-  r.dropped = true;
-  r.tier = -1;
-  r.stage = q.stage;
-  r.deferrals = q.deferrals;
-  r.hit_level = q.cache_hit;
-  records_.push_back(std::move(r));
+  if (record_terminal_events_) {
+    Record r;
+    r.seq = q.seq;
+    r.time = drop_time;
+    r.latency = -1.0;
+    r.violated = true;
+    r.dropped = true;
+    r.tier = -1;
+    r.stage = q.stage;
+    r.deferrals = q.deferrals;
+    r.hit_level = q.cache_hit;
+    records_.push_back(std::move(r));
+  }
   ++n_dropped_;
   recent_.record(drop_time, true);
 }
@@ -140,6 +148,8 @@ double MetricsSink::mean_cache_latency() const {
 }
 
 double MetricsSink::overall_fid() const {
+  DS_REQUIRE(record_terminal_events_,
+             "overall_fid needs per-query records (fast mode is on)");
   linalg::GaussianAccumulator acc(scorer_.feature_dim());
   for (const auto& r : records_)
     if (!r.feature.empty()) acc.add(r.feature);
@@ -150,6 +160,8 @@ double MetricsSink::overall_fid() const {
 std::vector<MetricsSink::TimelinePoint> MetricsSink::timeline(
     double window_seconds, std::size_t min_fid_samples) const {
   DS_REQUIRE(window_seconds > 0.0, "window must be positive");
+  DS_REQUIRE(record_terminal_events_,
+             "timeline needs per-query records (fast mode is on)");
   std::vector<Record const*> sorted;
   sorted.reserve(records_.size());
   for (const auto& r : records_) sorted.push_back(&r);

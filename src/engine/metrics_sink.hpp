@@ -46,6 +46,17 @@ class MetricsSink {
   /// A query was preemptively dropped (no image).
   void drop(const Query& q, double drop_time);
 
+  /// Fast mode: `false` skips the per-query terminal Record (and the
+  /// served-image feature materialization it requires) while keeping every
+  /// counter and latency aggregate exact. overall_fid() and timeline()
+  /// need the records and must not be called in fast mode. Throughput
+  /// benches run fast; the invariant suites keep recording on (default).
+  void set_record_terminal_events(bool on) { record_terminal_events_ = on; }
+  bool record_terminal_events() const { return record_terminal_events_; }
+  /// Pre-size the record log from the expected arrival count so a long run
+  /// never reallocates it mid-measurement. No-op in fast mode.
+  void reserve(std::size_t expected_terminals);
+
   std::size_t completed() const { return n_completed_; }
   std::size_t dropped() const { return n_dropped_; }
   std::size_t total() const { return n_completed_ + n_dropped_; }
@@ -115,6 +126,7 @@ class MetricsSink {
  private:
   const quality::Workload& workload_;
   const quality::FidScorer& scorer_;
+  bool record_terminal_events_ = true;
   std::vector<Record> records_;
   std::size_t n_completed_ = 0;
   std::size_t n_dropped_ = 0;

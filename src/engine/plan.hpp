@@ -97,6 +97,10 @@ struct EngineConfig {
   /// timer lateness.
   double launch_slack_seconds = 0.0;
   std::uint64_t seed = 1;
+  /// Forwarded to the MetricsSink: false skips per-query terminal records
+  /// (throughput-bench fast mode). Serving decisions are unaffected — the
+  /// sink is strictly downstream of routing, batching, and deferral.
+  bool record_terminal_events = true;
   /// Approximate prompt-reuse cache probed at admission. Disabled by
   /// default; engine behaviour with `cache.enabled == false` is
   /// byte-identical to a build without the cache subsystem.

@@ -9,10 +9,34 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
 namespace diffserve::runtime {
 
-ThreadedBackend::ThreadedBackend(const util::TraceClock& clock, int workers)
-    : clock_(clock) {
+namespace {
+
+void maybe_pin_to_cpu(int index) {
+#ifdef __linux__
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n <= 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(index % n), &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+ThreadedBackend::ThreadedBackend(const util::TraceClock& clock, int workers,
+                                 bool pin_executors)
+    : clock_(clock), pin_executors_(pin_executors) {
   executors_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
     executors_.push_back(std::make_unique<Executor>());
@@ -23,8 +47,12 @@ ThreadedBackend::~ThreadedBackend() { stop(); }
 void ThreadedBackend::start() {
   timer_thread_ = std::thread([this] { timer_main(); });
   control_thread_ = std::thread([this] { control_main(); });
-  for (auto& ex : executors_)
-    ex->thread = std::thread([this, e = ex.get()] { executor_main(*e); });
+  int index = 0;
+  for (auto& ex : executors_) {
+    ex->thread =
+        std::thread([this, e = ex.get(), index] { executor_main(*e, index); });
+    ++index;
+  }
 }
 
 void ThreadedBackend::stop() {
@@ -38,39 +66,32 @@ void ThreadedBackend::stop() {
   // executor has work and no timer callback is running, nothing can
   // dispatch anymore: due timers that have not fired are held back by the
   // stop flag and their queries stay queued (observable, not lost).
-  // Bounded so a wedged pipeline cannot hang shutdown.
+  // Busy flags are raised *before* the corresponding ring pop, so a job
+  // can never vanish from a ring without this loop seeing the thread as
+  // in-flight. Bounded so a wedged pipeline cannot hang shutdown.
   const auto quiesce_deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(2);
   for (;;) {
     bool active = timer_busy_.load();
-    {
-      // Queue emptiness and control_busy_ are checked under the same
-      // lock the control thread holds while popping a job and raising
-      // busy, so a job can never vanish from the queue without the
-      // quiesce seeing it as in-flight.
-      std::lock_guard<std::mutex> lk(control_mu_);
-      active = active || control_busy_.load() || !control_jobs_.empty();
-    }
-    for (auto& ex : executors_) {
-      std::lock_guard<std::mutex> lk(ex->mu);
-      active = active || ex->has_job || ex->busy;
-    }
+    active = active || control_busy_.load() || !control_jobs_.empty();
+    for (auto& ex : executors_)
+      active = active || ex->busy.load() || !ex->ring.empty();
     if (!active || std::chrono::steady_clock::now() > quiesce_deadline)
       break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   if (stop_.exchange(true)) return;
   {
-    std::lock_guard<std::mutex> lk(timer_mu_);
-    timer_cv_.notify_all();
+    std::lock_guard<std::mutex> lk(timer_park_mu_);
+    timer_park_cv_.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lk(control_mu_);
-    control_cv_.notify_all();
+    std::lock_guard<std::mutex> lk(control_park_mu_);
+    control_park_cv_.notify_all();
   }
   for (auto& ex : executors_) {
-    std::lock_guard<std::mutex> lk(ex->mu);
-    ex->cv.notify_all();
+    std::lock_guard<std::mutex> lk(ex->park_mu);
+    ex->park_cv.notify_all();
   }
   if (timer_thread_.joinable()) timer_thread_.join();
   if (control_thread_.joinable()) control_thread_.join();
@@ -80,126 +101,157 @@ void ThreadedBackend::stop() {
 
 engine::TimerHandle ThreadedBackend::defer(double delay_seconds,
                                            std::function<void()> fn) {
-  std::lock_guard<std::mutex> lk(timer_mu_);
-  const std::uint64_t id = next_id_++;
-  heap_.push({clock_.now() + std::max(delay_seconds, 0.0), id});
-  fns_[id] = std::move(fn);
-  timer_cv_.notify_one();
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  TimerMsg m;
+  m.id = id;
+  m.at = clock_.now() + std::max(delay_seconds, 0.0);
+  m.fn = std::move(fn);
+  timer_inbox_.push(std::move(m));
+  // Unlocked notify: a lost wakeup costs at most one capped parking
+  // interval (the timer thread never sleeps longer than 2 ms wall).
+  timer_park_cv_.notify_one();
   return {id};
 }
 
 bool ThreadedBackend::cancel(engine::TimerHandle h) {
-  std::lock_guard<std::mutex> lk(timer_mu_);
-  return fns_.erase(h.id) > 0;
+  TimerMsg m;
+  m.id = h.id;  // fn == nullptr marks a cancel
+  timer_inbox_.push(std::move(m));
+  // Optimistic: the ExecutionBackend contract already requires callers to
+  // tolerate a cancelled callback that was concurrently in flight (the
+  // engine stamps timer epochs), so "will be cancelled when the message
+  // drains" is as good as "was cancelled".
+  return true;
 }
 
 void ThreadedBackend::execute(int worker_id, double exec_seconds,
                               std::function<void()> done) {
-  Executor& ex = *executors_[static_cast<std::size_t>(worker_id)];
-  std::lock_guard<std::mutex> lk(ex.mu);
   // Unreachable after a clean quiesce (nothing can dispatch once stop_ is
   // set); only the bounded quiesce-timeout escape path for a wedged
   // pipeline lands here, where the executor may already be gone.
   if (stop_.load()) return;
-  DS_CHECK(!ex.has_job, "worker already executing");
+  Executor& ex = *executors_[static_cast<std::size_t>(worker_id)];
+  ExecJob job;
   // Absolute due time, stamped at dispatch: the executor sleeps *until*
   // it rather than *for* the latency, so hand-off latency does not
   // accumulate into batch lateness (which the engine would count as
   // SLO violations).
-  ex.due = clock_.now() + exec_seconds;
-  ex.done = std::move(done);
-  ex.has_job = true;
-  ex.cv.notify_one();
+  job.due = clock_.now() + exec_seconds;
+  job.done = std::move(done);
+  // The engine never dispatches to a worker it believes busy, so the ring
+  // holds at most one job per completion cycle; a full ring means that
+  // invariant broke upstream.
+  DS_CHECK(ex.ring.try_push(std::move(job)), "worker job ring full");
+  ex.park_cv.notify_one();  // unlocked; capped park bounds any lost wakeup
 }
 
 void ThreadedBackend::offload(std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lk(control_mu_);
-    if (stop_.load()) return;  // shutting down; the tick is moot
-    control_jobs_.push_back(std::move(fn));
-  }
-  control_cv_.notify_one();
+  if (stop_.load()) return;  // shutting down; the tick is moot
+  control_jobs_.push(std::move(fn));
+  control_park_cv_.notify_one();
 }
 
 void ThreadedBackend::control_main() {
   for (;;) {
+    // Raised before the pop so stop()'s quiesce can never observe
+    // "control idle" between extraction and invocation.
+    control_busy_.store(true);
     std::function<void()> job;
-    {
-      std::unique_lock<std::mutex> lk(control_mu_);
-      control_cv_.wait(
-          lk, [&] { return stop_.load() || !control_jobs_.empty(); });
-      // Drain queued jobs even while stopping: a job may have been
-      // accepted a moment before the stop flag was raised.
-      if (control_jobs_.empty()) return;
-      job = std::move(control_jobs_.front());
-      control_jobs_.pop_front();
-      // Raised while control_mu_ is held so stop()'s quiesce can never
-      // observe "control idle" between extraction and invocation.
-      control_busy_.store(true);
+    if (control_jobs_.try_pop(job)) {
+      job();  // acquires the engine guard internally
+      control_busy_.store(false);
+      continue;
     }
-    job();  // acquires the engine guard internally
     control_busy_.store(false);
+    // Drain queued jobs even while stopping: a job may have been accepted
+    // a moment before the stop flag was raised (checked after the pop
+    // attempt above came up empty).
+    if (stop_.load()) return;
+    std::unique_lock<std::mutex> lk(control_park_mu_);
+    control_park_cv_.wait_for(lk, std::chrono::milliseconds(2), [&] {
+      return stop_.load() || !control_jobs_.empty();
+    });
   }
 }
 
 void ThreadedBackend::timer_main() {
+  // The heap and callback map are thread-local to the timer loop; the rest
+  // of the system only ever touches the inbox ring.
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerCompare> heap;
+  std::unordered_map<std::uint64_t, std::function<void()>> fns;
   for (;;) {
-    std::function<void()> fn;
-    {
-      std::unique_lock<std::mutex> lk(timer_mu_);
-      for (;;) {
-        if (stop_.load()) return;
-        // Cancelled entries stay in the heap; skip them here.
-        while (!heap_.empty() && fns_.find(heap_.top().id) == fns_.end())
-          heap_.pop();
-        if (heap_.empty()) {
-          timer_cv_.wait_for(lk, std::chrono::milliseconds(2));
-          continue;
-        }
-        const double due = heap_.top().at;
-        const double now = clock_.now();
-        if (due <= now) {
-          const std::uint64_t id = heap_.top().id;
-          heap_.pop();
-          auto it = fns_.find(id);
-          fn = std::move(it->second);
-          fns_.erase(it);
-          // Raised while timer_mu_ is still held so stop()'s quiesce can
-          // never observe "timer idle" between extraction and invocation.
-          timer_busy_.store(true);
-          break;
-        }
-        // Wake at the due time, capped so stop/new-timer are noticed.
-        timer_cv_.wait_for(
-            lk, std::min<std::chrono::duration<double>>(
-                    clock_.wall_duration(due - now),
-                    std::chrono::milliseconds(2)));
+    TimerMsg m;
+    while (timer_inbox_.try_pop(m)) {
+      if (m.fn) {
+        heap.push({m.at, m.id});
+        fns[m.id] = std::move(m.fn);
+      } else {
+        fns.erase(m.id);  // heap entry becomes a tombstone, skipped below
       }
     }
-    fn();  // acquires the engine guard internally
-    timer_busy_.store(false);
+    if (stop_.load()) return;
+    while (!heap.empty() && fns.find(heap.top().id) == fns.end()) heap.pop();
+    if (heap.empty()) {
+      std::unique_lock<std::mutex> lk(timer_park_mu_);
+      timer_park_cv_.wait_for(lk, std::chrono::milliseconds(2));
+      continue;
+    }
+    const double due = heap.top().at;
+    const double now = clock_.now();
+    if (due <= now) {
+      const std::uint64_t id = heap.top().id;
+      heap.pop();
+      auto it = fns.find(id);
+      std::function<void()> fn = std::move(it->second);
+      fns.erase(it);
+      // Raised before invocation so stop()'s quiesce sees the callback as
+      // in flight (it may be about to dispatch a batch).
+      timer_busy_.store(true);
+      fn();  // acquires the engine guard internally
+      timer_busy_.store(false);
+      continue;
+    }
+    // Park until the due time, capped so stop/new-timer are noticed.
+    std::unique_lock<std::mutex> lk(timer_park_mu_);
+    timer_park_cv_.wait_for(lk, std::min<std::chrono::duration<double>>(
+                                    clock_.wall_duration(due - now),
+                                    std::chrono::milliseconds(2)));
   }
 }
 
-void ThreadedBackend::executor_main(Executor& ex) {
+void ThreadedBackend::executor_main(Executor& ex, int index) {
+  if (pin_executors_) maybe_pin_to_cpu(index);
   for (;;) {
-    std::function<void()> done;
-    double due = 0.0;
-    {
-      std::unique_lock<std::mutex> lk(ex.mu);
-      ex.cv.wait(lk, [&] { return ex.has_job || stop_.load(); });
-      if (!ex.has_job) return;  // stopping
-      due = ex.due;
-      done = std::move(ex.done);
-      ex.has_job = false;
-      ex.busy = true;
+    // busy is raised *before* the pop attempt: stop()'s quiesce checks
+    // `ring.empty() && !busy`, and this ordering guarantees a popped job
+    // is never invisible to it.
+    ex.busy.store(true);
+    ExecJob job;
+    if (ex.ring.try_pop(job)) {
+      clock_.sleep_until(job.due);
+      job.done();  // acquires the engine guard internally
+      ex.busy.store(false);
+      continue;
     }
-    clock_.sleep_until(due);
-    done();  // acquires the engine guard internally
-    {
-      std::lock_guard<std::mutex> lk(ex.mu);
-      ex.busy = false;
+    ex.busy.store(false);
+    if (stop_.load()) return;  // ring drained; jobs-before-stop already ran
+    // Spin briefly before parking: under flood the next batch lands within
+    // microseconds, and a condition-variable round-trip would dominate the
+    // per-batch cost the ring exists to remove.
+    bool got = false;
+    for (int spin = 0; spin < 2048; ++spin) {
+      if (!ex.ring.empty()) {
+        got = true;
+        break;
+      }
+      if (stop_.load()) break;
+      if ((spin & 63) == 63) std::this_thread::yield();
     }
+    if (got) continue;
+    std::unique_lock<std::mutex> lk(ex.park_mu);
+    ex.park_cv.wait_for(lk, std::chrono::milliseconds(2), [&] {
+      return stop_.load() || !ex.ring.empty();
+    });
   }
 }
 
@@ -231,7 +283,7 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
       cfg.slo_seconds > 0.0 ? cfg.slo_seconds : env.default_slo();
 
   util::TraceClock clock(cfg.time_scale);
-  ThreadedBackend backend(clock, cfg.total_workers);
+  ThreadedBackend backend(clock, cfg.total_workers, cfg.pin_executors);
 
   engine::EngineConfig ecfg;
   ecfg.total_workers = cfg.total_workers;
@@ -241,6 +293,7 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   // Wall-clock timer jitter scales with the time compression; absorb it so
   // deadline-boundary batches launch in time (the DES needs no slack).
   ecfg.launch_slack_seconds = cfg.launch_slack_wall_seconds * cfg.time_scale;
+  ecfg.record_terminal_events = cfg.record_terminal_events;
   ecfg.cache = cfg.cache;
   ecfg.prompt_mix = cfg.prompt_mix;
   engine::CascadeEngine eng(backend, env.workload(), env.repository(),
@@ -257,6 +310,7 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
 
   util::Rng rng(cfg.arrival_seed);
   const auto arrivals = trace::generate_arrivals(trace, rng, cfg.arrivals);
+  eng.sink_reserve(arrivals.size());
 
   backend.start();
   controller.start();

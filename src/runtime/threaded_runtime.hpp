@@ -12,6 +12,17 @@
 // (0.56% FID, 1.1% SLO difference in the paper) is reproduced by running
 // the same trace through both backends and diffing the results.
 //
+// Hot-path design: every cross-thread hand-off is a lock-free ring
+// (util/ring_buffer.hpp). Batch dispatch pushes onto a wait-free SPSC ring
+// owned by the target executor (producers are serialized by the engine
+// guard, so the single-producer contract holds); defer/cancel post
+// messages to the timer thread's MPSC inbox, so arming or cancelling a
+// batch timer never contends with the timer's own sleep bookkeeping; and
+// offloaded control work (allocator solves) goes through an MPSC ring with
+// a blocking overflow policy. Mutexes remain only in the parking protocol
+// (condition-variable waits with capped timeouts) and in the engine guard
+// itself — no data travels under them.
+//
 // ThreadedBackend is exported here (not hidden in the .cpp) so tests can
 // assemble custom engines over real threads — e.g. the randomized
 // cascade-chain invariant suite applies arbitrary plan sequences against
@@ -25,7 +36,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -41,6 +51,7 @@
 #include "trace/arrivals.hpp"
 #include "trace/prompt_mix.hpp"
 #include "trace/rate_trace.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/trace_clock.hpp"
 
 namespace diffserve::runtime {
@@ -50,10 +61,15 @@ namespace diffserve::runtime {
 /// worker sleeps for each batch's profiled latency, a dedicated control
 /// thread runs offloaded work (controller ticks with their allocator
 /// solves) so a slow solve never delays timer delivery, and the guard is
-/// a real mutex serializing all engine state.
+/// a real mutex serializing all engine state. All job hand-offs between
+/// those threads ride lock-free rings; see the header comment.
 class ThreadedBackend final : public engine::ExecutionBackend {
  public:
-  ThreadedBackend(const util::TraceClock& clock, int workers);
+  /// `pin_executors` pins each executor thread to a CPU (round-robin over
+  /// the online set, Linux only) so a flood benchmark measures queue
+  /// hand-off rather than scheduler migration.
+  ThreadedBackend(const util::TraceClock& clock, int workers,
+                  bool pin_executors = false);
   ~ThreadedBackend() override;
 
   void start();
@@ -65,9 +81,16 @@ class ThreadedBackend final : public engine::ExecutionBackend {
   std::unique_lock<std::mutex> guard() override {
     return std::unique_lock<std::mutex>(mu_);
   }
+  /// Lock-free: posts an arm message to the timer inbox.
   engine::TimerHandle defer(double delay_seconds,
                             std::function<void()> fn) override;
+  /// Lock-free: posts a cancel message. Best-effort per the backend
+  /// contract — a callback already extracted keeps running (the engine's
+  /// timer-epoch protocol makes such firings no-ops). Always returns true.
   bool cancel(engine::TimerHandle h) override;
+  /// Wait-free push onto the worker's SPSC job ring. Must be called under
+  /// the engine guard (that serialization is what makes the producer side
+  /// "single").
   void execute(int worker_id, double exec_seconds,
                std::function<void()> done) override;
   /// Enqueue `fn` on the control thread (never inline): long allocator
@@ -85,46 +108,60 @@ class ThreadedBackend final : public engine::ExecutionBackend {
       return a.at > b.at;  // min-heap on due time
     }
   };
-  struct Executor {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool has_job = false;
-    bool busy = false;  ///< picked up and sleeping/delivering (for stop())
-    double due = 0.0;   ///< absolute trace time the batch finishes
+  /// Arm (fn != nullptr) or cancel (fn == nullptr) message for the timer
+  /// thread, which owns the heap and callback map privately.
+  struct TimerMsg {
+    std::uint64_t id = 0;
+    double at = 0.0;
+    std::function<void()> fn;
+  };
+  struct ExecJob {
+    double due = 0.0;  ///< absolute trace time the batch finishes
     std::function<void()> done;
+  };
+  struct Executor {
+    util::SpscRing<ExecJob> ring{8};
+    /// True from just before a pop until the popped job's completion has
+    /// been delivered; stop()'s quiesce reads it (with the ring) to tell
+    /// "no work" from "work in flight".
+    std::atomic<bool> busy{false};
+    std::mutex park_mu;
+    std::condition_variable park_cv;
     std::thread thread;
   };
 
   void timer_main();
-  void executor_main(Executor& ex);
+  void executor_main(Executor& ex, int index);
   void control_main();
 
   const util::TraceClock& clock_;
+  const bool pin_executors_;
   std::mutex mu_;  ///< the engine guard
 
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerCompare>
-      heap_;
-  std::unordered_map<std::uint64_t, std::function<void()>> fns_;
-  std::uint64_t next_id_ = 1;
+  /// Timer plumbing: producers touch only inbox_/next_id_; the heap and
+  /// callback map live on the timer thread's stack frame.
+  util::MpscRing<TimerMsg> timer_inbox_{1024, util::OverflowPolicy::kBlock};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex timer_park_mu_;
+  std::condition_variable timer_park_cv_;
   std::thread timer_thread_;
 
   std::vector<std::unique_ptr<Executor>> executors_;
 
   /// Offloaded control work (see offload()).
-  std::mutex control_mu_;
-  std::condition_variable control_cv_;
-  std::deque<std::function<void()>> control_jobs_;
+  util::MpscRing<std::function<void()>> control_jobs_{
+      64, util::OverflowPolicy::kBlock};
+  std::mutex control_park_mu_;
+  std::condition_variable control_park_cv_;
   std::thread control_thread_;
-  /// True while the control thread is inside a job; stop()'s quiesce
-  /// waits on it like it does for the timer thread.
+  /// True while the control thread is inside a job (raised before the
+  /// pop); stop()'s quiesce waits on it like it does for the timer thread.
   std::atomic<bool> control_busy_{false};
 
   std::atomic<bool> stop_{false};
-  /// True while the timer thread is inside a callback (set under
-  /// timer_mu_ at extraction); stop()'s quiesce waits on it so a
-  /// mid-flight callback's batch dispatch is never discarded.
+  /// True while the timer thread is inside a callback (raised at
+  /// extraction); stop()'s quiesce waits on it so a mid-flight callback's
+  /// batch dispatch is never discarded.
   std::atomic<bool> timer_busy_{false};
 };
 
@@ -143,6 +180,11 @@ struct RuntimeConfig {
   /// seconds by time_scale) to absorb OS scheduling jitter.
   double launch_slack_wall_seconds = 0.004;
   std::uint64_t arrival_seed = 1;
+  /// Pin executor threads to CPUs (Linux; no-op elsewhere).
+  bool pin_executors = false;
+  /// Forwarded to the metrics sink: false skips per-query terminal
+  /// records (throughput-bench fast mode); aggregates stay exact.
+  bool record_terminal_events = true;
   trace::ArrivalConfig arrivals;
   /// Forwarded into the engine config: the approximate prompt-reuse cache
   /// and the prompt popularity model (defaults keep both off).

@@ -24,6 +24,9 @@ ServingSystem::ServingSystem(sim::Simulation& sim,
       engine_(backend_, workload, repo, cascade, disc, scorer, cfg) {}
 
 void ServingSystem::inject_arrivals(const std::vector<double>& times) {
+  // The arrival count bounds the terminal-event count; pre-sizing the
+  // sink's record log keeps it from reallocating mid-run.
+  engine_.sink_reserve(times.size());
   for (const double t : times)
     sim_.schedule_at(t, [this] { engine_.submit_next(); });
 }

@@ -1,16 +1,53 @@
 #include "sim/simulation.hpp"
 
-#include <memory>
+#include <algorithm>
 
 #include "util/check.hpp"
 
 namespace diffserve::sim {
 
+std::uint64_t Simulation::allocate_slot(EventFn fn, SimTime interval) {
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    generations_.push_back(0);
+  }
+  // Handle = (reuse generation << 32) | (slot + 1): never 0, and a
+  // recycled slot stops honouring handles from its previous life.
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(++generations_[idx]) << 32) |
+      static_cast<std::uint64_t>(idx + 1);
+  Slot& s = slots_[idx];
+  s.id = id;
+  s.fn = std::move(fn);
+  s.interval = interval;
+  s.cancelled = false;
+  return id;
+}
+
+void Simulation::free_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.id = 0;
+  s.fn = nullptr;  // release closure resources back to the pool eagerly
+  s.interval = 0.0;
+  s.cancelled = false;
+  free_slots_.push_back(idx);
+}
+
+void Simulation::push_entry(SimTime t, std::uint64_t id, std::uint32_t slot) {
+  heap_.push_back(Entry{t, next_seq_++, id, slot});
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+}
+
 EventHandle Simulation::schedule_at(SimTime t, EventFn fn) {
   DS_REQUIRE(t >= now_, "cannot schedule in the past");
   DS_REQUIRE(fn != nullptr, "null event function");
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  const std::uint64_t id = allocate_slot(std::move(fn), 0.0);
+  push_entry(t, id, slot_index(id));
   return EventHandle{id};
 }
 
@@ -19,63 +56,100 @@ EventHandle Simulation::schedule_in(SimTime delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-bool Simulation::cancel(EventHandle h) {
-  if (!h.valid()) return false;
-  // Lazy deletion: the id is blacklisted; pending occurrences are skipped
-  // when they reach the top of the heap, and periodic series stop
-  // rescheduling. Cancelling twice is a no-op. The periodic registry entry
-  // is dropped eagerly — its heap trampoline may never fire again (the
-  // cancelled id is skipped at the top of the heap), so waiting for
-  // fire_periodic to erase it would leak the closure.
-  periodic_.erase(h.id);
-  return cancelled_.insert(h.id).second;
-}
-
 EventHandle Simulation::every(SimTime interval, EventFn fn) {
   DS_REQUIRE(interval > 0.0, "periodic interval must be positive");
   DS_REQUIRE(fn != nullptr, "null event function");
-  const std::uint64_t id = next_id_++;
-  // The series lives in the registry; every heap occurrence is a thin
-  // trampoline by id, so one cancel() kills the series and nothing holds a
-  // reference cycle onto its own closure.
-  periodic_.emplace(id, Periodic{interval, std::move(fn)});
-  heap_.push(Entry{now_ + interval, next_seq_++, id,
-                   [this, id] { fire_periodic(id); }});
+  const std::uint64_t id = allocate_slot(std::move(fn), interval);
+  push_entry(now_ + interval, id, slot_index(id));
   return EventHandle{id};
 }
 
-void Simulation::fire_periodic(std::uint64_t id) {
-  const auto it = periodic_.find(id);
-  if (it == periodic_.end()) return;
-  const SimTime interval = it->second.interval;
-  // Copy before invoking: fn may register new series, rehashing the
-  // registry out from under a reference.
-  const EventFn fn = it->second.fn;
-  fn();
-  if (cancelled_.count(id)) {  // fn may cancel its own series
-    periodic_.erase(id);
-    return;
-  }
-  heap_.push(Entry{now_ + interval, next_seq_++, id,
-                   [this, id] { fire_periodic(id); }});
+bool Simulation::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  const std::uint32_t idx = slot_index(h.id);
+  if (idx >= slots_.size()) return false;
+  Slot& s = slots_[idx];
+  // A fired one-shot freed its slot (id == 0) and a recycled slot carries
+  // a newer id, so both "already fired" and "already cancelled" are O(1)
+  // checks — no id blacklist that could grow without bound.
+  if (s.id != h.id || s.cancelled) return false;
+  s.cancelled = true;
+  ++stale_;
+  maybe_compact();
+  return true;
 }
 
-void Simulation::drop_cancelled_top() {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-    heap_.pop();
+void Simulation::maybe_compact() {
+  // Lazy-heap hygiene: once tombstones outnumber live entries, filter the
+  // underlying vector in place and re-heapify — O(heap) amortized against
+  // the cancels that created the tombstones. Keeps a cancel-heavy workload
+  // (batching timers at 10^6-query scale) bounded by the live event count.
+  if (heap_.size() < 64 || stale_ * 2 <= heap_.size()) return;
+  auto dead = [this](const Entry& e) {
+    const Slot& s = slots_[e.slot];
+    return s.id != e.id || s.cancelled;
+  };
+  for (const Entry& e : heap_)
+    if (dead(e) && slots_[e.slot].id == e.id) free_slot(e.slot);
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  stale_ = 0;
+  ++heap_compactions_;
+}
+
+void Simulation::drop_stale_top() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    Slot& s = slots_[top.slot];
+    if (s.id == top.id && !s.cancelled) return;  // live
+    const bool owns_slot = s.id == top.id;
+    const std::uint32_t idx = top.slot;
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+    if (owns_slot) {
+      --stale_;
+      free_slot(idx);
+    }
+  }
+}
+
+void Simulation::fire_top() {
+  const Entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  heap_.pop_back();
+  now_ = e.time;
+  ++executed_;
+  Slot& s = slots_[e.slot];
+  if (s.interval > 0.0) {
+    const SimTime interval = s.interval;
+    // Copy before invoking: fn may schedule new events, reallocating the
+    // slot pool out from under a reference.
+    const EventFn fn = s.fn;
+    fn();
+    Slot& after = slots_[e.slot];  // refetch: the pool may have moved
+    if (after.id != e.id) return;  // defensive; series slots are not freed
+    if (after.cancelled) {
+      // fn cancelled its own series: the tombstone accounted for a heap
+      // entry that will never be pushed — consume it here.
+      --stale_;
+      free_slot(e.slot);
+      return;
+    }
+    push_entry(now_ + interval, e.id, e.slot);
+  } else {
+    EventFn fn = std::move(s.fn);
+    // Recycle before invoking so fn's own scheduling reuses the slot.
+    free_slot(e.slot);
+    fn();
   }
 }
 
 void Simulation::run_until(SimTime until) {
   DS_REQUIRE(until >= now_, "run_until target in the past");
   for (;;) {
-    drop_cancelled_top();
-    if (heap_.empty() || heap_.top().time > until) break;
-    Entry e = heap_.top();
-    heap_.pop();
-    now_ = e.time;
-    ++executed_;
-    e.fn();
+    drop_stale_top();
+    if (heap_.empty() || heap_.front().time > until) break;
+    fire_top();
   }
   now_ = until;
 }
@@ -83,35 +157,19 @@ void Simulation::run_until(SimTime until) {
 void Simulation::run_all(std::uint64_t max_events) {
   std::uint64_t n = 0;
   for (;;) {
-    drop_cancelled_top();
+    drop_stale_top();
     if (heap_.empty()) break;
     DS_CHECK(n < max_events, "run_all exceeded max_events — runaway schedule?");
-    Entry e = heap_.top();
-    heap_.pop();
-    now_ = e.time;
-    ++executed_;
     ++n;
-    e.fn();
+    fire_top();
   }
 }
 
 bool Simulation::step() {
-  drop_cancelled_top();
+  drop_stale_top();
   if (heap_.empty()) return false;
-  Entry e = heap_.top();
-  heap_.pop();
-  now_ = e.time;
-  ++executed_;
-  e.fn();
+  fire_top();
   return true;
-}
-
-std::size_t Simulation::pending() const {
-  std::size_t dead = 0;
-  // cancelled_ may contain ids that already fired; count only an upper
-  // bound cheaply by clamping at heap size.
-  dead = cancelled_.size() > heap_.size() ? heap_.size() : cancelled_.size();
-  return heap_.size() - dead;
 }
 
 }  // namespace diffserve::sim

@@ -6,13 +6,19 @@
 // (time, sequence)-ordered event queue for deterministic tie-breaking,
 // cancellable events (needed by batching timers), and periodic tasks
 // (controller ticks, stat snapshots).
+//
+// Hot-path layout: the heap holds 32-byte plain entries; the event
+// closures live in a free-listed slot pool, so firing a million one-shot
+// events recycles a small set of slots instead of allocating per event.
+// Cancellation is a tombstone — an O(1) flag on the slot, skipped when the
+// entry surfaces — and when tombstones outnumber live entries the heap is
+// compacted in place (mirroring the cache's lazy-heap eviction), so a
+// workload that arms and cancels millions of batching timers keeps both
+// the heap and the cancel bookkeeping bounded by the *live* event count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace diffserve::sim {
@@ -56,43 +62,72 @@ class Simulation {
   /// Execute exactly one event if any is pending; returns false when empty.
   bool step();
 
-  /// Approximate count of live pending events (cancelled entries that have
-  /// not yet been lazily removed are excluded as an upper bound).
-  std::size_t pending() const;
+  /// Exact count of live pending events (cancelled tombstones excluded).
+  std::size_t pending() const { return heap_.size() - stale_; }
   std::uint64_t executed() const { return executed_; }
 
+  // --- maintenance introspection (tests, benches) ------------------------
+  /// Heap entries including not-yet-compacted tombstones.
+  std::size_t heap_size() const { return heap_.size(); }
+  /// Cancelled entries still awaiting lazy removal.
+  std::size_t stale_entries() const { return stale_; }
+  /// In-place heap rebuilds triggered by tombstone pressure.
+  std::uint64_t heap_compactions() const { return heap_compactions_; }
+
  private:
+  /// Heap entry: plain ordering data plus the slot that owns the closure.
+  /// `id` detects staleness — a slot recycled for a newer event no longer
+  /// matches the entry that pointed at it.
   struct Entry {
     SimTime time;
     std::uint64_t seq;
     std::uint64_t id;
-    EventFn fn;
+    std::uint32_t slot;
   };
-  struct EntryCompare {
+  struct EntryAfter {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;  // min-heap on time
       return a.seq > b.seq;                          // FIFO within a time
     }
   };
 
-  void drop_cancelled_top();
-  void fire_periodic(std::uint64_t id);
+  /// Pooled event state. One-shot slots are freed (and their closure
+  /// storage recycled) at fire time; periodic slots persist across
+  /// occurrences — the series owns no reference to itself, so there is no
+  /// shared_ptr cycle to leak.
+  struct Slot {
+    std::uint64_t id = 0;  ///< current handle id; 0 = free
+    EventFn fn;
+    SimTime interval = 0.0;  ///< > 0 for periodic series
+    bool cancelled = false;
+  };
+
+  std::uint32_t slot_index(std::uint64_t id) const {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  }
+  std::uint64_t allocate_slot(EventFn fn, SimTime interval);
+  void free_slot(std::uint32_t idx);
+  void push_entry(SimTime t, std::uint64_t id, std::uint32_t slot);
+  /// Pop tombstoned entries off the top; compact when they outnumber the
+  /// live ones.
+  void drop_stale_top();
+  void maybe_compact();
+  /// Fire the top entry (caller checked it is live and due).
+  void fire_top();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  /// Periodic series registered by every(): id -> (interval, fn). Heap
-  /// occurrences hold only thin trampolines onto this registry, so a
-  /// series owns no reference to itself (a self-capturing closure would
-  /// leak through the shared_ptr cycle).
-  struct Periodic {
-    SimTime interval;
-    EventFn fn;
-  };
-  std::unordered_map<std::uint64_t, Periodic> periodic_;
+  /// Min-heap via std::push_heap/pop_heap so compaction can filter the
+  /// underlying vector in place.
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Per-slot reuse generation (high handle bits), so a recycled slot
+  /// never honours a stale handle.
+  std::vector<std::uint32_t> generations_;
+  std::size_t stale_ = 0;  ///< tombstoned entries still in heap_
+  std::uint64_t heap_compactions_ = 0;
 };
 
 }  // namespace diffserve::sim

@@ -1,0 +1,235 @@
+// Tests for util/ring_buffer: FIFO equivalence of every ring against a
+// std::deque reference model across randomized operation sequences (50
+// seeds, all overflow policies), plus multi-threaded stress tests written
+// to be run under TSan (the CI thread-sanitizer job includes this suite)
+// so the lock-free protocols are raced, not just exercised.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace diffserve::util {
+namespace {
+
+TEST(CeilPow2, RoundsUp) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(8), 8u);
+  EXPECT_EQ(ceil_pow2(9), 16u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+}
+
+// --- single-threaded FIFO equivalence vs a std::deque reference ------------
+
+TEST(SpscRing, FifoEquivalenceAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const std::size_t cap = 1u << rng.uniform_int(1, 5);
+    SpscRing<int> ring(cap);
+    std::deque<int> model;
+    int next = 0;
+    for (int op = 0; op < 2000; ++op) {
+      if (rng.bernoulli(0.55)) {
+        const bool pushed = ring.try_push(next);
+        // The model admits exactly when the ring has room.
+        if (model.size() < ring.capacity()) {
+          ASSERT_TRUE(pushed) << "seed " << seed;
+          model.push_back(next);
+        } else {
+          ASSERT_FALSE(pushed) << "seed " << seed;
+        }
+        ++next;
+      } else {
+        int got = -1;
+        const bool popped = ring.try_pop(got);
+        ASSERT_EQ(popped, !model.empty()) << "seed " << seed;
+        if (popped) {
+          ASSERT_EQ(got, model.front()) << "seed " << seed;
+          model.pop_front();
+        }
+      }
+      ASSERT_EQ(ring.size_approx(), model.size()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(MpscRing, FifoEquivalenceAllPoliciesAcrossSeeds) {
+  const OverflowPolicy policies[] = {OverflowPolicy::kBlock,
+                                     OverflowPolicy::kDropOldest,
+                                     OverflowPolicy::kDropNewest};
+  for (const auto policy : policies) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+      Rng rng(seed);
+      const std::size_t cap = 1u << rng.uniform_int(1, 5);
+      MpscRing<int> ring(cap, policy);
+      std::deque<int> model;
+      std::uint64_t model_dropped = 0;
+      int next = 0;
+      for (int op = 0; op < 2000; ++op) {
+        if (rng.bernoulli(0.55)) {
+          const bool full = model.size() >= ring.capacity();
+          if (full && policy == OverflowPolicy::kBlock) {
+            // A single-threaded blocking push on a full ring would spin
+            // forever; the real producers of a kBlock ring always have a
+            // live consumer. Skip, as the backend's usage does.
+            continue;
+          }
+          const bool pushed = ring.push(next);
+          if (!full) {
+            ASSERT_TRUE(pushed);
+            model.push_back(next);
+          } else if (policy == OverflowPolicy::kDropOldest) {
+            ASSERT_TRUE(pushed);
+            model.pop_front();
+            model.push_back(next);
+            ++model_dropped;
+          } else {  // kDropNewest
+            ASSERT_FALSE(pushed);
+            ++model_dropped;
+          }
+          ++next;
+        } else {
+          int got = -1;
+          const bool popped = ring.try_pop(got);
+          ASSERT_EQ(popped, !model.empty());
+          if (popped) {
+            ASSERT_EQ(got, model.front());
+            model.pop_front();
+          }
+        }
+      }
+      EXPECT_EQ(ring.dropped(), model_dropped);
+    }
+  }
+}
+
+TEST(RingDeque, DequeEquivalenceAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    RingDeque<int> rd(2);  // tiny initial capacity forces growth
+    std::deque<int> model;
+    int next = 0;
+    for (int op = 0; op < 3000; ++op) {
+      const double r = rng.uniform();
+      if (r < 0.5) {
+        rd.push_back(next);
+        model.push_back(next);
+        ++next;
+      } else if (r < 0.9) {
+        ASSERT_EQ(rd.empty(), model.empty());
+        if (!model.empty()) {
+          ASSERT_EQ(rd.front(), model.front());
+          rd.pop_front();
+          model.pop_front();
+        }
+      } else if (r < 0.97 && !model.empty()) {
+        const std::size_t i = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(model.size()) - 1));
+        ASSERT_EQ(rd[i], model[i]);
+      } else if (r >= 0.97 && rng.bernoulli(0.1)) {
+        rd.clear();
+        model.clear();
+      }
+      ASSERT_EQ(rd.size(), model.size());
+    }
+  }
+}
+
+// --- threaded stress (run under TSan in CI) --------------------------------
+
+TEST(SpscRing, SingleProducerSingleConsumerStress) {
+  constexpr int kItems = 200'000;
+  SpscRing<int> ring(64);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i)
+      while (!ring.try_push(i)) std::this_thread::yield();
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    int got = -1;
+    if (ring.try_pop(got)) {
+      // Wait-free FIFO: values arrive exactly in push order.
+      ASSERT_EQ(got, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, MultiProducerStressKeepsPerProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50'000;
+  MpscRing<std::uint64_t> ring(128, OverflowPolicy::kBlock);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ring.push((static_cast<std::uint64_t>(p) << 32) |
+                  static_cast<std::uint64_t>(i));
+    });
+
+  std::vector<std::int64_t> last_seen(kProducers, -1);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::uint64_t v = 0;
+    if (!ring.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const auto p = static_cast<std::size_t>(v >> 32);
+    const auto i = static_cast<std::int64_t>(v & 0xFFFFFFFFu);
+    ASSERT_LT(p, static_cast<std::size_t>(kProducers));
+    // Nothing lost, nothing reordered within one producer's stream.
+    ASSERT_EQ(i, last_seen[p] + 1);
+    last_seen[p] = i;
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(MpscRing, DropOldestUnderConcurrentPressureLosesOnlyOldest) {
+  // One slow consumer, two fast producers on a tiny ring: kDropOldest must
+  // keep accepting (push never returns false) and account every discard.
+  constexpr int kPerProducer = 20'000;
+  MpscRing<std::uint64_t> ring(16, OverflowPolicy::kDropOldest);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> consumed{0};
+  std::thread consumer([&] {
+    std::uint64_t v;
+    while (!done.load()) {
+      if (ring.try_pop(v))
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      else
+        std::this_thread::yield();
+    }
+    while (ring.try_pop(v)) consumed.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::thread p1([&] {
+    for (int i = 0; i < kPerProducer; ++i) ASSERT_TRUE(ring.push(1));
+  });
+  std::thread p2([&] {
+    for (int i = 0; i < kPerProducer; ++i) ASSERT_TRUE(ring.push(2));
+  });
+  p1.join();
+  p2.join();
+  done.store(true);
+  consumer.join();
+  EXPECT_EQ(consumed.load() + ring.dropped(),
+            static_cast<std::uint64_t>(2 * kPerProducer));
+}
+
+}  // namespace
+}  // namespace diffserve::util

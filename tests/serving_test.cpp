@@ -366,6 +366,53 @@ TEST_F(ServingIntegration, SparesJoinLightPool) {
   EXPECT_EQ(system.engine().heavy_stats().workers, 2);
 }
 
+TEST_F(ServingIntegration, FastModeMatchesRecordingModeAggregates) {
+  // record_terminal_events=false must change observability only: the
+  // serving decisions and every counter / latency aggregate stay exact,
+  // while the per-query record log (and the FID/timeline views that need
+  // it) is skipped.
+  auto run = [&](bool record) {
+    sim::Simulation sim;
+    SystemConfig cfg;
+    cfg.total_workers = 4;
+    cfg.slo_seconds = 5.0;
+    cfg.record_terminal_events = record;
+    auto system = std::make_unique<ServingSystem>(
+        sim, *workload_, *repo_, repo_->cascade(models::catalog::kCascade1),
+        disc_, *scorer_, cfg);
+    AllocationPlan plan;
+    plan.light_workers() = 3;
+    plan.heavy_workers() = 1;
+    plan.light_batch() = 2;
+    plan.thresholds = {0.5};
+    system->apply(plan);
+    std::vector<double> arrivals;
+    for (int i = 0; i < 200; ++i) arrivals.push_back(0.05 * i);
+    system->inject_arrivals(arrivals);
+    sim.run_all();
+    return system;
+  };
+  const auto recording = run(true);
+  const auto fast = run(false);
+
+  EXPECT_EQ(fast->sink().completed(), recording->sink().completed());
+  EXPECT_EQ(fast->sink().dropped(), recording->sink().dropped());
+  EXPECT_DOUBLE_EQ(fast->sink().mean_latency(),
+                   recording->sink().mean_latency());
+  EXPECT_DOUBLE_EQ(fast->sink().latency_percentile(0.99),
+                   recording->sink().latency_percentile(0.99));
+  EXPECT_DOUBLE_EQ(fast->sink().violation_ratio(),
+                   recording->sink().violation_ratio());
+  EXPECT_DOUBLE_EQ(fast->sink().light_served_fraction(),
+                   recording->sink().light_served_fraction());
+
+  EXPECT_FALSE(recording->sink().records().empty());
+  EXPECT_TRUE(fast->sink().records().empty());
+  // Record-backed views refuse to report garbage in fast mode.
+  EXPECT_THROW(fast->sink().overall_fid(), std::invalid_argument);
+  EXPECT_NO_THROW(recording->sink().overall_fid());
+}
+
 TEST_F(ServingIntegration, ExecLatencyIncludesDiscriminator) {
   sim::Simulation sim;
   SystemConfig cfg;

@@ -2,6 +2,7 @@
 // cancellation, periodic series, and clock semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -163,6 +164,66 @@ TEST(Simulation, RunAllGuardsAgainstRunaway) {
   std::function<void()> forever = [&] { sim.schedule_in(0.1, forever); };
   sim.schedule_at(0.0, forever);
   EXPECT_THROW(sim.run_all(1000), std::logic_error);
+}
+
+TEST(Simulation, PendingIsExactWithTombstones) {
+  Simulation sim;
+  std::vector<EventHandle> ids;
+  for (int i = 0; i < 10; ++i)
+    ids.push_back(sim.schedule_at(i + 1.0, [] {}));
+  EXPECT_EQ(sim.pending(), 10u);
+  // Cancel a few: tombstones stay in the heap but pending() must not
+  // count them (the pre-slot-pool implementation overcounted here).
+  EXPECT_TRUE(sim.cancel(ids[2]));
+  EXPECT_TRUE(sim.cancel(ids[5]));
+  EXPECT_TRUE(sim.cancel(ids[7]));
+  EXPECT_EQ(sim.pending(), 7u);
+  EXPECT_EQ(sim.stale_entries(), sim.heap_size() - sim.pending());
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulation, HeapStaysBoundedUnderMassCancellation) {
+  // The drop-timer pattern at scale: every query arms a deadline timer
+  // and nearly all of them are cancelled on completion. The heap must
+  // compact tombstones instead of accumulating them until fire time.
+  Simulation sim;
+  constexpr int kRounds = 200;
+  constexpr int kPerRound = 100;
+  std::size_t max_heap = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    std::vector<EventHandle> ids;
+    ids.reserve(kPerRound);
+    const double base = sim.now() + 1.0;
+    for (int i = 0; i < kPerRound; ++i)
+      ids.push_back(sim.schedule_at(base + 1000.0 + i, [] {}));
+    for (const auto id : ids) EXPECT_TRUE(sim.cancel(id));
+    sim.schedule_at(base, [] {});
+    sim.run_until(base);
+    max_heap = std::max(max_heap, sim.heap_size());
+  }
+  // 20k timers were cancelled; without compaction the heap would hold
+  // all of them. Compaction keeps it within a small constant factor of
+  // the live count (stale_ * 2 <= heap_size triggers, floor 64).
+  EXPECT_GT(sim.heap_compactions(), 0u);
+  EXPECT_LE(max_heap, static_cast<std::size_t>(2 * kPerRound + 64));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, SlotsAreRecycledAcrossGenerations) {
+  // Schedule/cancel churn must reuse pooled slots, and a recycled slot's
+  // new generation must not let a stale handle cancel the new event.
+  Simulation sim;
+  auto first = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(first));
+  bool ran = false;
+  sim.schedule_at(1.0, [&] { ran = true; });
+  // The old handle refers to a dead generation even if the slot was
+  // recycled for the new event.
+  EXPECT_FALSE(sim.cancel(first));
+  sim.run_all();
+  EXPECT_TRUE(ran);
 }
 
 }  // namespace
