@@ -15,6 +15,13 @@
 // Flags: --queries N (default 1e5), --smoke (enforce the CI floors and a
 // reduced N), --record (keep per-query terminal records, the invariant-
 // suite mode; default off here — the engine equivalence suites keep it on).
+//
+// The --smoke floors default to values sized for the reference dev box but
+// are overridable per machine, CLI taking precedence over environment:
+//   --floor-des-qps X        / DIFFSERVE_THROUGHPUT_FLOOR_DES_QPS
+//   --floor-des-events X     / DIFFSERVE_THROUGHPUT_FLOOR_DES_EVENTS
+//   --floor-threaded-qps X   / DIFFSERVE_THROUGHPUT_FLOOR_THREADED_QPS
+// (slow CI runners lower them; perf-tracking rigs raise them).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -132,19 +139,50 @@ ThreadedStats run_threaded_flood(const core::CascadeEnvironment& env,
   return s;
 }
 
+/// Smoke-floor resolution: CLI flag > environment variable > default.
+double resolve_floor(double cli_value, const char* env_var,
+                     double fallback) {
+  if (cli_value > 0.0) return cli_value;
+  if (const char* s = std::getenv(env_var)) {
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end != s && v > 0.0) return v;
+    std::fprintf(stderr, "warning: ignoring unparseable %s='%s'\n", env_var,
+                 s);
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool record = false;
   std::size_t queries = 100'000;
+  double floor_des_qps_cli = 0.0;
+  double floor_des_events_cli = 0.0;
+  double floor_threaded_qps_cli = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--record") == 0) record = true;
     if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc)
       queries = static_cast<std::size_t>(std::atoll(argv[++i]));
+    if (std::strcmp(argv[i], "--floor-des-qps") == 0 && i + 1 < argc)
+      floor_des_qps_cli = std::atof(argv[++i]);
+    if (std::strcmp(argv[i], "--floor-des-events") == 0 && i + 1 < argc)
+      floor_des_events_cli = std::atof(argv[++i]);
+    if (std::strcmp(argv[i], "--floor-threaded-qps") == 0 && i + 1 < argc)
+      floor_threaded_qps_cli = std::atof(argv[++i]);
   }
   if (smoke) queries = std::min<std::size_t>(queries, 50'000);
+  const double floor_des_qps = resolve_floor(
+      floor_des_qps_cli, "DIFFSERVE_THROUGHPUT_FLOOR_DES_QPS", 300'000.0);
+  const double floor_des_events =
+      resolve_floor(floor_des_events_cli,
+                    "DIFFSERVE_THROUGHPUT_FLOOR_DES_EVENTS", 400'000.0);
+  const double floor_threaded_qps =
+      resolve_floor(floor_threaded_qps_cli,
+                    "DIFFSERVE_THROUGHPUT_FLOOR_THREADED_QPS", 100'000.0);
 
   bench::banner("throughput", "sustained serving throughput, both backends");
   auto env = bench::make_env(1000);
@@ -167,22 +205,25 @@ int main(int argc, char** argv) {
   table.metric("des.queries", static_cast<double>(queries));
 
   if (smoke) {
-    // Floors sit ~7x under the measured dev-box rates (DES ~2.2e6 qps /
-    // ~3.2e6 events/s, threaded ~5.8e5 qps) but well above the pre-ring
-    // baseline (~1.7e5 / ~2.3e5 / ~1.0e5): a regression that undoes the
-    // hot-path work trips them even on a slow CI runner.
+    // Default floors sit ~7x under the measured dev-box rates (DES ~2.2e6
+    // qps / ~3.2e6 events/s, threaded ~5.8e5 qps) but well above the
+    // pre-ring baseline (~1.7e5 / ~2.3e5 / ~1.0e5): a regression that
+    // undoes the hot-path work trips them even on a slow CI runner. See
+    // the header comment for the per-machine overrides.
     bool ok = true;
-    if (des.qps < 300'000.0) {
-      std::printf("[smoke] FAIL des qps %.0f < 300000\n", des.qps);
+    if (des.qps < floor_des_qps) {
+      std::printf("[smoke] FAIL des qps %.0f < %.0f\n", des.qps,
+                  floor_des_qps);
       ok = false;
     }
-    if (des.events_per_sec < 400'000.0) {
-      std::printf("[smoke] FAIL des events/sec %.0f < 400000\n",
-                  des.events_per_sec);
+    if (des.events_per_sec < floor_des_events) {
+      std::printf("[smoke] FAIL des events/sec %.0f < %.0f\n",
+                  des.events_per_sec, floor_des_events);
       ok = false;
     }
-    if (thr.qps < 100'000.0) {
-      std::printf("[smoke] FAIL threaded qps %.0f < 100000\n", thr.qps);
+    if (thr.qps < floor_threaded_qps) {
+      std::printf("[smoke] FAIL threaded qps %.0f < %.0f\n", thr.qps,
+                  floor_threaded_qps);
       ok = false;
     }
     if (!ok) return 1;

@@ -1,0 +1,76 @@
+#include "cluster/shard_node.hpp"
+
+#include "util/log.hpp"
+
+namespace diffserve::cluster {
+
+ShardNode::ShardNode(std::uint32_t id, engine::CascadeEngine& engine,
+                     std::unique_ptr<net::Endpoint> endpoint)
+    : id_(id), engine_(engine), endpoint_(std::move(endpoint)) {
+  endpoint_->set_receiver([this](net::Frame f) { on_frame(std::move(f)); });
+  engine_.set_terminal_observer(
+      [this](const engine::Query& q, int tier, double time, bool dropped) {
+        net::TerminalMsg m;
+        m.shard = id_;
+        m.query = q;
+        m.time = time;
+        m.served_tier = tier;
+        m.dropped = dropped;
+        endpoint_->send(net::encode(m));
+      });
+}
+
+net::ShardStatsMsg ShardNode::snapshot(std::uint64_t token) const {
+  net::ShardStatsMsg m;
+  m.shard = id_;
+  m.token = token;
+  m.time = engine_.backend().now();
+  m.demand_rate = engine_.demand_rate();
+  m.recent_violation_ratio = engine_.recent_violation_ratio();
+  m.submitted = engine_.submitted();
+  m.cache_enabled = engine_.cache_enabled();
+  m.cache = engine_.cache_stats();
+  m.stages.reserve(engine_.stage_count());
+  for (std::size_t s = 0; s < engine_.stage_count(); ++s) {
+    const auto stats = engine_.stage_stats(s);
+    m.stages.push_back({stats.total_queue_length, stats.arrival_rate,
+                        static_cast<std::int32_t>(stats.workers)});
+  }
+  return m;
+}
+
+void ShardNode::on_frame(net::Frame f) {
+  if (f.topic == net::kTopicQuery) {
+    net::QueryMsg m;
+    if (!decode(f, &m)) {
+      DS_LOG_WARN("cluster") << "shard " << id_
+                             << ": undecodable submit frame";
+      return;
+    }
+    engine_.submit(std::move(m.query));
+    return;
+  }
+  if (f.topic == net::kTopicStatsRequest) {
+    net::StatsRequestMsg m;
+    if (!decode(f, &m)) {
+      DS_LOG_WARN("cluster") << "shard " << id_
+                             << ": undecodable stats request";
+      return;
+    }
+    endpoint_->send(net::encode(snapshot(m.token)));
+    return;
+  }
+  if (f.topic == net::kTopicPlan) {
+    net::PlanMsg m;
+    if (!decode(f, &m)) {
+      DS_LOG_WARN("cluster") << "shard " << id_ << ": undecodable plan";
+      return;
+    }
+    engine_.apply(m.plan);
+    return;
+  }
+  DS_LOG_WARN("cluster") << "shard " << id_ << ": unexpected topic '"
+                         << f.topic << "'";
+}
+
+}  // namespace diffserve::cluster

@@ -1,0 +1,49 @@
+// ShardNode — the shard side of one cluster link.
+//
+// Glues one engine::CascadeEngine to its wire endpoint: incoming
+// query/submit frames become engine.submit(), cluster/plan frames become
+// engine.apply(), and shard/stats_request frames are answered with a
+// snapshot of the engine's controller-facing statistics. The engine's
+// terminal observer streams every completion/drop back to the frontend
+// as a query/terminal frame.
+//
+// Threading: frame handlers run on whatever thread the transport
+// delivers on (the DES event loop, or a socket reader thread); every
+// engine call they make takes the engine guard internally. The terminal
+// observer fires under the engine guard — it only encodes and sends, and
+// Endpoint::send never re-enters the engine, so no lock cycle exists
+// (guard -> endpoint write mutex is the only ordering).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/engine.hpp"
+#include "net/messages.hpp"
+#include "net/transport.hpp"
+
+namespace diffserve::cluster {
+
+class ShardNode {
+ public:
+  /// Installs the endpoint receiver and the engine terminal observer.
+  ShardNode(std::uint32_t id, engine::CascadeEngine& engine,
+            std::unique_ptr<net::Endpoint> endpoint);
+
+  void start() { endpoint_->start(); }
+  void stop() { endpoint_->stop(); }
+
+  std::uint32_t id() const { return id_; }
+  engine::CascadeEngine& engine() { return engine_; }
+  const engine::CascadeEngine& engine() const { return engine_; }
+
+ private:
+  void on_frame(net::Frame f);
+  net::ShardStatsMsg snapshot(std::uint64_t token) const;
+
+  std::uint32_t id_;
+  engine::CascadeEngine& engine_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+};
+
+}  // namespace diffserve::cluster

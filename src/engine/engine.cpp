@@ -274,7 +274,9 @@ void CascadeEngine::submit_locked(Query q) {
       const int tier = hit.donor_tier;
       backend_.defer(cfg_.cache.hit_latency, [this, q, tier] {
         auto g = backend_.guard();
-        sink_.complete(q, tier, backend_.now());
+        const double t = backend_.now();
+        sink_.complete(q, tier, t);
+        notify_terminal_locked(q, tier, t, false);
       });
       return;
     }
@@ -364,7 +366,9 @@ void CascadeEngine::route_locked(Query q) {
     enqueue_locked(*w, std::move(q));
     return;
   }
-  sink_.drop(q, backend_.now());
+  const double t = backend_.now();
+  sink_.drop(q, t);
+  notify_terminal_locked(q, -1, t, true);
 }
 
 void CascadeEngine::enqueue_locked(WorkerSlot& w, Query q) {
@@ -479,6 +483,7 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
       if (optimistic_done_at > q.stage_deadline) {
         ++w.dropped;
         sink_.drop(q, now);
+        notify_terminal_locked(q, -1, now, true);
         continue;
       }
       batch.push_back(std::move(q));
@@ -503,6 +508,7 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
     if (victim == batch.size()) break;
     ++w.dropped;
     sink_.drop(batch[victim], now);
+    notify_terminal_locked(batch[victim], -1, now, true);
     drop_mask_[victim] = 1;
     --alive;
   }
@@ -638,7 +644,9 @@ void CascadeEngine::recycle_batch_locked(std::vector<Query>&& batch) {
 }
 
 void CascadeEngine::complete_locked(const Query& q, int served_tier) {
-  sink_.complete(q, served_tier, backend_.now());
+  const double t = backend_.now();
+  sink_.complete(q, served_tier, t);
+  notify_terminal_locked(q, served_tier, t, false);
   // Only fully generated images enter the cache: an approx-hit result is
   // already donor-contaminated, and re-caching it would compound reuse
   // error over hit chains.
@@ -655,6 +663,12 @@ void CascadeEngine::set_confidence_observer(
     std::function<void(std::size_t, double)> observer) {
   auto g = backend_.guard();
   confidence_observer_ = std::move(observer);
+}
+
+void CascadeEngine::set_terminal_observer(
+    std::function<void(const Query&, int, double, bool)> observer) {
+  auto g = backend_.guard();
+  terminal_observer_ = std::move(observer);
 }
 
 double CascadeEngine::demand_rate() const {

@@ -100,6 +100,15 @@ class CascadeEngine {
   /// must be thread-safe when the backend is concurrent.
   void set_confidence_observer(std::function<void(std::size_t, double)> observer);
 
+  /// Observer invoked, under the engine guard and immediately after the
+  /// sink records the event, at every terminal: the finished query, the
+  /// quality tier that served it (-1 for drops), the sink timestamp, and
+  /// whether the query was dropped. The cluster layer streams these as
+  /// wire frames back to the shard frontend. The observer must not call
+  /// back into the engine.
+  void set_terminal_observer(
+      std::function<void(const Query&, int, double, bool)> observer);
+
   // --- runtime statistics for the controller -----------------------------
   /// Arrival rate into the system over the stats window (QPS).
   double demand_rate() const;
@@ -212,6 +221,11 @@ class CascadeEngine {
   /// Terminal completion: deliver to the sink and, when the cache is on,
   /// insert fully generated images (cache misses) for future reuse.
   void complete_locked(const Query& q, int served_tier);
+  /// Fire the terminal observer (if any) after a sink event.
+  void notify_terminal_locked(const Query& q, int served_tier, double time,
+                              bool dropped) {
+    if (terminal_observer_) terminal_observer_(q, served_tier, time, dropped);
+  }
   /// Route a query to its q.stage pool, falling down the chain (and, for
   /// queries without an image, back up) when pools are empty.
   void route_locked(Query q);
@@ -277,6 +291,7 @@ class CascadeEngine {
   /// (reserve of the final stage is 0).
   std::vector<double> reserve_;
   std::function<void(std::size_t, double)> confidence_observer_;
+  std::function<void(const Query&, int, double, bool)> terminal_observer_;
 
   stats::SlidingWindowCounter demand_{12.0};
   std::uint64_t submitted_ = 0;

@@ -1,0 +1,102 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace diffserve::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint32_t{p[0]} << 8) |
+                                    std::uint32_t{p[1]});
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+}  // namespace
+
+void encode_append(const Frame& f, std::vector<std::uint8_t>& out) {
+  DS_REQUIRE(!f.topic.empty(), "frame topic must be non-empty");
+  DS_REQUIRE(f.topic.size() <= 0xFFFF, "frame topic too long");
+  DS_REQUIRE(!f.payload.empty(), "frame payload must be non-empty");
+  const std::size_t body =
+      kBodyHeaderLen + f.topic.size() + f.payload.size();
+  DS_REQUIRE(body <= kMaxFrameLen, "frame body exceeds kMaxFrameLen");
+  out.reserve(out.size() + 4 + body);
+  put_u32(out, static_cast<std::uint32_t>(body));
+  out.push_back(f.priority);
+  put_u16(out, static_cast<std::uint16_t>(f.topic.size()));
+  out.insert(out.end(), f.topic.begin(), f.topic.end());
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+}
+
+std::vector<std::uint8_t> encode(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  encode_append(f, out);
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed_ || n == 0) return;
+  // Compact the consumed prefix before growing; keeps the buffer bounded
+  // by one partial frame plus whatever feed() batches in.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > max_frame_len_) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Status FrameDecoder::fail(const char* why) {
+  failed_ = true;
+  error_ = why;
+  return Status::kError;
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame* out) {
+  if (failed_) return Status::kError;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Status::kNeedMore;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::size_t body = get_u32(p);
+  if (body < kMinFrameLen) return fail("frame_len below minimum body size");
+  if (body > max_frame_len_) return fail("frame_len exceeds maximum");
+  if (avail < 4 + body) return Status::kNeedMore;
+  const std::size_t topic_len = get_u16(p + 5);
+  if (topic_len == 0) return fail("empty topic");
+  if (topic_len > body - kBodyHeaderLen - 1)
+    return fail("topic_len leaves no room for a payload");
+  const std::size_t payload_len = body - kBodyHeaderLen - topic_len;
+  // payload_len >= 1 by the topic_len check above; zero-length payloads
+  // are unreachable past this point by construction.
+  out->priority = p[4];
+  out->topic.assign(reinterpret_cast<const char*>(p + 4 + kBodyHeaderLen),
+                    topic_len);
+  const std::uint8_t* payload = p + 4 + kBodyHeaderLen + topic_len;
+  out->payload.assign(payload, payload + payload_len);
+  pos_ += 4 + body;
+  return Status::kFrame;
+}
+
+}  // namespace diffserve::net

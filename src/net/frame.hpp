@@ -1,0 +1,105 @@
+// Length-prefixed binary frame codec — the cluster wire format.
+//
+// Every message between a shard frontend and its shards travels as one
+// frame:
+//
+//   [u32 frame_len][u8 priority][u16 topic_len][topic bytes][payload bytes]
+//
+// All integers are big-endian (network order). `frame_len` counts the
+// body only (priority + topic_len + topic + payload), never itself.
+// Protocol policy, enforced by the decoder so a malformed or hostile
+// byte stream can never reach message deserializers:
+//   * frame_len is capped (kMaxFrameLen) — an oversized length is a
+//     protocol error, not an allocation request;
+//   * the topic is non-empty and fits inside the declared body;
+//   * the payload is non-empty — every message type serializes at least
+//     one byte, so a zero-length payload is malformed by construction.
+// A violation poisons the decoder (every later next() reports kError);
+// framing is unrecoverable once the byte stream is misaligned.
+//
+// The decoder is a push parser: feed() appends raw bytes from the
+// transport, next() pops complete frames. Partial frames simply report
+// kNeedMore — truncation is detected by the owner at stream end via
+// buffered(). Single-threaded; each transport endpoint owns one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diffserve::net {
+
+/// Delivery class carried in the frame header (EventStreamCore-style).
+/// The in-tree transports deliver in order regardless; the field keeps
+/// the wire format ready for QoS-aware transports.
+enum class Priority : std::uint8_t {
+  kBatch = 0,
+  kLow = 1,
+  kMedium = 2,
+  kHigh = 3,
+  kCritical = 4,
+};
+
+struct Frame {
+  std::uint8_t priority = static_cast<std::uint8_t>(Priority::kMedium);
+  std::string topic;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const Frame& o) const {
+    return priority == o.priority && topic == o.topic && payload == o.payload;
+  }
+};
+
+/// Largest accepted frame body. Generous for control-plane messages
+/// (the biggest in-tree frame is a shard stats snapshot, well under
+/// 1 KiB) while bounding what a corrupt length prefix can make the
+/// decoder buffer.
+inline constexpr std::size_t kMaxFrameLen = 1u << 20;
+
+/// Fixed header bytes inside the body: priority (1) + topic_len (2).
+inline constexpr std::size_t kBodyHeaderLen = 3;
+/// Smallest legal body: header + 1-byte topic + 1-byte payload.
+inline constexpr std::size_t kMinFrameLen = kBodyHeaderLen + 2;
+
+/// Serialize one frame (length prefix included).
+std::vector<std::uint8_t> encode(const Frame& f);
+/// Append-encode into an existing buffer (transport write batching).
+void encode_append(const Frame& f, std::vector<std::uint8_t>& out);
+
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     ///< a complete frame was written to *out
+    kNeedMore,  ///< the buffer holds no complete frame yet
+    kError,     ///< protocol violation; the decoder is poisoned
+  };
+
+  explicit FrameDecoder(std::size_t max_frame_len = kMaxFrameLen)
+      : max_frame_len_(max_frame_len) {}
+
+  /// Append raw transport bytes. Accepts anything; validation happens
+  /// in next(). No-op once the decoder is poisoned.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Pop the next complete frame. Call in a loop until it stops
+  /// returning kFrame.
+  Status next(Frame* out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  /// Bytes fed but not yet consumed by complete frames. Non-zero at
+  /// stream end means the peer truncated a frame mid-write.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Status fail(const char* why);
+
+  std::size_t max_frame_len_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace diffserve::net

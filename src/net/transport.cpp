@@ -1,0 +1,194 @@
+#include "net/transport.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace diffserve::net {
+
+namespace {
+
+// ---- loopback ----------------------------------------------------------------
+
+/// Shared state of one loopback link. Side i's send() feeds side (1-i)'s
+/// decoder and dispatches to its receiver.
+struct LoopbackCore {
+  struct Side {
+    FrameDecoder decoder;
+    std::function<void(Frame)> receiver;
+  };
+  Side sides[2];
+  double hop_latency = 0.0;
+  DeferFn defer;
+
+  void deliver(int to, std::vector<std::uint8_t> bytes) {
+    Side& s = sides[to];
+    s.decoder.feed(bytes.data(), bytes.size());
+    Frame f;
+    while (s.decoder.next(&f) == FrameDecoder::Status::kFrame)
+      if (s.receiver) s.receiver(std::move(f));
+    DS_REQUIRE(!s.decoder.failed(), "loopback decode failed");
+  }
+};
+
+class LoopbackEndpoint final : public Endpoint {
+ public:
+  LoopbackEndpoint(std::shared_ptr<LoopbackCore> core, int side)
+      : core_(std::move(core)), side_(side) {}
+
+  void send(const Frame& f) override {
+    std::vector<std::uint8_t> bytes = net::encode(f);
+    const int to = 1 - side_;
+    if (core_->hop_latency > 0.0 && core_->defer) {
+      auto core = core_;
+      core_->defer(core_->hop_latency,
+                   [core, to, bytes = std::move(bytes)]() mutable {
+                     core->deliver(to, std::move(bytes));
+                   });
+    } else {
+      core_->deliver(to, std::move(bytes));
+    }
+  }
+
+  void set_receiver(std::function<void(Frame)> receiver) override {
+    core_->sides[side_].receiver = std::move(receiver);
+  }
+
+ private:
+  std::shared_ptr<LoopbackCore> core_;
+  int side_;
+};
+
+// ---- socket ------------------------------------------------------------------
+
+class SocketEndpoint final : public Endpoint {
+ public:
+  explicit SocketEndpoint(int fd) : fd_(fd) {}
+
+  ~SocketEndpoint() override {
+    stop();
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const Frame& f) override {
+    const std::vector<std::uint8_t> bytes = net::encode(f);
+    std::lock_guard<std::mutex> lk(write_mu_);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // Peer gone mid-shutdown: frames past this point are lost, which
+        // the drain protocol in the cluster runner tolerates.
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void set_receiver(std::function<void(Frame)> receiver) override {
+    DS_REQUIRE(!reader_.joinable(), "set_receiver after start");
+    receiver_ = std::move(receiver);
+  }
+
+  void start() override {
+    DS_REQUIRE(!reader_.joinable(), "endpoint already started");
+    reader_ = std::thread([this] { reader_main(); });
+  }
+
+  void stop() override {
+    if (!reader_.joinable()) return;
+    ::shutdown(fd_, SHUT_RDWR);
+    reader_.join();
+  }
+
+ private:
+  void reader_main() {
+    FrameDecoder decoder;
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (n == 0) return;  // peer closed
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      Frame f;
+      FrameDecoder::Status st;
+      while ((st = decoder.next(&f)) == FrameDecoder::Status::kFrame)
+        if (receiver_) receiver_(std::move(f));
+      if (st == FrameDecoder::Status::kError) {
+        std::fprintf(stderr, "net: socket decode error: %s\n",
+                     decoder.error().c_str());
+        return;
+      }
+    }
+  }
+
+  int fd_;
+  std::mutex write_mu_;
+  std::function<void(Frame)> receiver_;
+  std::thread reader_;
+};
+
+}  // namespace
+
+EndpointPair make_loopback_link(double hop_latency_seconds, DeferFn defer) {
+  auto core = std::make_shared<LoopbackCore>();
+  core->hop_latency = hop_latency_seconds;
+  core->defer = std::move(defer);
+  return {std::make_unique<LoopbackEndpoint>(core, 0),
+          std::make_unique<LoopbackEndpoint>(core, 1)};
+}
+
+EndpointPair make_socketpair_link() {
+  int fds[2] = {-1, -1};
+  const int rc = ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+  DS_REQUIRE(rc == 0, "socketpair failed");
+  return {std::make_unique<SocketEndpoint>(fds[0]),
+          std::make_unique<SocketEndpoint>(fds[1])};
+}
+
+EndpointPair make_tcp_link() {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  DS_REQUIRE(listener >= 0, "socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  int rc = ::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr));
+  DS_REQUIRE(rc == 0, "bind failed");
+  rc = ::listen(listener, 1);
+  DS_REQUIRE(rc == 0, "listen failed");
+  socklen_t len = sizeof(addr);
+  rc = ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  DS_REQUIRE(rc == 0, "getsockname failed");
+
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  DS_REQUIRE(client >= 0, "socket failed");
+  rc = ::connect(client, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr));
+  DS_REQUIRE(rc == 0, "connect failed");
+  const int server = ::accept(listener, nullptr, nullptr);
+  DS_REQUIRE(server >= 0, "accept failed");
+  ::close(listener);
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(server, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return {std::make_unique<SocketEndpoint>(client),
+          std::make_unique<SocketEndpoint>(server)};
+}
+
+}  // namespace diffserve::net

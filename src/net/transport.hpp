@@ -1,0 +1,68 @@
+// Transport seam under the cluster layer: a duplex, ordered, reliable
+// frame link between a shard frontend and one shard.
+//
+// Two implementations mirror the repo's two execution substrates:
+//
+//   * Loopback — in-process endpoint pair. Every send still runs the
+//     full encode -> FrameDecoder -> dispatch path, so the codec is
+//     exercised on every message. Delivery is synchronous when the
+//     configured hop latency is zero (an endpoint's receiver runs inside
+//     the peer's send()), or deferred through a caller-supplied
+//     scheduler otherwise — bind it to sim::Simulation::schedule_in and
+//     the DES models shard-hop latency deterministically. Loopback
+//     endpoints are not thread-safe; the owner (a single-threaded DES or
+//     a test) serializes all sends.
+//
+//   * Socket — a real byte stream (AF_UNIX socketpair, or a TCP pair
+//     over 127.0.0.1) with one reader thread per endpoint feeding its
+//     decoder and invoking the receiver from that thread. send() is
+//     thread-safe (write mutex) and blocking; receivers take their own
+//     locks. This is what the threaded cluster runtime uses.
+//
+// Lifecycle: set_receiver() before start(); stop() joins the reader (if
+// any) and is idempotent. A decode error on a socket link poisons that
+// direction — the reader logs the reason to stderr and stops; ordered
+// framing is unrecoverable once misaligned.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/frame.hpp"
+
+namespace diffserve::net {
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Deliver one frame to the peer, in order.
+  virtual void send(const Frame& f) = 0;
+  /// Install the handler for incoming frames. May be invoked
+  /// synchronously inside the peer's send() (loopback at zero hop
+  /// latency) or from a dedicated reader thread (socket).
+  virtual void set_receiver(std::function<void(Frame)> receiver) = 0;
+  virtual void start() {}
+  virtual void stop() {}
+};
+
+using EndpointPair = std::pair<std::unique_ptr<Endpoint>, std::unique_ptr<Endpoint>>;
+
+/// Scheduler used by the loopback link to model hop latency:
+/// fn(delay_seconds, callback). Bind to sim::Simulation::schedule_in.
+using DeferFn = std::function<void(double, std::function<void()>)>;
+
+/// In-process pair. hop_latency_seconds <= 0 (or no defer fn) delivers
+/// synchronously; otherwise each frame's dispatch is scheduled
+/// hop_latency_seconds after its send.
+EndpointPair make_loopback_link(double hop_latency_seconds = 0.0,
+                                DeferFn defer = nullptr);
+
+/// Connected AF_UNIX SOCK_STREAM pair (socketpair(2)).
+EndpointPair make_socketpair_link();
+
+/// Connected TCP pair over 127.0.0.1 (ephemeral port). Exercises the
+/// codec over a transport with real segmentation/coalescing.
+EndpointPair make_tcp_link();
+
+}  // namespace diffserve::net

@@ -40,6 +40,19 @@ std::vector<double> Dense::forward(const std::vector<double>& x) {
   return out;
 }
 
+std::vector<double> Dense::infer(const std::vector<double>& x) const {
+  DS_REQUIRE(x.size() == in_dim_, "input dimension mismatch");
+  std::vector<double> out(out_dim_, 0.0);
+  for (std::size_t r = 0; r < out_dim_; ++r) {
+    double s = b_[r];
+    for (std::size_t c = 0; c < in_dim_; ++c) s += w_(r, c) * x[c];
+    out[r] = s;
+  }
+  if (act_ == Activation::kRelu)
+    for (auto& v : out) v = v > 0.0 ? v : 0.0;
+  return out;
+}
+
 std::vector<double> Dense::backward(const std::vector<double>& grad_out) {
   DS_REQUIRE(grad_out.size() == out_dim_, "gradient dimension mismatch");
   DS_CHECK(last_input_.size() == in_dim_, "backward without forward");

@@ -38,6 +38,11 @@ class Dense {
   /// subsequent backward call.
   std::vector<double> forward(const std::vector<double>& x);
 
+  /// Inference-only forward: same arithmetic as forward() but touches no
+  /// member state, so concurrent calls from engines that do not share a
+  /// lock (e.g. shards sharing one trained discriminator) are safe.
+  std::vector<double> infer(const std::vector<double>& x) const;
+
   /// Backward pass: takes dL/d(output), accumulates weight gradients,
   /// returns dL/d(input). Must follow a forward() on the same sample.
   std::vector<double> backward(const std::vector<double>& grad_out);

@@ -42,9 +42,11 @@ std::vector<double> MlpClassifier::forward(const std::vector<double>& x) {
 std::vector<double> MlpClassifier::forward_inference(
     const std::vector<double>& x) const {
   std::vector<double> h = x;
-  if (input_noise_ > 0.0)
+  if (input_noise_ > 0.0) {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
     for (auto& v : h) v += rng_.normal(0.0, input_noise_);
-  for (auto& layer : layers_) h = layer.forward(h);
+  }
+  for (const auto& layer : layers_) h = layer.infer(h);
   return h;
 }
 

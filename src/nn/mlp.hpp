@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "nn/dense.hpp"
@@ -48,12 +49,25 @@ class MlpClassifier {
   std::size_t input_dim() const;
 
  private:
+  // Mutex whose copies start unlocked, so the classifier stays copyable
+  // and movable (Discriminator takes it by value).
+  struct UnlockedOnCopyMutex : std::mutex {
+    UnlockedOnCopyMutex() = default;
+    UnlockedOnCopyMutex(const UnlockedOnCopyMutex&) : std::mutex() {}
+    UnlockedOnCopyMutex& operator=(const UnlockedOnCopyMutex&) {
+      return *this;
+    }
+  };
+
   std::vector<double> forward(const std::vector<double>& x);
-  // Inference that tolerates const-ness by using scratch copies.
+  // Inference via Dense::infer — no layer state is touched, so concurrent
+  // callers that don't share a lock (shards sharing one discriminator) are
+  // safe; only the input-noise RNG needs the guard.
   std::vector<double> forward_inference(const std::vector<double>& x) const;
 
-  mutable std::vector<Dense> layers_;
+  std::vector<Dense> layers_;
   mutable util::Rng rng_;
+  mutable UnlockedOnCopyMutex rng_mutex_;
   double input_noise_ = 0.0;
 };
 

@@ -16,11 +16,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
+#include "cluster/shard_frontend.hpp"
+#include "cluster/shard_node.hpp"
 #include "discriminator/discriminator.hpp"
 #include "engine/engine.hpp"
+#include "net/messages.hpp"
+#include "net/transport.hpp"
 #include "models/model_repository.hpp"
 #include "quality/fid.hpp"
 #include "quality/workload.hpp"
@@ -256,6 +263,218 @@ TEST_F(ChainFixture, RandomizedInvariantsOnThreadedBackend) {
 
     EXPECT_EQ(eng.submitted(), sc.arrivals.size());
     check_invariants(eng, sc.arrivals.size(), seed);
+  }
+}
+
+// --- sharded topology invariants -------------------------------------------
+
+/// Per-shard conservation: each shard engine's own sink plus whatever is
+/// legitimately still queued accounts for exactly the queries routed to it.
+void check_shard_conservation(const CascadeEngine& eng, std::size_t seed) {
+  std::size_t leftover = 0;
+  for (std::size_t i = 0; i < eng.worker_count(); ++i) {
+    const auto info = eng.worker_info(i);
+    EXPECT_FALSE(info.busy) << "seed " << seed;
+    leftover += info.queue_length;
+  }
+  EXPECT_EQ(eng.sink().total() + leftover, eng.submitted()) << "seed " << seed;
+}
+
+/// Cluster-level conservation on the frontend's wire-fed sink: unique
+/// sequence numbers, valid deferral histories, nothing double-counted.
+void check_frontend_records(const cluster::ShardFrontend& frontend,
+                            std::size_t submitted, std::size_t seed) {
+  std::set<std::uint64_t> seen;
+  for (const auto& r : frontend.sink().records()) {
+    EXPECT_TRUE(seen.insert(r.seq).second)
+        << "query " << r.seq << " terminated twice (seed " << seed << ")";
+    EXPECT_LT(r.seq, submitted) << "seed " << seed;
+    EXPECT_GE(static_cast<int>(r.stage), r.deferrals) << "seed " << seed;
+    if (!r.dropped) EXPECT_GT(r.tier, 0) << "seed " << seed;
+  }
+  EXPECT_EQ(seen.size(), frontend.sink().total()) << "seed " << seed;
+}
+
+TEST_F(ChainFixture, RandomizedShardedInvariantsOnDesBackend) {
+  // The engine invariants must survive the wire: N shards behind a
+  // ShardFrontend over loopback links (randomly with hop latency), random
+  // per-shard plans pushed mid-run as cluster/plan frames — resizing
+  // shards while their queues are non-empty — and every terminal crossing
+  // back as a frame before it reaches the cluster sink.
+  for (std::size_t seed = 1; seed <= kIterationsPerBackend; ++seed) {
+    util::Rng rng(20'000 + seed);
+    const Scenario sc = random_scenario(rng, /*span=*/8.0);
+    const int shards = static_cast<int>(rng.uniform_int(2, 3));
+    const double hop = rng.bernoulli(0.5) ? 0.0 : 0.02;
+
+    sim::Simulation sim;
+    serving::SimulationBackend backend(sim);
+    std::vector<std::unique_ptr<CascadeEngine>> engines;
+    for (int s = 0; s < shards; ++s) {
+      EngineConfig cfg;
+      cfg.total_workers = sc.total_workers;
+      cfg.slo_seconds = sc.slo;
+      cfg.model_load_delay = sc.load_delay;
+      cfg.seed = seed * 16 + static_cast<std::size_t>(s);
+      engines.push_back(std::make_unique<CascadeEngine>(
+          backend, *workload_, *repo_, chain(sc.depth), disc_, *scorer_,
+          cfg));
+    }
+
+    cluster::FrontendConfig fcfg;
+    fcfg.slo_seconds = sc.slo;
+    cluster::ShardFrontend frontend(*workload_, *scorer_, fcfg);
+    net::DeferFn defer = [&sim](double d, std::function<void()> fn) {
+      sim.schedule_in(d, std::move(fn));
+    };
+    std::vector<std::unique_ptr<cluster::ShardNode>> nodes;
+    for (int s = 0; s < shards; ++s) {
+      auto link = net::make_loopback_link(hop, defer);
+      nodes.push_back(std::make_unique<cluster::ShardNode>(
+          static_cast<std::uint32_t>(s), *engines[s],
+          std::move(link.second)));
+      frontend.attach_shard(std::move(link.first));
+    }
+
+    // Independent random plan pushes per shard at the scenario's plan
+    // times: each lands as a cluster/plan frame and resizes that shard
+    // while traffic is in flight.
+    for (const auto& timed_plan : sc.plans) {
+      for (int s = 0; s < shards; ++s) {
+        net::PlanMsg m;
+        m.shard = static_cast<std::uint32_t>(s);
+        m.plan = random_plan(rng, sc.depth, sc.total_workers);
+        sim.schedule_at(timed_plan.first, [&frontend, m] {
+          frontend.send_to_shard(m.shard, net::encode(m));
+        });
+      }
+    }
+    for (const double t : sc.arrivals)
+      sim.schedule_at(t, [&frontend, &sim] {
+        frontend.submit_next(sim.now());
+      });
+    // Mid-run queue sanity: bounded by what was admitted, on every shard.
+    for (double t : {sc.horizon * 0.3, sc.horizon * 0.7}) {
+      sim.schedule_at(t, [&engines, &sc] {
+        for (const auto& eng : engines)
+          for (std::size_t i = 0; i < eng->worker_count(); ++i)
+            EXPECT_LE(eng->worker_info(i).queue_length, sc.arrivals.size());
+      });
+    }
+
+    sim.run_until(sc.horizon + sc.slo + 30.0);
+    sim.run_all();
+
+    // Routing fan-out conserves: every admitted query went to exactly one
+    // shard, and the DES drains every terminal back over the wire.
+    EXPECT_EQ(frontend.submitted(), sc.arrivals.size());
+    std::size_t routed = 0;
+    for (const auto& eng : engines) {
+      routed += eng->submitted();
+      check_shard_conservation(*eng, seed);
+    }
+    EXPECT_EQ(routed, sc.arrivals.size()) << "seed " << seed;
+    EXPECT_TRUE(frontend.drained()) << "seed " << seed;
+    EXPECT_EQ(frontend.sink().total(), sc.arrivals.size()) << "seed " << seed;
+    check_frontend_records(frontend, sc.arrivals.size(), seed);
+  }
+}
+
+TEST_F(ChainFixture, RandomizedShardedInvariantsOnThreadedBackend) {
+  // The same invariants with real socketpair transports and reader
+  // threads (this test rides in the TSan CI job): smaller seed count,
+  // compressed wall time, and tolerance for stragglers left queued when
+  // the backends stop.
+  constexpr std::size_t kSeeds = 12;
+  for (std::size_t seed = 1; seed <= kSeeds; ++seed) {
+    util::Rng rng(30'000 + seed);
+    Scenario sc = random_scenario(rng, /*span=*/1.5);
+    sc.slo = rng.uniform(1.5, 3.0);
+    const int shards = 2;
+    const double time_scale = 200.0;
+
+    util::TraceClock clock(time_scale);
+    std::vector<std::unique_ptr<runtime::ThreadedBackend>> backends;
+    std::vector<std::unique_ptr<CascadeEngine>> engines;
+    for (int s = 0; s < shards; ++s) {
+      backends.push_back(std::make_unique<runtime::ThreadedBackend>(
+          clock, sc.total_workers));
+      EngineConfig cfg;
+      cfg.total_workers = sc.total_workers;
+      cfg.slo_seconds = sc.slo;
+      cfg.model_load_delay = sc.load_delay;
+      cfg.launch_slack_seconds = 0.004 * time_scale;
+      cfg.seed = seed * 16 + static_cast<std::size_t>(s);
+      engines.push_back(std::make_unique<CascadeEngine>(
+          *backends.back(), *workload_, *repo_, chain(sc.depth), disc_,
+          *scorer_, cfg));
+    }
+
+    cluster::FrontendConfig fcfg;
+    fcfg.slo_seconds = sc.slo;
+    cluster::ShardFrontend frontend(*workload_, *scorer_, fcfg);
+    std::vector<std::unique_ptr<cluster::ShardNode>> nodes;
+    for (int s = 0; s < shards; ++s) {
+      auto link = net::make_socketpair_link();
+      nodes.push_back(std::make_unique<cluster::ShardNode>(
+          static_cast<std::uint32_t>(s), *engines[s],
+          std::move(link.second)));
+      frontend.attach_shard(std::move(link.first));
+    }
+    frontend.start_transports();
+    for (auto& node : nodes) node->start();
+    for (auto& backend : backends) backend->start();
+
+    // Merged (plan, arrival) timeline in compressed wall time; plan pushes
+    // go over the wire and resize shards under live traffic.
+    std::size_t ai = 0, pi = 0;
+    while (ai < sc.arrivals.size() || pi < sc.plans.size()) {
+      const bool plan_next =
+          pi < sc.plans.size() &&
+          (ai >= sc.arrivals.size() ||
+           sc.plans[pi].first <= sc.arrivals[ai]);
+      if (plan_next) {
+        clock.sleep_until(sc.plans[pi].first);
+        for (int s = 0; s < shards; ++s) {
+          net::PlanMsg m;
+          m.shard = static_cast<std::uint32_t>(s);
+          m.plan = random_plan(rng, sc.depth, sc.total_workers);
+          frontend.send_to_shard(static_cast<std::size_t>(s),
+                                 net::encode(m));
+        }
+        ++pi;
+      } else {
+        clock.sleep_until(sc.arrivals[ai]);
+        frontend.submit_next(clock.now());
+        ++ai;
+      }
+    }
+    clock.sleep_until(sc.horizon + sc.slo + 2.0);
+    const auto wall_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!frontend.drained() &&
+           std::chrono::steady_clock::now() < wall_deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (auto& backend : backends) backend->stop();
+    while (!frontend.drained() &&
+           std::chrono::steady_clock::now() < wall_deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (auto& node : nodes) node->stop();
+    frontend.stop_transports();
+
+    EXPECT_EQ(frontend.submitted(), sc.arrivals.size());
+    std::size_t routed = 0;
+    for (const auto& eng : engines) {
+      routed += eng->submitted();
+      check_shard_conservation(*eng, seed);
+    }
+    EXPECT_EQ(routed, sc.arrivals.size()) << "seed " << seed;
+    // Terminals that crossed the wire are exactly what the sink holds;
+    // stragglers stopped mid-queue are the only legitimate gap.
+    EXPECT_EQ(frontend.sink().total(), frontend.terminated())
+        << "seed " << seed;
+    EXPECT_LE(frontend.terminated(), frontend.submitted()) << "seed " << seed;
+    check_frontend_records(frontend, sc.arrivals.size(), seed);
   }
 }
 

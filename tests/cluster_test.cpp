@@ -1,0 +1,366 @@
+// Tests for the sharded serving layer (src/cluster): the 1-shard
+// loopback cluster's exact equivalence to the bare engine, DES-vs-
+// threaded sharded parity (the §4.3 fidelity methodology extended to the
+// cluster), consistent-hash routing properties, least-loaded fallback,
+// the frontend's wire-driven terminal accounting, and split_plan's
+// apportionment invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster_controller.hpp"
+#include "cluster/cluster_run.hpp"
+#include "cluster/shard_frontend.hpp"
+#include "control/exhaustive_allocator.hpp"
+#include "core/environment.hpp"
+#include "core/experiment.hpp"
+#include "net/messages.hpp"
+#include "net/transport.hpp"
+
+namespace diffserve::cluster {
+namespace {
+
+const core::CascadeEnvironment& shared_env() {
+  static const core::CascadeEnvironment env = [] {
+    core::EnvironmentConfig cfg;
+    cfg.workload_queries = 800;
+    cfg.discriminator.train_queries = 500;
+    cfg.profile_queries = 500;
+    return core::CascadeEnvironment(cfg);
+  }();
+  return env;
+}
+
+// ---- the equivalence contract ---------------------------------------------------
+
+TEST(ClusterEquivalence, OneShardLoopbackMatchesBareEngineExactly) {
+  // The whole cluster layer — frontend admission, wire encode/decode,
+  // shard node dispatch, cluster controller, plan split — must be
+  // decision-invisible at N=1 over synchronous loopback: every metric
+  // reproduces the bare-engine run *exactly*, not approximately.
+  const auto tr = trace::RateTrace::azure_like(2.0, 8.0, 80.0, 7);
+
+  core::RunConfig rc;
+  rc.approach = core::Approach::kDiffServeExhaustive;
+  rc.total_workers = 6;
+  rc.trace = tr;
+  // The cluster controller derives its initial guess from the trace.
+  rc.controller.initial_demand_guess = tr.qps_at(0.0);
+  const auto bare = core::run_experiment(shared_env(), rc);
+
+  control::ExhaustiveAllocator alloc;
+  ClusterRunConfig cc;
+  cc.shards = 1;
+  cc.workers_per_shard = 6;
+  cc.hop_latency_seconds = 0.0;
+  cc.gather_delay_seconds = 0.0;
+  const auto cluster = run_cluster_des(shared_env(), alloc, tr, cc);
+
+  EXPECT_EQ(cluster.overall_fid, bare.overall_fid);
+  EXPECT_EQ(cluster.violation_ratio, bare.violation_ratio);
+  EXPECT_EQ(cluster.mean_latency, bare.mean_latency);
+  EXPECT_EQ(cluster.submitted, bare.submitted);
+  EXPECT_EQ(cluster.completed, bare.completed);
+  EXPECT_EQ(cluster.dropped, bare.dropped);
+  ASSERT_EQ(cluster.shards.size(), 1u);
+  EXPECT_EQ(cluster.shards[0].reconfigurations, bare.reconfigurations);
+}
+
+TEST(ClusterEquivalence, DesRunsAreDeterministic) {
+  const auto tr = trace::RateTrace::azure_like(2.0, 6.0, 40.0, 3);
+  control::ExhaustiveAllocator alloc;
+  ClusterRunConfig cc;
+  cc.shards = 3;
+  cc.workers_per_shard = 2;
+  cc.hop_latency_seconds = 0.01;  // hop latency must not break determinism
+  const auto a = run_cluster_des(shared_env(), alloc, tr, cc);
+  const auto b = run_cluster_des(shared_env(), alloc, tr, cc);
+
+  EXPECT_EQ(a.overall_fid, b.overall_fid);
+  EXPECT_EQ(a.violation_ratio, b.violation_ratio);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.cluster_reconfigurations, b.cluster_reconfigurations);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t s = 0; s < a.shards.size(); ++s)
+    EXPECT_EQ(a.shards[s].submitted, b.shards[s].submitted);
+}
+
+// ---- §4.3 extended: sharded DES vs sharded testbed -------------------------------
+
+TEST(ClusterParity, DesAndThreadedShardedTopologiesAgree) {
+  // Same trace, same allocator, N=3 shards on both backends. The DES
+  // models the wire with loopback links; the threaded run pushes every
+  // frame through real AF_UNIX sockets with reader threads. Both use the
+  // same stats-gather delay so the controller sees equally stale
+  // snapshots, leaving scheduling jitter as the only divergence — the
+  // FID / SLO-violation deltas must stay inside the paper's §4.3 margin.
+  const auto tr = trace::RateTrace::azure_like(2.0, 8.0, 80.0, 7);
+
+  control::ExhaustiveAllocator alloc;
+  ClusterRunConfig cfg;
+  cfg.shards = 3;
+  cfg.workers_per_shard = 2;
+  cfg.gather_delay_seconds = 0.5;
+  cfg.hop_latency_seconds = 0.0;
+  // Sanitizer instrumentation slows the threaded backend several-fold:
+  // dispatch lag becomes a real timing divergence, not scheduling jitter.
+  // Running closer to wall clock recovers most of it (0.10 -> ~0.05
+  // relative FID diff), but a residue remains — a handful of queries
+  // defer differently under the distorted scheduler, which on a ~400-query
+  // trace moves FID a few percent no matter the compression. Scale the
+  // margin like control_test scales its solve budget; the uninstrumented
+  // build holds the paper's 5%.
+  double margin = 0.05;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  cfg.time_scale = 8.0;
+  margin *= 2.0;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  cfg.time_scale = 8.0;
+  margin *= 2.0;
+#endif
+#endif
+  const auto des = run_cluster_des(shared_env(), alloc, tr, cfg);
+  const auto threaded = run_cluster_threaded(shared_env(), alloc, tr, cfg);
+
+  ASSERT_GT(des.overall_fid, 0.0);
+  ASSERT_GT(threaded.overall_fid, 0.0);
+  const double fid_rel_diff =
+      std::fabs(des.overall_fid - threaded.overall_fid) / des.overall_fid;
+  EXPECT_LT(fid_rel_diff, margin);
+  EXPECT_LT(std::fabs(des.violation_ratio - threaded.violation_ratio),
+            margin);
+  // Identical arrival streams on both backends.
+  EXPECT_EQ(des.submitted, threaded.submitted);
+  EXPECT_EQ(des.completed + des.dropped, threaded.completed + threaded.dropped);
+}
+
+// ---- routing -----------------------------------------------------------------------
+
+/// A frontend with `n` absorbing loopback shards (queries go in, nothing
+/// comes back) — enough to exercise routing and load accounting.
+struct RoutingHarness {
+  explicit RoutingHarness(int n, FrontendConfig cfg = {})
+      : frontend(shared_env().workload(), shared_env().scorer(), cfg) {
+    for (int s = 0; s < n; ++s) {
+      auto link = net::make_loopback_link();
+      link.second->set_receiver([](net::Frame) {});  // absorb
+      shard_sides.push_back(std::move(link.second));
+      frontend.attach_shard(std::move(link.first));
+    }
+  }
+  ShardFrontend frontend;
+  std::vector<std::unique_ptr<net::Endpoint>> shard_sides;
+};
+
+TEST(ConsistentHash, MappingIsDeterministicAcrossInstances) {
+  RoutingHarness a(4), b(4);
+  for (quality::QueryId pid = 0; pid < 200; ++pid)
+    EXPECT_EQ(a.frontend.hash_shard(pid), b.frontend.hash_shard(pid)) << pid;
+}
+
+TEST(ConsistentHash, KeysSpreadReasonablyAcrossShards) {
+  RoutingHarness h(4);
+  std::vector<int> counts(4, 0);
+  const int kKeys = 8000;
+  for (quality::QueryId pid = 0; pid < kKeys; ++pid)
+    ++counts[h.frontend.hash_shard(pid)];
+  for (int s = 0; s < 4; ++s) {
+    // Perfect balance is 25%; 64 vnodes/shard keeps every shard well
+    // inside [10%, 45%].
+    EXPECT_GT(counts[s], kKeys / 10) << "shard " << s;
+    EXPECT_LT(counts[s], kKeys * 45 / 100) << "shard " << s;
+  }
+}
+
+TEST(ConsistentHash, GrowingTheRingOnlyMovesKeysToTheNewShard) {
+  // The property that makes consistent hashing worth its salt for the
+  // prompt cache: adding shard N+1 never re-homes a key between two
+  // pre-existing shards, so their cached prompts stay hot.
+  RoutingHarness three(3), four(4);
+  const int kKeys = 4000;
+  int moved = 0;
+  for (quality::QueryId pid = 0; pid < kKeys; ++pid) {
+    const std::size_t before = three.frontend.hash_shard(pid);
+    const std::size_t after = four.frontend.hash_shard(pid);
+    if (before != after) {
+      ++moved;
+      EXPECT_EQ(after, 3u) << pid;  // only the new shard gains keys
+    }
+  }
+  // Expected churn is ~1/4 of the keyspace; anything near 100% would mean
+  // the ring rehashes wholesale.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(Routing, LeastLoadedFallbackDivertsOnlyUnderHeavySkew) {
+  FrontendConfig cfg;
+  cfg.imbalance_min_inflight = 16;
+  cfg.imbalance_factor = 4.0;
+  RoutingHarness h(3, cfg);
+  const quality::QueryId pid = 11;  // all traffic on one key
+  const std::size_t owner = h.frontend.hash_shard(pid);
+
+  auto submit_one = [&](double t) {
+    engine::Query q;
+    q.prompt_id = pid;
+    q.arrival_time = t;
+    q.deadline = t + 5.0;
+    h.frontend.submit(q);
+  };
+  const int kTotal = 40;
+  for (int i = 0; i < kTotal; ++i) submit_one(0.1 * i);
+
+  // Nothing terminates (absorbing shards), so in-flight = routed count.
+  std::uint64_t sum = 0, owner_load = h.frontend.inflight(owner);
+  for (std::size_t s = 0; s < 3; ++s) sum += h.frontend.inflight(s);
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kTotal));
+  // Hash affinity holds until the threshold, then the overflow diverts.
+  EXPECT_GE(owner_load, cfg.imbalance_min_inflight);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_GT(h.frontend.inflight(s), 0u) << "shard " << s;
+    EXPECT_GE(owner_load, h.frontend.inflight(s));
+  }
+}
+
+TEST(Routing, NoDiversionBelowTheInflightFloor) {
+  RoutingHarness h(3);  // default floor: imbalance_min_inflight = 4
+  const quality::QueryId pid = 11;
+  const std::size_t owner = h.frontend.hash_shard(pid);
+  for (int i = 0; i < 3; ++i) {
+    engine::Query q;
+    q.prompt_id = pid;
+    q.arrival_time = 0.1 * i;
+    q.deadline = 0.1 * i + 5.0;
+    h.frontend.submit(q);
+  }
+  EXPECT_EQ(h.frontend.inflight(owner), 3u);
+}
+
+// ---- wire-driven terminal accounting ----------------------------------------------
+
+TEST(Frontend, TerminalFramesDriveSinkAndDrainState) {
+  // Shards that echo a terminal for every query: the frontend's sink and
+  // in-flight accounting must be fully wire-driven.
+  ShardFrontend frontend(shared_env().workload(), shared_env().scorer(),
+                         FrontendConfig{});
+  std::vector<std::unique_ptr<net::Endpoint>> shard_sides;
+  for (int s = 0; s < 2; ++s) {
+    auto link = net::make_loopback_link();
+    net::Endpoint* back = link.second.get();
+    const auto shard = static_cast<std::uint32_t>(s);
+    link.second->set_receiver([back, shard](net::Frame f) {
+      net::QueryMsg q;
+      ASSERT_TRUE(decode(f, &q));
+      net::TerminalMsg t;
+      t.shard = shard;
+      t.query = q.query;
+      t.time = q.query.arrival_time + 1.0;
+      t.served_tier = 1;  // diffusion tiers are 1-based
+      t.dropped = (q.query.seq % 5 == 0);
+      back->send(net::encode(t));
+    });
+    shard_sides.push_back(std::move(link.second));
+    frontend.attach_shard(std::move(link.first));
+  }
+
+  const int kQueries = 50;
+  for (int i = 0; i < kQueries; ++i)
+    frontend.submit_next(0.05 * i);
+
+  EXPECT_EQ(frontend.submitted(), static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(frontend.terminated(), static_cast<std::uint64_t>(kQueries));
+  EXPECT_TRUE(frontend.drained());
+  EXPECT_EQ(frontend.inflight(0), 0u);
+  EXPECT_EQ(frontend.inflight(1), 0u);
+  const auto& sink = frontend.sink();
+  EXPECT_EQ(sink.total(), static_cast<std::size_t>(kQueries));
+  EXPECT_EQ(sink.dropped(), static_cast<std::size_t>(kQueries / 5));
+  EXPECT_EQ(sink.completed(), static_cast<std::size_t>(kQueries - kQueries / 5));
+}
+
+// ---- split_plan --------------------------------------------------------------------
+
+control::AllocationDecision sample_decision() {
+  control::AllocationDecision d;
+  d.feasible = true;
+  d.workers = {6, 3};
+  d.batches = {8, 2};
+  d.thresholds = {0.7};
+  d.deferral_fractions = {0.3};
+  return d;
+}
+
+TEST(SplitPlan, SingleShardIsTheIdentity) {
+  const auto d = sample_decision();
+  const auto plans = ClusterController::split_plan(d, {5.0}, 16);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].workers, d.workers);
+  EXPECT_EQ(plans[0].batches, d.batches);
+  EXPECT_EQ(plans[0].thresholds, d.thresholds);
+}
+
+TEST(SplitPlan, ConservesWorkersAndRespectsCapacity) {
+  const auto d = sample_decision();  // 9 workers total
+  const std::vector<double> demand = {3.0, 2.0, 1.0};
+  const int cap = 4;
+  const auto plans = ClusterController::split_plan(d, demand, cap);
+  ASSERT_EQ(plans.size(), 3u);
+  for (std::size_t stage = 0; stage < d.workers.size(); ++stage) {
+    int total = 0;
+    for (const auto& p : plans) total += p.workers[stage];
+    EXPECT_EQ(total, d.workers[stage]) << "stage " << stage;
+  }
+  for (const auto& p : plans) {
+    int shard_total = 0;
+    for (const int w : p.workers) shard_total += w;
+    EXPECT_LE(shard_total, cap);
+    // Batch sizes, thresholds, and mode replicate unchanged.
+    EXPECT_EQ(p.batches, d.batches);
+    EXPECT_EQ(p.thresholds, d.thresholds);
+  }
+}
+
+TEST(SplitPlan, SkewedDemandShiftsWorkersButCapacityWins) {
+  control::AllocationDecision d = sample_decision();
+  d.workers = {5, 3};  // total 8 == 2 shards x cap 4
+  const auto plans = ClusterController::split_plan(d, {100.0, 0.0}, 4);
+  ASSERT_EQ(plans.size(), 2u);
+  // All demand on shard 0, but its 4-worker budget caps the grab; the
+  // remainder must spill to shard 1 so the cluster total is conserved.
+  for (std::size_t stage = 0; stage < 2; ++stage)
+    EXPECT_EQ(plans[0].workers[stage] + plans[1].workers[stage],
+              d.workers[stage]);
+  EXPECT_EQ(plans[0].workers[0] + plans[0].workers[1], 4);
+  EXPECT_EQ(plans[1].workers[0] + plans[1].workers[1], 4);
+}
+
+TEST(SplitPlan, ZeroDemandSplitsEqually) {
+  control::AllocationDecision d = sample_decision();
+  d.workers = {4, 2};
+  const auto plans = ClusterController::split_plan(d, {0.0, 0.0}, 8);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].workers[0], 2);
+  EXPECT_EQ(plans[1].workers[0], 2);
+  EXPECT_EQ(plans[0].workers[1], 1);
+  EXPECT_EQ(plans[1].workers[1], 1);
+}
+
+TEST(SplitPlan, DeterministicForEqualShares) {
+  const auto d = sample_decision();
+  const std::vector<double> demand = {1.0, 1.0, 1.0};
+  const auto a = ClusterController::split_plan(d, demand, 4);
+  const auto b = ClusterController::split_plan(d, demand, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s)
+    EXPECT_EQ(a[s].workers, b[s].workers) << "shard " << s;
+}
+
+}  // namespace
+}  // namespace diffserve::cluster
