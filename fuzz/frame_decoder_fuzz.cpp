@@ -1,0 +1,191 @@
+// Fuzz harness for net::FrameDecoder — the one parser in the tree that
+// eats bytes straight off a socket, so it must hold its invariants on
+// *any* input, not just frames our own encoder produced.
+//
+// The harness drives the decoder the way a transport does: the input is
+// fed in irregular chunks (sizes derived from the input itself, so the
+// fuzzer can steer boundary placement), and after every feed the frames
+// are drained. Checked invariants:
+//   * an accepted frame always has a non-empty topic and payload, and a
+//     topic that fits the declared body (the decoder's protocol policy);
+//   * poisoning is sticky: after the first kError, next() keeps
+//     reporting kError, failed() is true, and error() is non-empty;
+//   * accepted frames re-encode to a body within the length cap
+//     (round-trip sanity — encode(decode(x)) must not explode).
+//
+// Build shapes (CMake option DIFFSERVE_FUZZ):
+//   clang  — libFuzzer entry point only; -fsanitize=fuzzer provides main.
+//            CI runs a fixed-iteration session over the seed corpus.
+//   other  — DIFFSERVE_FUZZ_STANDALONE adds a deterministic driver main:
+//            replays corpus files, then a fixed number of seeded LCG
+//            mutations of valid frames. No libFuzzer needed, so the
+//            harness itself stays testable under the gcc-only dev image.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/frame.hpp"
+
+namespace {
+
+// Abort loudly on an invariant violation — both libFuzzer and the
+// standalone driver treat process death as the failure signal.
+#define FUZZ_REQUIRE(cond, what)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "frame_decoder_fuzz: invariant failed: %s\n", \
+                   what);                                             \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+void drain(diffserve::net::FrameDecoder& dec, bool& poisoned) {
+  using diffserve::net::Frame;
+  using diffserve::net::FrameDecoder;
+  Frame f;
+  FrameDecoder::Status st;
+  while ((st = dec.next(&f)) == FrameDecoder::Status::kFrame) {
+    FUZZ_REQUIRE(!poisoned, "frame produced after poisoning");
+    FUZZ_REQUIRE(!f.topic.empty(), "accepted frame with empty topic");
+    FUZZ_REQUIRE(!f.payload.empty(), "accepted frame with empty payload");
+    FUZZ_REQUIRE(f.topic.size() <= diffserve::net::kMaxFrameLen,
+                 "accepted topic exceeds the frame cap");
+    const auto bytes = diffserve::net::encode(f);
+    FUZZ_REQUIRE(bytes.size() >= diffserve::net::kMinFrameLen + 4,
+                 "re-encoded frame shorter than the wire minimum");
+    FUZZ_REQUIRE(bytes.size() <= diffserve::net::kMaxFrameLen + 4,
+                 "re-encoded frame exceeds the wire cap");
+  }
+  if (st == FrameDecoder::Status::kError) {
+    poisoned = true;
+    FUZZ_REQUIRE(dec.failed(), "kError but failed() is false");
+    FUZZ_REQUIRE(!dec.error().empty(), "kError with empty error message");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using diffserve::net::FrameDecoder;
+
+  FrameDecoder dec;
+  bool poisoned = false;
+  std::uint64_t chunk_state = size != 0 ? data[0] : 1u;
+  std::size_t i = 0;
+  while (i < size) {
+    // Input-derived chunk sizes (1..8 bytes) place feed boundaries
+    // inside every header field sooner or later.
+    chunk_state = chunk_state * 6364136223846793005ULL +
+                  1442695040888963407ULL;
+    std::size_t chunk = 1 + static_cast<std::size_t>(chunk_state >> 33) % 8;
+    if (chunk > size - i) chunk = size - i;
+    dec.feed(data + i, chunk);
+    i += chunk;
+    drain(dec, poisoned);
+  }
+  if (poisoned) {
+    // Sticky poisoning: more bytes and more polls change nothing.
+    const std::uint8_t probe[4] = {0, 0, 0, 7};
+    dec.feed(probe, sizeof probe);
+    diffserve::net::Frame f;
+    FUZZ_REQUIRE(dec.next(&f) == FrameDecoder::Status::kError,
+                 "poisoned decoder produced a non-error status");
+    FUZZ_REQUIRE(dec.failed(), "poisoned decoder reports !failed()");
+  }
+  return 0;
+}
+
+#ifdef DIFFSERVE_FUZZ_STANDALONE
+// Deterministic driver for toolchains without libFuzzer: replay each
+// corpus file given on the command line, then run a fixed budget of
+// seeded mutations over freshly encoded frames. Same entry point, same
+// invariants — just a weaker input generator than libFuzzer's.
+
+#include <string>
+#include <vector>
+
+namespace {
+
+std::uint64_t lcg_next(std::uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return s >> 16;
+}
+
+std::vector<std::uint8_t> random_valid_stream(std::uint64_t& s) {
+  std::vector<std::uint8_t> out;
+  const std::size_t frames = 1 + lcg_next(s) % 3;
+  for (std::size_t k = 0; k < frames; ++k) {
+    diffserve::net::Frame f;
+    f.priority = static_cast<std::uint8_t>(lcg_next(s) % 8);
+    f.topic.assign(1 + lcg_next(s) % 12,
+                   static_cast<char>('a' + lcg_next(s) % 26));
+    f.payload.resize(1 + lcg_next(s) % 64);
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(lcg_next(s));
+    diffserve::net::encode_append(f, out);
+  }
+  return out;
+}
+
+void run_one(const std::vector<std::uint8_t>& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t iters = 10000;
+  std::vector<std::string> corpus;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--iters=", 0) == 0)
+      iters = static_cast<std::size_t>(std::strtoull(arg.c_str() + 8,
+                                                     nullptr, 10));
+    else
+      corpus.push_back(arg);
+  }
+
+  for (const auto& path : corpus) {
+    std::FILE* fp = std::fopen(path.c_str(), "rb");
+    if (fp == nullptr) {
+      std::fprintf(stderr, "frame_decoder_fuzz: cannot open %s\n",
+                   path.c_str());
+      return 2;
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0)
+      bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(fp);
+    run_one(bytes);
+  }
+
+  std::uint64_t seed = 0x5eed5eedULL;
+  for (std::size_t it = 0; it < iters; ++it) {
+    auto bytes = random_valid_stream(seed);
+    switch (lcg_next(seed) % 4) {
+      case 0:  // intact — the happy path must stay happy
+        break;
+      case 1:  // single-byte corruption anywhere (length, header, body)
+        if (!bytes.empty())
+          bytes[lcg_next(seed) % bytes.size()] ^=
+              static_cast<std::uint8_t>(1 + lcg_next(seed) % 255);
+        break;
+      case 2:  // truncation mid-frame
+        bytes.resize(lcg_next(seed) % (bytes.size() + 1));
+        break;
+      default:  // garbage prefix — misaligned framing from byte 0
+        bytes.insert(bytes.begin(),
+                     static_cast<std::uint8_t>(lcg_next(seed)));
+        break;
+    }
+    run_one(bytes);
+  }
+  std::printf("frame_decoder_fuzz: %zu corpus file(s) + %zu mutations OK\n",
+              corpus.size(), iters);
+  return 0;
+}
+#endif  // DIFFSERVE_FUZZ_STANDALONE

@@ -1,0 +1,33 @@
+// Fixture: every rule's violation present but properly annotated with a
+// justified `ds-lint: allow`. The linter must report nothing here —
+// this is the regression test for the escape hatch (same-line and
+// line-above placements both appear).
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+struct Worker;
+
+double drain_watchdog() {
+  // ds-lint: allow(wall-clock): watchdog timeout only, never feeds a decision
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+int jitter() {
+  return std::rand();  // ds-lint: allow(ambient-random): fixture only, not linked
+}
+
+struct DebugRegistry {
+  // ds-lint: allow(pointer-keyed-ordered): debug dump only, order never observed
+  std::map<Worker*, int> inflight;
+};
+
+double debug_sum(const std::unordered_map<int, double>& by_worker) {
+  double sum = 0.0;
+  // ds-lint: allow(unordered-iteration): debug telemetry, order not observable
+  // ds-lint: allow(float-accumulation-unordered): logged at 1 sig fig only
+  for (const auto& entry : by_worker) sum += entry.second;
+  return sum;
+}

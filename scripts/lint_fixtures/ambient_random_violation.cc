@@ -1,0 +1,8 @@
+// Fixture: ambient RNG in decision code. Must trip `ambient-random`.
+#include <cstdlib>
+#include <random>
+
+int pick_shard(int shard_count) {
+  std::random_device seed_source;
+  return static_cast<int>(seed_source()) % shard_count;
+}

@@ -1,0 +1,9 @@
+// Fixture: escape hatch without a justification. Must trip `bad-allow`
+// (the bare allow) — a reasonless annotation is how contracts rot.
+#include <chrono>
+
+double watchdog_deadline() {
+  // ds-lint: allow(wall-clock)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

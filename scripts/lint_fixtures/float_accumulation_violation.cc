@@ -1,0 +1,15 @@
+// Fixture: float accumulation inside unordered iteration. Must trip
+// `float-accumulation-unordered`. The iteration itself is annotated away
+// so this fixture isolates the accumulation rule: even an
+// order-insensitive *set* of contributions sums differently when float
+// addition reassociates.
+#include <unordered_map>
+
+double total_latency(const std::unordered_map<int, double>& by_worker) {
+  double sum = 0.0;
+  // ds-lint: allow(unordered-iteration): fixture isolates the accumulation rule
+  for (const auto& entry : by_worker) {
+    sum += entry.second;
+  }
+  return sum;
+}

@@ -1,0 +1,10 @@
+// Fixture: ordered container keyed by pointer. Must trip
+// `pointer-keyed-ordered` (address order is allocation order, which
+// ASLR randomizes run to run).
+#include <map>
+
+struct Worker;
+
+struct Registry {
+  std::map<Worker*, int> inflight_by_worker;
+};

@@ -1,0 +1,13 @@
+// Fixture: range-for over an unordered container. Must trip
+// `unordered-iteration` (iteration order varies across hash seeds and
+// standard-library versions).
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> model_names(
+    const std::unordered_map<std::string, int>& models) {
+  std::vector<std::string> names;
+  for (const auto& entry : models) names.push_back(entry.first);
+  return names;
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock read feeding a decision. Must trip `wall-clock`.
+#include <chrono>
+
+double deadline_seconds() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -61,14 +61,14 @@ ClusterController::ClusterController(
   for (auto& p : offline_profiles)
     profiles_.emplace_back(std::move(p), cfg_.control.online_profile_capacity);
   frontend_.set_stats_listener([this](const net::ShardStatsMsg& m) {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    util::MutexLock lock(snap_mu_);
     if (m.shard < snapshots_.size()) snapshots_[m.shard] = m;
   });
 }
 
 void ClusterController::observe_confidence(std::size_t boundary,
                                            double confidence) {
-  std::lock_guard<std::mutex> lock(profile_mu_);
+  util::MutexLock lock(profile_mu_);
   DS_REQUIRE(boundary < profiles_.size(), "confidence for unknown boundary");
   profiles_[boundary].observe(confidence);
 }
@@ -84,7 +84,7 @@ void ClusterController::start() {
 
 void ClusterController::stop() {
   running_.store(false);
-  std::lock_guard<std::mutex> lock(tick_mu_);
+  util::MutexLock lock(tick_mu_);
   if (tick_handle_.valid()) reference_.backend().cancel(tick_handle_);
   tick_handle_ = {};
 }
@@ -103,7 +103,7 @@ void ClusterController::schedule_next_tick() {
       schedule_next_tick();
     });
   });
-  std::lock_guard<std::mutex> lock(tick_mu_);
+  util::MutexLock lock(tick_mu_);
   tick_handle_ = handle;
 }
 
@@ -184,7 +184,7 @@ void ClusterController::solve() {
   const double now = reference_.backend().now();
   std::vector<std::optional<net::ShardStatsMsg>> snaps;
   {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    util::MutexLock lock(snap_mu_);
     snaps = snapshots_;
   }
 
@@ -244,7 +244,7 @@ void ClusterController::solve() {
         models::LatencyProfile(std::move(lat)), nullptr);
   }
   {
-    std::lock_guard<std::mutex> lock(profile_mu_);
+    util::MutexLock lock(profile_mu_);
     for (std::size_t b = 0; b < profiles_.size(); ++b)
       in.boundary_grids[b] = profiles_[b].grid(
           cfg_.control.threshold_grid_points,

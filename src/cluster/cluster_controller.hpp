@@ -30,7 +30,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -40,6 +39,7 @@
 #include "discriminator/deferral_profile.hpp"
 #include "engine/engine.hpp"
 #include "stats/ewma.hpp"
+#include "util/mutex.hpp"
 
 namespace diffserve::cluster {
 
@@ -107,14 +107,22 @@ class ClusterController {
   const double slo_seconds_;
   const ClusterControllerConfig cfg_;
 
-  std::vector<discriminator::OnlineDeferralProfile> profiles_;
-  mutable std::mutex profile_mu_;
+  mutable util::Mutex profile_mu_;
+  /// Fed by every shard's confidence stream (engine data-path threads),
+  /// read by solve() on the control thread.
+  std::vector<discriminator::OnlineDeferralProfile> profiles_
+      DS_GUARDED_BY(profile_mu_);
 
   /// Latest snapshot per shard, written by the frontend's stats listener
   /// (transport thread), read by solve().
-  mutable std::mutex snap_mu_;
-  std::vector<std::optional<net::ShardStatsMsg>> snapshots_;
+  mutable util::Mutex snap_mu_;
+  std::vector<std::optional<net::ShardStatsMsg>> snapshots_
+      DS_GUARDED_BY(snap_mu_);
 
+  /// Everything below is confined to the control flow (start()/stop()
+  /// from the owner, tick()/solve() serialized through the backend's
+  /// single control thread), so it needs no lock — only tick_handle_
+  /// crosses threads, between the re-arm callback and stop().
   stats::HoltEwma demand_holt_;
   stats::Ewma cache_hit_ewma_;
   stats::Ewma cache_near_share_ewma_;
@@ -126,8 +134,8 @@ class ClusterController {
   bool first_tick_ = true;
 
   double next_tick_time_ = 0.0;
-  std::mutex tick_mu_;
-  engine::TimerHandle tick_handle_{};
+  util::Mutex tick_mu_;
+  engine::TimerHandle tick_handle_ DS_GUARDED_BY(tick_mu_){};
   std::atomic<bool> running_{false};
   std::uint64_t token_ = 0;
   std::vector<Snapshot> history_;

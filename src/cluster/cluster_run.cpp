@@ -232,8 +232,11 @@ ClusterResult run_cluster_threaded(const core::CascadeEnvironment& env,
   // wait for every terminal frame to cross the wire.
   clock.sleep_until(trace.duration() + slo + 5.0);
   const auto wall_deadline =
+      // ds-lint: allow(wall-clock): drain watchdog bounds shutdown wall
+      // time only; every serving decision already happened on trace time.
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
   while (!frontend.drained() &&
+         // ds-lint: allow(wall-clock): same drain watchdog
          std::chrono::steady_clock::now() < wall_deadline)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
 
@@ -243,6 +246,7 @@ ClusterResult run_cluster_threaded(const core::CascadeEnvironment& env,
   // the transports down.
   for (auto& backend : backends) backend->stop();
   while (!frontend.drained() &&
+         // ds-lint: allow(wall-clock): same drain watchdog
          std::chrono::steady_clock::now() < wall_deadline)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   for (auto& node : nodes) node->stop();

@@ -35,6 +35,9 @@ void ShardFrontend::attach_shard(std::unique_ptr<net::Endpoint> endpoint) {
   endpoint->set_receiver(
       [this, shard](net::Frame f) { on_frame(shard, std::move(f)); });
   shards_.push_back(std::move(endpoint));
+  // Setup is single-threaded (attach-all-then-serve), but the guarded
+  // members still take the lock so the discipline is uniform.
+  util::MutexLock lock(mu_);
   inflight_.push_back(0);
   // Rebuild the ring: virtual_nodes points per shard, keyed by
   // (shard, replica) under the seed. Deterministic for a given shard
@@ -94,12 +97,12 @@ std::size_t ShardFrontend::route_locked(quality::QueryId prompt_id) const {
 }
 
 std::size_t ShardFrontend::hash_shard(quality::QueryId prompt_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return hash_shard_locked(prompt_id);
 }
 
 std::size_t ShardFrontend::route(quality::QueryId prompt_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return route_locked(prompt_id);
 }
 
@@ -107,7 +110,7 @@ engine::Query ShardFrontend::submit_next(double now) {
   engine::Query q;
   std::size_t shard = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     // Field-for-field what engine::CascadeEngine::submit_next assigns —
     // the 1-shard equivalence contract depends on this.
     q.seq = next_seq_++;
@@ -126,7 +129,7 @@ engine::Query ShardFrontend::submit_next(double now) {
 void ShardFrontend::submit(engine::Query q) {
   std::size_t shard = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shard = route_locked(q.prompt_id);
     ++inflight_[shard];
     ++submitted_;
@@ -142,7 +145,7 @@ void ShardFrontend::send_to_shard(std::size_t shard, const net::Frame& f) {
 
 void ShardFrontend::set_stats_listener(
     std::function<void(const net::ShardStatsMsg&)> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   stats_listener_ = std::move(fn);
 }
 
@@ -154,7 +157,7 @@ void ShardFrontend::on_frame(std::size_t shard, net::Frame f) {
                              << shard;
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     // Cross-shard socket delivery can reorder by microseconds; the sink's
     // sliding windows require non-decreasing timestamps. Clamping is a
     // no-op on the DES (delivery order is event order).
@@ -178,7 +181,7 @@ void ShardFrontend::on_frame(std::size_t shard, net::Frame f) {
     }
     std::function<void(const net::ShardStatsMsg&)> listener;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       listener = stats_listener_;
     }
     if (listener) listener(m);
@@ -189,22 +192,22 @@ void ShardFrontend::on_frame(std::size_t shard, net::Frame f) {
 }
 
 std::uint64_t ShardFrontend::submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return submitted_;
 }
 
 std::uint64_t ShardFrontend::terminated() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return terminated_;
 }
 
 bool ShardFrontend::drained() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return terminated_ == submitted_;
 }
 
 std::uint64_t ShardFrontend::inflight(std::size_t shard) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return inflight_[shard];
 }
 

@@ -27,13 +27,14 @@
 // Thread safety: all mutable state (sampler, sequence, in-flight
 // counters, sink) is under one mutex; sends happen outside it. Receivers
 // are installed by attach_shard() and fire from transport threads in the
-// threaded runtime.
+// threaded runtime. The locking discipline is machine-checked: mu_ is a
+// util::Mutex and every guarded member is DS_GUARDED_BY it (see
+// util/thread_annotations.hpp and the CI thread-safety gate).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "engine/metrics_sink.hpp"
@@ -41,6 +42,7 @@
 #include "net/messages.hpp"
 #include "net/transport.hpp"
 #include "trace/prompt_mix.hpp"
+#include "util/mutex.hpp"
 
 namespace diffserve::cluster {
 
@@ -104,28 +106,40 @@ class ShardFrontend {
   bool drained() const;
   std::uint64_t inflight(std::size_t shard) const;
 
-  engine::MetricsSink& sink() { return sink_; }
-  const engine::MetricsSink& sink() const { return sink_; }
+  /// Post-run access seam: the runners read the folded sink after the
+  /// cluster has drained and every transport stopped, when no receiver
+  /// can race it — a handoff the analysis cannot see, hence the opt-out.
+  engine::MetricsSink& sink() DS_NO_THREAD_SAFETY_ANALYSIS { return sink_; }
+  const engine::MetricsSink& sink() const DS_NO_THREAD_SAFETY_ANALYSIS {
+    return sink_;
+  }
 
  private:
   void on_frame(std::size_t shard, net::Frame f);
-  std::size_t route_locked(quality::QueryId prompt_id) const;
-  std::size_t hash_shard_locked(quality::QueryId prompt_id) const;
+  std::size_t route_locked(quality::QueryId prompt_id) const DS_REQUIRES(mu_);
+  std::size_t hash_shard_locked(quality::QueryId prompt_id) const
+      DS_REQUIRES(mu_);
 
   const FrontendConfig cfg_;
-  /// Hash ring: (point, shard), sorted by point. Rebuilt on attach.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  /// Endpoints: appended during single-threaded setup (attach-all-then-
+  /// serve is the contract), immutable afterwards; send() is each
+  /// endpoint's own concern — deliberately touched outside mu_ so a
+  /// blocking socket write never holds up routing.
   std::vector<std::unique_ptr<net::Endpoint>> shards_;
 
-  mutable std::mutex mu_;
-  trace::PromptSampler sampler_;
-  engine::MetricsSink sink_;
-  std::vector<std::uint64_t> inflight_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t terminated_ = 0;
-  double last_sink_time_ = 0.0;
-  std::function<void(const net::ShardStatsMsg&)> stats_listener_;
+  mutable util::Mutex mu_;
+  /// Hash ring: (point, shard), sorted by point. Rebuilt on attach.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_
+      DS_GUARDED_BY(mu_);
+  trace::PromptSampler sampler_ DS_GUARDED_BY(mu_);
+  engine::MetricsSink sink_ DS_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> inflight_ DS_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t submitted_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t terminated_ DS_GUARDED_BY(mu_) = 0;
+  double last_sink_time_ DS_GUARDED_BY(mu_) = 0.0;
+  std::function<void(const net::ShardStatsMsg&)> stats_listener_
+      DS_GUARDED_BY(mu_);
 };
 
 }  // namespace diffserve::cluster

@@ -42,7 +42,7 @@ Controller::Controller(
     profiles_.emplace_back(std::move(p), cfg_.online_profile_capacity);
   // Feed every data-path confidence into its boundary's online profile.
   engine_.set_confidence_observer([this](std::size_t boundary, double c) {
-    std::lock_guard<std::mutex> lock(profile_mu_);
+    util::MutexLock lock(profile_mu_);
     profiles_[boundary].observe(c);
   });
 }
@@ -67,7 +67,7 @@ void Controller::start() {
 
 void Controller::stop() {
   running_.store(false);
-  std::lock_guard<std::mutex> lock(tick_mu_);
+  util::MutexLock lock(tick_mu_);
   if (tick_handle_.valid()) engine_.backend().cancel(tick_handle_);
   tick_handle_ = {};
 }
@@ -90,7 +90,7 @@ void Controller::schedule_next_tick() {
       schedule_next_tick();
     });
   });
-  std::lock_guard<std::mutex> lock(tick_mu_);
+  util::MutexLock lock(tick_mu_);
   tick_handle_ = handle;
 }
 
@@ -129,7 +129,7 @@ AllocationInput Controller::snapshot_input() const {
         StagePerfModel(models::LatencyProfile(std::move(lat)), nullptr);
   }
   {
-    std::lock_guard<std::mutex> lock(profile_mu_);
+    util::MutexLock lock(profile_mu_);
     for (std::size_t b = 0; b < profiles_.size(); ++b)
       in.boundary_grids[b] = profiles_[b].grid(cfg_.threshold_grid_points,
                                                cfg_.max_deferral_fraction);

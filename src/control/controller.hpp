@@ -17,13 +17,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "control/allocator.hpp"
 #include "discriminator/deferral_profile.hpp"
 #include "engine/engine.hpp"
 #include "stats/ewma.hpp"
+#include "util/mutex.hpp"
 
 namespace diffserve::control {
 
@@ -126,12 +126,13 @@ class Controller {
 
   engine::CascadeEngine& engine_;
   std::unique_ptr<Allocator> allocator_;
-  /// One online profile per cascade boundary.
-  std::vector<discriminator::OnlineDeferralProfile> profiles_;
   /// Confidence observations arrive from the engine's data path, which a
   /// concurrent backend runs on worker threads; ticks read the profiles
-  /// from the timer thread.
-  mutable std::mutex profile_mu_;
+  /// from the control thread.
+  mutable util::Mutex profile_mu_;
+  /// One online profile per cascade boundary.
+  std::vector<discriminator::OnlineDeferralProfile> profiles_
+      DS_GUARDED_BY(profile_mu_);
   ControllerConfig cfg_;
 
   stats::HoltEwma demand_holt_;
@@ -151,8 +152,8 @@ class Controller {
   double next_tick_time_ = 0.0;
   /// Written by the re-arm callback on the backend's timer thread, read
   /// by stop() on the caller's thread.
-  std::mutex tick_mu_;
-  engine::TimerHandle tick_handle_{};
+  util::Mutex tick_mu_;
+  engine::TimerHandle tick_handle_ DS_GUARDED_BY(tick_mu_){};
   std::atomic<bool> running_{false};
   std::vector<Snapshot> history_;
 };

@@ -260,6 +260,8 @@ AllocationDecision overload_fallback(const AllocationInput& in) {
 }
 
 AllocationDecision ExhaustiveAllocator::allocate(const AllocationInput& in) {
+  // ds-lint: allow(wall-clock): solve_time_ms is telemetry; the decision
+  // itself is a pure function of `in`.
   const auto start = std::chrono::steady_clock::now();
   DS_REQUIRE(in.stage_count() >= 1, "allocation needs at least one stage");
   DS_REQUIRE(in.boundary_count() + 1 == in.stage_count(),
@@ -277,6 +279,7 @@ AllocationDecision ExhaustiveAllocator::allocate(const AllocationInput& in) {
 
   out.solve_time_ms =
       std::chrono::duration<double, std::milli>(
+          // ds-lint: allow(wall-clock): telemetry end-stamp, see above
           std::chrono::steady_clock::now() - start)
           .count();
   return out;

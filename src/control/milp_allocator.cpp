@@ -169,6 +169,8 @@ milp::Problem MilpAllocator::build_problem(const AllocationInput& in,
 }
 
 AllocationDecision MilpAllocator::allocate(const AllocationInput& in) {
+  // ds-lint: allow(wall-clock): solve_time_ms is telemetry; the decision
+  // itself is a pure function of `in`.
   const auto start = std::chrono::steady_clock::now();
   const Formulation formulation = effective_formulation(in, formulation_);
   milp::MilpOptions options = options_;
@@ -269,6 +271,7 @@ AllocationDecision MilpAllocator::allocate(const AllocationInput& in) {
     out = overload_fallback(in);
   }
   out.solve_time_ms = std::chrono::duration<double, std::milli>(
+                          // ds-lint: allow(wall-clock): telemetry end-stamp
                           std::chrono::steady_clock::now() - start)
                           .count();
   return out;

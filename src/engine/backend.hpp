@@ -47,7 +47,11 @@ class ExecutionBackend {
   /// Lock protecting the engine's mutable state. Single-threaded backends
   /// (the DES) return an empty lock; concurrent backends return a held
   /// lock on a real mutex. The engine acquires this at every public entry
-  /// point and inside every backend callback.
+  /// point and inside every backend callback. This seam deliberately
+  /// stays on std::unique_lock<std::mutex> (via util::Mutex::native())
+  /// rather than the annotated util::MutexLock: clang's Thread Safety
+  /// Analysis cannot track a capability handed across a virtual call, so
+  /// this one path is covered by TSan instead (see util/mutex.hpp).
   virtual std::unique_lock<std::mutex> guard() = 0;
 
   /// Run long-running control work (e.g. an allocator solve) somewhere it

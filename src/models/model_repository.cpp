@@ -61,13 +61,15 @@ ModelRepository ModelRepository::with_paper_catalog() {
   repo.register_model({catalog::kViT, ModelKind::kDiscriminator,
                        LatencyProfile::affine(0.005, 0.1), 0, 512});
 
-  // The paper's three cascades with their SLOs (§4.1).
+  // The paper's three cascades with their SLOs (§4.1). Pair-form specs:
+  // the empty chain/discriminator vectors mean "derive from the pair
+  // fields" (normalize() expands them).
   repo.register_cascade({catalog::kCascade1, catalog::kSdTurbo,
-                         catalog::kSdV15, catalog::kEfficientNet, 5.0});
+                         catalog::kSdV15, catalog::kEfficientNet, 5.0, {}, {}});
   repo.register_cascade({catalog::kCascade2, catalog::kSdxs, catalog::kSdV15,
-                         catalog::kEfficientNet, 5.0});
+                         catalog::kEfficientNet, 5.0, {}, {}});
   repo.register_cascade({catalog::kCascade3, catalog::kSdxlLightning,
-                         catalog::kSdxl, catalog::kEfficientNet, 15.0});
+                         catalog::kSdxl, catalog::kEfficientNet, 15.0, {}, {}});
 
   // Chain-form registrations: Cascade 1 re-registered as an explicit chain
   // (N=2 equivalence checks), the three-stage tiny->base->large chain, and

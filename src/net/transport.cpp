@@ -8,10 +8,10 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 
 namespace diffserve::net {
 
@@ -81,7 +81,9 @@ class SocketEndpoint final : public Endpoint {
 
   void send(const Frame& f) override {
     const std::vector<std::uint8_t> bytes = net::encode(f);
-    std::lock_guard<std::mutex> lk(write_mu_);
+    // write_mu_ serializes whole frames onto the byte stream; a torn
+    // interleaving would desynchronize the peer's framing forever.
+    util::MutexLock lk(write_mu_);
     std::size_t off = 0;
     while (off < bytes.size()) {
       const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
@@ -137,7 +139,11 @@ class SocketEndpoint final : public Endpoint {
   }
 
   int fd_;
-  std::mutex write_mu_;
+  /// Guards the write side of fd_ (reads happen only on the reader
+  /// thread; fd_ itself is set once at construction).
+  util::Mutex write_mu_;
+  /// Installed before start() (enforced), then read only by the reader
+  /// thread — the start() thread-join is the synchronization point.
   std::function<void(Frame)> receiver_;
   std::thread reader_;
 };

@@ -43,7 +43,7 @@ std::vector<double> MlpClassifier::forward_inference(
     const std::vector<double>& x) const {
   std::vector<double> h = x;
   if (input_noise_ > 0.0) {
-    std::lock_guard<std::mutex> lock(rng_mutex_);
+    util::MutexLock lock(rng_mutex_);
     for (auto& v : h) v += rng_.normal(0.0, input_noise_);
   }
   for (const auto& layer : layers_) h = layer.infer(h);
@@ -62,7 +62,13 @@ TrainReport MlpClassifier::train(const std::vector<std::vector<double>>& x,
 
   TrainReport report;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
-    rng_.shuffle(order);
+    // Training is single-threaded, but rng_ is guarded_by the RNG mutex
+    // (the const inference path really does race without it), so training
+    // draws take the uncontended lock rather than an analysis opt-out.
+    {
+      util::MutexLock lock(rng_mutex_);
+      rng_.shuffle(order);
+    }
     double epoch_loss = 0.0;
     std::size_t seen = 0;
     for (std::size_t start = 0; start < order.size();
@@ -72,8 +78,10 @@ TrainReport MlpClassifier::train(const std::vector<std::vector<double>>& x,
       for (std::size_t k = start; k < end; ++k) {
         const std::size_t idx = order[k];
         std::vector<double> input = x[idx];
-        if (cfg.input_noise > 0.0)
+        if (cfg.input_noise > 0.0) {
+          util::MutexLock lock(rng_mutex_);
           for (auto& v : input) v += rng_.normal(0.0, cfg.input_noise);
+        }
         const auto logit = forward(input);
         const auto prob = softmax(logit);
         const int label = y[idx];

@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "nn/dense.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace diffserve::nn {
@@ -49,16 +49,6 @@ class MlpClassifier {
   std::size_t input_dim() const;
 
  private:
-  // Mutex whose copies start unlocked, so the classifier stays copyable
-  // and movable (Discriminator takes it by value).
-  struct UnlockedOnCopyMutex : std::mutex {
-    UnlockedOnCopyMutex() = default;
-    UnlockedOnCopyMutex(const UnlockedOnCopyMutex&) : std::mutex() {}
-    UnlockedOnCopyMutex& operator=(const UnlockedOnCopyMutex&) {
-      return *this;
-    }
-  };
-
   std::vector<double> forward(const std::vector<double>& x);
   // Inference via Dense::infer — no layer state is touched, so concurrent
   // callers that don't share a lock (shards sharing one discriminator) are
@@ -66,8 +56,12 @@ class MlpClassifier {
   std::vector<double> forward_inference(const std::vector<double>& x) const;
 
   std::vector<Dense> layers_;
-  mutable util::Rng rng_;
-  mutable UnlockedOnCopyMutex rng_mutex_;
+  // CopyableMutex keeps the classifier copyable (Discriminator takes it
+  // by value); the PR-7 race fix hinges on every RNG draw in the const
+  // inference path holding this lock, which the guarded_by now enforces
+  // at compile time.
+  mutable util::CopyableMutex rng_mutex_;
+  mutable util::Rng rng_ DS_GUARDED_BY(rng_mutex_);
   double input_noise_ = 0.0;
 };
 

@@ -82,15 +82,15 @@ void ThreadedBackend::stop() {
   }
   if (stop_.exchange(true)) return;
   {
-    std::lock_guard<std::mutex> lk(timer_park_mu_);
+    util::MutexLock lk(timer_park_mu_);
     timer_park_cv_.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lk(control_park_mu_);
+    util::MutexLock lk(control_park_mu_);
     control_park_cv_.notify_all();
   }
   for (auto& ex : executors_) {
-    std::lock_guard<std::mutex> lk(ex->park_mu);
+    util::MutexLock lk(ex->park_mu);
     ex->park_cv.notify_all();
   }
   if (timer_thread_.joinable()) timer_thread_.join();
@@ -167,10 +167,11 @@ void ThreadedBackend::control_main() {
     // a moment before the stop flag was raised (checked after the pop
     // attempt above came up empty).
     if (stop_.load()) return;
-    std::unique_lock<std::mutex> lk(control_park_mu_);
-    control_park_cv_.wait_for(lk, std::chrono::milliseconds(2), [&] {
-      return stop_.load() || !control_jobs_.empty();
-    });
+    util::MutexLock lk(control_park_mu_);
+    control_park_cv_.wait_for(control_park_mu_, std::chrono::milliseconds(2),
+                              [&] {
+                                return stop_.load() || !control_jobs_.empty();
+                              });
   }
 }
 
@@ -192,8 +193,8 @@ void ThreadedBackend::timer_main() {
     if (stop_.load()) return;
     while (!heap.empty() && fns.find(heap.top().id) == fns.end()) heap.pop();
     if (heap.empty()) {
-      std::unique_lock<std::mutex> lk(timer_park_mu_);
-      timer_park_cv_.wait_for(lk, std::chrono::milliseconds(2));
+      util::MutexLock lk(timer_park_mu_);
+      timer_park_cv_.wait_for(timer_park_mu_, std::chrono::milliseconds(2));
       continue;
     }
     const double due = heap.top().at;
@@ -212,10 +213,11 @@ void ThreadedBackend::timer_main() {
       continue;
     }
     // Park until the due time, capped so stop/new-timer are noticed.
-    std::unique_lock<std::mutex> lk(timer_park_mu_);
-    timer_park_cv_.wait_for(lk, std::min<std::chrono::duration<double>>(
-                                    clock_.wall_duration(due - now),
-                                    std::chrono::milliseconds(2)));
+    util::MutexLock lk(timer_park_mu_);
+    timer_park_cv_.wait_for(timer_park_mu_,
+                            std::min<std::chrono::duration<double>>(
+                                clock_.wall_duration(due - now),
+                                std::chrono::milliseconds(2)));
   }
 }
 
@@ -248,10 +250,9 @@ void ThreadedBackend::executor_main(Executor& ex, int index) {
       if ((spin & 63) == 63) std::this_thread::yield();
     }
     if (got) continue;
-    std::unique_lock<std::mutex> lk(ex.park_mu);
-    ex.park_cv.wait_for(lk, std::chrono::milliseconds(2), [&] {
-      return stop_.load() || !ex.ring.empty();
-    });
+    util::MutexLock lk(ex.park_mu);
+    ex.park_cv.wait_for(ex.park_mu, std::chrono::milliseconds(2),
+                        [&] { return stop_.load() || !ex.ring.empty(); });
   }
 }
 

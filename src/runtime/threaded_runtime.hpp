@@ -34,7 +34,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -51,6 +50,7 @@
 #include "trace/arrivals.hpp"
 #include "trace/prompt_mix.hpp"
 #include "trace/rate_trace.hpp"
+#include "util/mutex.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/trace_clock.hpp"
 
@@ -78,8 +78,12 @@ class ThreadedBackend final : public engine::ExecutionBackend {
   void stop();
 
   double now() const override { return clock_.now(); }
+  /// The engine guard crosses the ExecutionBackend seam as a
+  /// std::unique_lock, which the thread-safety analysis cannot track
+  /// (and the engine's state lives on the other side of a virtual call
+  /// anyway) — TSan covers this path; see util/mutex.hpp.
   std::unique_lock<std::mutex> guard() override {
-    return std::unique_lock<std::mutex>(mu_);
+    return std::unique_lock<std::mutex>(mu_.native());
   }
   /// Lock-free: posts an arm message to the timer inbox.
   engine::TimerHandle defer(double delay_seconds,
@@ -125,8 +129,10 @@ class ThreadedBackend final : public engine::ExecutionBackend {
     /// been delivered; stop()'s quiesce reads it (with the ring) to tell
     /// "no work" from "work in flight".
     std::atomic<bool> busy{false};
-    std::mutex park_mu;
-    std::condition_variable park_cv;
+    /// Parking only — no data travels under it (the ring and the atomics
+    /// above are the shared state), so nothing is DS_GUARDED_BY it.
+    util::Mutex park_mu;
+    util::CondVar park_cv;
     std::thread thread;
   };
 
@@ -136,14 +142,16 @@ class ThreadedBackend final : public engine::ExecutionBackend {
 
   const util::TraceClock& clock_;
   const bool pin_executors_;
-  std::mutex mu_;  ///< the engine guard
+  util::Mutex mu_;  ///< the engine guard (handed out via guard())
 
   /// Timer plumbing: producers touch only inbox_/next_id_; the heap and
-  /// callback map live on the timer thread's stack frame.
+  /// callback map live on the timer thread's stack frame. The park
+  /// mutexes guard no data (lost wakeups are bounded by the capped
+  /// waits), so no members are DS_GUARDED_BY them.
   util::MpscRing<TimerMsg> timer_inbox_{1024, util::OverflowPolicy::kBlock};
   std::atomic<std::uint64_t> next_id_{1};
-  std::mutex timer_park_mu_;
-  std::condition_variable timer_park_cv_;
+  util::Mutex timer_park_mu_;
+  util::CondVar timer_park_cv_;
   std::thread timer_thread_;
 
   std::vector<std::unique_ptr<Executor>> executors_;
@@ -151,8 +159,8 @@ class ThreadedBackend final : public engine::ExecutionBackend {
   /// Offloaded control work (see offload()).
   util::MpscRing<std::function<void()>> control_jobs_{
       64, util::OverflowPolicy::kBlock};
-  std::mutex control_park_mu_;
-  std::condition_variable control_park_cv_;
+  util::Mutex control_park_mu_;
+  util::CondVar control_park_cv_;
   std::thread control_thread_;
   /// True while the control thread is inside a job (raised before the
   /// pop); stop()'s quiesce waits on it like it does for the timer thread.

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace diffserve::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;  // serialize lines from the threaded runtime
+Mutex g_mutex;  // serialize lines from the threaded runtime
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +29,10 @@ LogLevel log_level() { return g_level.load(); }
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  // The guarded resource is std::cerr (interleaving-free lines), which
+  // the analysis cannot express as a member; the MutexLock still gives
+  // the acquire/release points attributes so lock-order checks see it.
+  MutexLock lock(g_mutex);
   std::cerr << "[" << level_name(level) << "] [" << component << "] "
             << message << "\n";
 }

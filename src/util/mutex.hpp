@@ -1,0 +1,141 @@
+// Annotated mutex shim — std::mutex under clang Thread Safety Analysis.
+//
+// std::mutex carries no thread-safety attributes, so the analysis cannot
+// follow it. These thin wrappers are the lock vocabulary for every
+// lock-owning class in the library:
+//
+//   util::Mutex      — a std::mutex declared as a DS_CAPABILITY, so
+//                      members can be DS_GUARDED_BY it and functions can
+//                      DS_REQUIRES / DS_EXCLUDES it.
+//   util::CopyableMutex — a Mutex whose copies/moves start unlocked, for
+//                      otherwise-copyable classes that own a lock (the
+//                      discriminator's noise-RNG guard).
+//   util::MutexLock  — scoped lock (the only way code here should take a
+//                      Mutex); the analysis sees the capability held for
+//                      exactly the block scope.
+//   util::CondVar    — condition variable that waits on a util::Mutex the
+//                      caller already holds (DS_REQUIRES enforced), used
+//                      by the threaded backend's parking protocol.
+//
+// Zero overhead: everything inlines to the std:: equivalent; the
+// attributes vanish off clang (see thread_annotations.hpp). The engine
+// guard seam (ExecutionBackend::guard() returning std::unique_lock) stays
+// on std::mutex via Mutex::native() — the analysis cannot track a lock
+// handed across a virtual call anyway, and TSan covers that path.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace diffserve::util {
+
+class DS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DS_ACQUIRE() { mu_.lock(); }
+  void unlock() DS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for seams that must hand a std::unique_lock
+  /// across an interface (ExecutionBackend::guard()) or adopt the lock
+  /// into a std:: primitive (CondVar below). Accesses through the native
+  /// handle are invisible to the analysis — keep them to those seams.
+  std::mutex& native() { return mu_; }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// A Mutex for copyable lock-owning classes: copies and copy-assignments
+/// produce a fresh, unlocked mutex (the lock protects per-instance state,
+/// so sharing it across copies would be wrong anyway).
+class DS_CAPABILITY("mutex") CopyableMutex {
+ public:
+  CopyableMutex() = default;
+  CopyableMutex(const CopyableMutex&) {}
+  CopyableMutex& operator=(const CopyableMutex&) { return *this; }
+
+  void lock() DS_ACQUIRE() { mu_.lock(); }
+  void unlock() DS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex / CopyableMutex. Deliberately minimal: no
+/// deferred/adopted modes, no early unlock — a MutexLock *is* the
+/// critical section, which is exactly the shape the analysis reasons
+/// about best.
+class DS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DS_ACQUIRE(mu) : mu_(&mu.mu_) { mu_->lock(); }
+  explicit MutexLock(CopyableMutex& mu) DS_ACQUIRE(mu) : mu_(&mu.mu_) {
+    mu_->lock();
+  }
+  ~MutexLock() DS_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  std::mutex* mu_;
+};
+
+/// Condition variable over util::Mutex. Waits require the mutex held (the
+/// analysis enforces it); internally the held lock is adopted into a
+/// std::unique_lock for the wait and released back to the caller's
+/// MutexLock afterwards, so the capability bookkeeping stays consistent.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) DS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      DS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lk, dur);
+    lk.release();
+    return st;
+  }
+
+  /// Predicate forms: `pred` runs with the mutex held, like std::. The
+  /// analysis does not propagate lock state into lambda bodies, so keep
+  /// predicates over lock-free state (atomics, rings) — guarded state
+  /// belongs in the enclosing critical section, not the predicate.
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) DS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const bool r = cv_.wait_for(lk, dur, std::move(pred));
+    lk.release();
+    return r;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace diffserve::util
