@@ -49,6 +49,7 @@ engine::EngineConfig shard_engine_config(const ClusterRunConfig& cfg,
   // Aggregate counters stay exact.
   ecfg.record_terminal_events = false;
   ecfg.cache = cfg.cache;
+  ecfg.slo_classes = cfg.slo_classes;
   return ecfg;
 }
 
@@ -70,6 +71,7 @@ FrontendConfig frontend_config(const ClusterRunConfig& cfg, double slo) {
   fcfg.slo_seconds = slo;
   fcfg.prompt_mix = cfg.prompt_mix;
   fcfg.record_terminal_events = cfg.record_terminal_events;
+  fcfg.slo_classes = cfg.slo_classes;
   return fcfg;
 }
 
@@ -93,6 +95,13 @@ ClusterResult harvest(const ShardFrontend& frontend,
                 duration
           : 0.0;
   r.cluster_reconfigurations = cc.history().size();
+  for (std::size_t c = 0; c < engine::kQueryClassCount; ++c) {
+    const auto cls = static_cast<engine::QueryClass>(c);
+    r.class_completed[c] = sink.class_completed(cls);
+    r.class_dropped[c] = sink.class_dropped(cls);
+    r.class_violation_ratio[c] = sink.class_violation_ratio(cls);
+    r.class_mean_latency[c] = sink.class_mean_latency(cls);
+  }
   r.shards.reserve(engines.size());
   for (const auto& eng : engines) {
     ShardBreakdown b;

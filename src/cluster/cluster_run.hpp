@@ -16,6 +16,7 @@
 // cluster at zero hop latency is decision-identical to the bare engine.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -57,6 +58,10 @@ struct ClusterRunConfig {
   cache::CacheConfig cache;
   /// The frontend's prompt stream (cluster analogue of the engine knob).
   trace::PromptMixConfig prompt_mix;
+  /// SLO classes, forwarded both to every shard engine (per-class queues,
+  /// class-aware batching) and to the frontend (class draw + per-class
+  /// deadline at admission).
+  engine::SloClassConfig slo_classes;
   /// Frontend routing knobs (slo/prompt_mix/record_terminal_events are
   /// overwritten from the fields above).
   FrontendConfig frontend;
@@ -84,6 +89,12 @@ struct ClusterResult {
   /// SLO-meeting completions per trace second.
   double goodput_qps = 0.0;
   std::size_t cluster_reconfigurations = 0;  ///< controller solves pushed
+  /// Per-SLO-class terminals (indexed by engine::QueryClass; with classes
+  /// disabled the kStandard row carries everything).
+  std::array<std::size_t, engine::kQueryClassCount> class_completed{};
+  std::array<std::size_t, engine::kQueryClassCount> class_dropped{};
+  std::array<double, engine::kQueryClassCount> class_violation_ratio{};
+  std::array<double, engine::kQueryClassCount> class_mean_latency{};
   std::vector<ShardBreakdown> shards;
 };
 

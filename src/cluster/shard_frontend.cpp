@@ -117,6 +117,12 @@ engine::Query ShardFrontend::submit_next(double now) {
     q.prompt_id = sampler_.next();
     q.arrival_time = now;
     q.deadline = now + cfg_.slo_seconds;
+    if (cfg_.slo_classes.enabled) {
+      q.query_class =
+          static_cast<engine::QueryClass>(sampler_.next_class());
+      q.deadline = now + cfg_.slo_seconds *
+                             cfg_.slo_classes.multiplier(q.query_class);
+    }
     shard = route_locked(q.prompt_id);
     ++inflight_[shard];
     ++submitted_;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "engine/metrics_sink.hpp"
+#include "engine/plan.hpp"
 #include "engine/query.hpp"
 #include "net/messages.hpp"
 #include "net/transport.hpp"
@@ -66,6 +67,10 @@ struct FrontendConfig {
   /// Which prompt each frontend-admitted query carries; must match what a
   /// bare engine would use for the equivalence contract to hold.
   trace::PromptMixConfig prompt_mix;
+  /// SLO classes: when enabled, submit_next draws each query's class from
+  /// the sampler's class stream and scales its deadline by the per-class
+  /// multiplier — exactly what a bare engine with the same config does.
+  engine::SloClassConfig slo_classes;
 };
 
 class ShardFrontend {

@@ -36,6 +36,10 @@ net::ShardStatsMsg ShardNode::snapshot(std::uint64_t token) const {
     m.stages.push_back({stats.total_queue_length, stats.arrival_rate,
                         static_cast<std::int32_t>(stats.workers)});
   }
+  if (engine_.config().slo_classes.enabled) {
+    const auto rates = engine_.class_demand_rates();
+    m.class_demand.assign(rates.begin(), rates.end());
+  }
   return m;
 }
 

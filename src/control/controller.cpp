@@ -28,6 +28,9 @@ Controller::Controller(
       allocator_(std::move(allocator)),
       cfg_(cfg),
       demand_holt_(cfg.ewma_alpha, cfg.trend_beta),
+      class_demand_ewma_{{stats::Ewma(cfg.ewma_alpha),
+                          stats::Ewma(cfg.ewma_alpha),
+                          stats::Ewma(cfg.ewma_alpha)}},
       cache_hit_ewma_(cfg.cache_alpha),
       cache_near_share_ewma_(cfg.cache_alpha),
       cache_far_share_ewma_(cfg.cache_alpha),
@@ -105,6 +108,36 @@ AllocationInput Controller::snapshot_input() const {
   in.slo_seconds = engine_.config().slo_seconds;
   in.total_workers = engine_.config().total_workers;
   in.recent_violation_ratio = engine_.recent_violation_ratio();
+
+  // SLO-class objective: hand the allocator the per-class demand vector
+  // and fold the weighted per-class deadlines into one *effective* SLO —
+  // the weighted *harmonic* mean of the class deadlines (weights =
+  // slo_weight x observed demand), so every allocator provisions against
+  // the tiered objective without per-allocator changes. Harmonic, not
+  // arithmetic: tight classes must dominate the blend — an arithmetic
+  // mean lets a large batch share dilate the target past the standard
+  // class's deadline and wreck it, while harmonically the loose batch
+  // deadline only relaxes the target when nothing tighter has demand.
+  // Classless (or not-yet-observed) inputs keep the engine SLO,
+  // byte-identical to the pre-class controller.
+  const auto& sc = engine_.config().slo_classes;
+  if (sc.enabled) {
+    in.class_demand_qps.assign(engine::kQueryClassCount, 0.0);
+    in.class_slo_weights.assign(engine::kQueryClassCount, 0.0);
+    double weight_sum = 0.0;
+    double inverse_slo = 0.0;
+    for (std::size_t c = 0; c < engine::kQueryClassCount; ++c) {
+      const double d = class_demand_ewma_[c].value();
+      in.class_demand_qps[c] = d;
+      in.class_slo_weights[c] = sc.slo_weight[c];
+      const double wc = sc.slo_weight[c] * d;
+      weight_sum += wc;
+      inverse_slo +=
+          wc / (engine_.config().slo_seconds * sc.deadline_multiplier[c]);
+    }
+    if (sc.class_aware_scheduling && weight_sum > 0.0 && inverse_slo > 0.0)
+      in.slo_seconds = weight_sum / inverse_slo;
+  }
 
   // Cache-aware discounts: exact hits never reach the chain, so the
   // allocator plans for the *effective* demand lambda * (1 - h_exact);
@@ -207,7 +240,14 @@ void Controller::tick() {
   // The first tick fires before any arrivals; folding its empty-window
   // observation into the estimate would decay the initial demand guess
   // (and, on a wall-clock backend, `now` is never exactly 0).
-  if (!first_tick_) demand_holt_.observe(observed);
+  if (!first_tick_) {
+    demand_holt_.observe(observed);
+    if (engine_.config().slo_classes.enabled) {
+      const auto class_rates = engine_.class_demand_rates();
+      for (std::size_t c = 0; c < engine::kQueryClassCount; ++c)
+        class_demand_ewma_[c].observe(class_rates[c]);
+    }
+  }
   first_tick_ = false;
   observe_cache();
 
@@ -221,6 +261,10 @@ void Controller::tick() {
                       effective_near_hit_ratio(),
                       effective_far_hit_ratio(),
                       effective_service_discount(), d});
+  auto& snap = history_.back();
+  snap.effective_slo_seconds = in.slo_seconds;
+  for (std::size_t c = 0; c < engine::kQueryClassCount; ++c)
+    snap.class_demand[c] = class_demand_ewma_[c].value();
   DS_LOG_DEBUG("controller")
       << "t=" << now << " demand=" << in.demand_qps
       << " x0=" << d.workers.front() << " x_last=" << d.workers.back()

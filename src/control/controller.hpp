@@ -15,6 +15,7 @@
 // cascade yields exactly the paper's control loop.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -97,6 +98,12 @@ class Controller {
     /// (1 with the cache off) — combined from the per-level EWMAs.
     double cache_service_discount = 1.0;
     AllocationDecision decision;
+    /// Smoothed per-class demand (QPS, indexed by engine::QueryClass;
+    /// all-zero with SLO classes disabled).
+    std::array<double, engine::kQueryClassCount> class_demand{};
+    /// Weighted effective SLO handed to the allocator (== the engine SLO
+    /// in classless setups).
+    double effective_slo_seconds = 0.0;
   };
   const std::vector<Snapshot>& history() const { return history_; }
   const Allocator& allocator() const { return *allocator_; }
@@ -136,6 +143,10 @@ class Controller {
   ControllerConfig cfg_;
 
   stats::HoltEwma demand_holt_;
+  /// Per-SLO-class demand EWMAs (indexed by engine::QueryClass), fed from
+  /// the engine's per-class arrival windows each tick. Only observed while
+  /// the engine's SLO classes are enabled.
+  std::array<stats::Ewma, engine::kQueryClassCount> class_demand_ewma_;
   /// Online estimates of what the reuse cache absorbs, differenced from
   /// the engine's cumulative cache counters each tick and split by hit
   /// level: exact hits discount demand; near/far hit shares and their

@@ -125,6 +125,13 @@ ExperimentResult run_experiment(const CascadeEnvironment& env,
   r.cache_exact_hit_ratio = cache_stats.exact_hit_ratio();
   r.cache_mean_probed_cells = cache_stats.mean_probed_cells();
   r.cache_heap_compactions = cache_stats.heap_compactions;
+  for (std::size_t c = 0; c < engine::kQueryClassCount; ++c) {
+    const auto cls = static_cast<engine::QueryClass>(c);
+    r.class_completed[c] = sink.class_completed(cls);
+    r.class_dropped[c] = sink.class_dropped(cls);
+    r.class_violation_ratio[c] = sink.class_violation_ratio(cls);
+    r.class_mean_latency[c] = sink.class_mean_latency(cls);
+  }
   r.overall_fid = sink.completed() >= 2 ? sink.overall_fid() : -1.0;
   r.timeline = sink.timeline(cfg.timeline_window);
   r.control_history = controller.history();

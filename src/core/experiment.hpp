@@ -4,6 +4,7 @@
 // is a set of run_experiment() calls with different approaches/traces.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -79,6 +80,12 @@ struct ExperimentResult {
   /// unindexed) and lazy-eviction-heap compactions over the run.
   double cache_mean_probed_cells = 0.0;
   std::uint64_t cache_heap_compactions = 0;
+  /// Per-SLO-class terminals (indexed by engine::QueryClass; with classes
+  /// disabled the kStandard row carries everything).
+  std::array<std::size_t, engine::kQueryClassCount> class_completed{};
+  std::array<std::size_t, engine::kQueryClassCount> class_dropped{};
+  std::array<double, engine::kQueryClassCount> class_violation_ratio{};
+  std::array<double, engine::kQueryClassCount> class_mean_latency{};
   std::vector<engine::MetricsSink::TimelinePoint> timeline;
   std::vector<control::Controller::Snapshot> control_history;
 };

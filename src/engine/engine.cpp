@@ -203,11 +203,14 @@ std::vector<Query> CascadeEngine::configure_locked(WorkerSlot& w, int stage) {
   std::vector<Query> evicted;
   if (model_change || stage_change) {
     // Queued work targeted the old model/stage; hand it back for
-    // re-routing.
-    evicted.reserve(w.queue.size());
-    for (std::size_t k = 0; k < w.queue.size(); ++k)
-      evicted.push_back(std::move(w.queue[k].query));
-    w.queue.clear();
+    // re-routing. Class rings drain in priority order so re-routing
+    // preserves the class-ordered arrival sequence within the worker.
+    evicted.reserve(w.queue_size());
+    for (auto& ring : w.queues) {
+      for (std::size_t k = 0; k < ring.size(); ++k)
+        evicted.push_back(std::move(ring[k].query));
+      ring.clear();
+    }
     disarm_timer_locked(w);
   }
   if (model_change) {
@@ -246,6 +249,13 @@ Query CascadeEngine::submit_next() {
   q.prompt_id = static_cast<quality::QueryId>(prompt_sampler_.next());
   q.arrival_time = backend_.now();
   q.deadline = q.arrival_time + cfg_.slo_seconds;
+  if (cfg_.slo_classes.enabled) {
+    // The class stream rides the sampler's dedicated class RNG, never the
+    // engine rng_ (whose draw sequence the kDirect bernoulli depends on).
+    q.query_class = static_cast<QueryClass>(prompt_sampler_.next_class());
+    q.deadline = q.arrival_time +
+                 cfg_.slo_seconds * cfg_.slo_classes.multiplier(q.query_class);
+  }
   submit_locked(q);
   return q;
 }
@@ -258,6 +268,8 @@ void CascadeEngine::submit(Query q) {
 void CascadeEngine::submit_locked(Query q) {
   ++submitted_;
   demand_.add(backend_.now());
+  if (cfg_.slo_classes.enabled)
+    class_demand_[static_cast<std::size_t>(q.query_class)].add(backend_.now());
   if (cache_ != nullptr) {
     const auto hit = cache_->lookup(workload_.style(q.prompt_id),
                                     backend_.now());
@@ -327,7 +339,7 @@ CascadeEngine::WorkerSlot* CascadeEngine::shortest_queue_locked(int stage) {
   std::size_t best_len = 0;
   for (auto& w : workers_) {
     if (w.stage != stage || !w.configured) continue;
-    const std::size_t len = w.queue.size() + (w.busy ? 1 : 0);
+    const std::size_t len = w.queue_size() + (w.busy ? 1 : 0);
     if (best == nullptr || len < best_len) {
       best = &w;
       best_len = len;
@@ -375,7 +387,37 @@ void CascadeEngine::enqueue_locked(WorkerSlot& w, Query q) {
   DS_REQUIRE(w.configured, "enqueue on unconfigured worker");
   const double now = backend_.now();
   w.arrivals.add(now);
-  w.queue.push_back({std::move(q), now});
+  // With class-aware scheduling off (or classes disabled entirely) every
+  // query lives in the kStandard ring — the historical single FIFO.
+  std::size_t cls = static_cast<std::size_t>(QueryClass::kStandard);
+  if (cfg_.slo_classes.scheduling_active()) {
+    cls = static_cast<std::size_t>(q.query_class);
+    const std::size_t cap = cfg_.slo_classes.queue_capacity[cls];
+    if (cap > 0 && w.queues[cls].size() >= cap) {
+      // Per-class overflow, util::OverflowPolicy semantics:
+      //   interactive — kDropOldest: the freshest request wins (a stale
+      //     interactive query is already worthless to its user);
+      //   standard — kBlock rendered as admission backpressure: a
+      //     data-path queue cannot literally block the DES, so the
+      //     arriving query is rejected at the door;
+      //   batch — kDropNewest: reject the arrival, but work already
+      //     admitted to the batch queue is never shed.
+      ++class_admission_drops_[cls];
+      if (q.query_class == QueryClass::kInteractive) {
+        Query oldest = std::move(w.queues[cls].front().query);
+        w.queues[cls].pop_front();
+        ++w.dropped;
+        sink_.drop(oldest, now);
+        notify_terminal_locked(oldest, -1, now, true);
+      } else {
+        ++w.dropped;
+        sink_.drop(q, now);
+        notify_terminal_locked(q, -1, now, true);
+        return;
+      }
+    }
+  }
+  w.queues[cls].push_back({std::move(q), now});
   maybe_start_batch_locked(static_cast<std::size_t>(w.id));
 }
 
@@ -383,12 +425,12 @@ void CascadeEngine::enqueue_locked(WorkerSlot& w, Query q) {
 
 void CascadeEngine::maybe_start_batch_locked(std::size_t i) {
   WorkerSlot& w = workers_[i];
-  if (!w.configured || w.busy || w.queue.empty()) return;
+  if (!w.configured || w.busy || w.queue_empty()) return;
   const double now = backend_.now();
   if (now < w.ready_at) return;  // model still loading
 
   const int b = w.batch_size;
-  if (static_cast<int>(w.queue.size()) >= b) {
+  if (w.queue_size() >= static_cast<std::size_t>(b)) {
     disarm_timer_locked(w);
     start_batch_locked(i);
     return;
@@ -397,14 +439,25 @@ void CascadeEngine::maybe_start_batch_locked(std::size_t i) {
   // Under-filled: lazy batching, capped. Launch at the earlier of (a) the
   // latest time that still meets the tightest stage deadline and (b) one
   // execution period after the oldest enqueue (so early-stage queries are
-  // not held to the edge of their deadline just to fill a batch).
+  // not held to the edge of their deadline just to fill a batch). Scans
+  // cover every class ring; with classes disabled only the kStandard ring
+  // is populated and this is the historical single-queue scan.
   const double exec = exec_seconds(w);
-  double tightest = w.queue.front().query.stage_deadline;
-  double oldest = w.queue.front().at;
-  for (std::size_t k = 0; k < w.queue.size(); ++k) {
-    const Enqueued& e = w.queue[k];
-    tightest = std::min(tightest, e.query.stage_deadline);
-    oldest = std::min(oldest, e.at);
+  double tightest = 0.0;
+  double oldest = 0.0;
+  bool first = true;
+  for (const auto& ring : w.queues) {
+    for (std::size_t k = 0; k < ring.size(); ++k) {
+      const Enqueued& e = ring[k];
+      if (first) {
+        tightest = e.query.stage_deadline;
+        oldest = e.at;
+        first = false;
+        continue;
+      }
+      tightest = std::min(tightest, e.query.stage_deadline);
+      oldest = std::min(oldest, e.at);
+    }
   }
   const double launch_at =
       std::min(tightest - exec - cfg_.launch_slack_seconds, oldest + exec);
@@ -430,13 +483,30 @@ void CascadeEngine::maybe_start_batch_locked(std::size_t i) {
   });
 }
 
+CascadeEngine::Enqueued CascadeEngine::pop_next_locked(WorkerSlot& w) {
+  for (auto& ring : w.queues) {
+    if (ring.empty()) continue;
+    Enqueued e = std::move(ring.front());
+    ring.pop_front();
+    return e;
+  }
+  DS_CHECK(false, "pop_next_locked on empty worker queue");
+  return {};
+}
+
 void CascadeEngine::start_batch_locked(std::size_t i) {
   WorkerSlot& w = workers_[i];
-  DS_CHECK(!w.busy && !w.queue.empty(), "start_batch preconditions");
+  DS_CHECK(!w.busy && !w.queue_empty(), "start_batch preconditions");
   const int b = w.batch_size;
   const double exec = exec_seconds(w);
   const double now = backend_.now();
   const std::size_t stage = static_cast<std::size_t>(w.stage);
+  // Class-aware policies (batch-fill priority is free — it falls out of
+  // pop_next_locked's enum-ordered scan): batch-class work is never
+  // deadline-dropped, and in the cache-scaled pass 2 a batch member is
+  // *deferred* back to its ring rather than letting its full-fraction
+  // execution push an interactive (or standard) member past its deadline.
+  const bool class_aware = cfg_.slo_classes.scheduling_active();
 
   // Approximate cache hits skip a fraction of their diffusion steps, so a
   // batch runs for the mean per-stage step fraction of its members (misses
@@ -467,20 +537,29 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
   // append at the end either way).
   double min_fraction = 1.0;
   if (cache_ != nullptr)
-    for (std::size_t k = 0; k < w.queue.size(); ++k)
-      min_fraction =
-          std::min(min_fraction, w.queue[k].query.step_fraction_at(stage));
+    for (const auto& ring : w.queues)
+      for (std::size_t k = 0; k < ring.size(); ++k)
+        min_fraction =
+            std::min(min_fraction, ring[k].query.step_fraction_at(stage));
   const double optimistic_done_at = now + exec * min_fraction;
 
   std::vector<Query> batch = acquire_batch_locked(static_cast<std::size_t>(b));
   drop_mask_.clear();
   std::size_t alive = 0;
   double run_exec = exec;
+  // Batch-class members evicted by pass 2 on behalf of a tighter class.
+  // Held aside (not re-queued inline) so the refill loop cannot pull them
+  // straight back into the batch it just deferred them from.
+  std::vector<Query> deferred_batch_class;
   for (;;) {
-    while (!w.queue.empty() && alive < static_cast<std::size_t>(b)) {
-      Query q = std::move(w.queue.front().query);
-      w.queue.pop_front();
-      if (optimistic_done_at > q.stage_deadline) {
+    while (!w.queue_empty() && alive < static_cast<std::size_t>(b)) {
+      Query q = pop_next_locked(w).query;
+      // Batch-class work is only ever deferred, never deadline-dropped:
+      // its members skip the optimistic pass-1 drop (their multiplied
+      // deadlines make violation a quality signal, not a shedding one).
+      const bool droppable =
+          !(class_aware && q.query_class == QueryClass::kBatch);
+      if (droppable && optimistic_done_at > q.stage_deadline) {
         ++w.dropped;
         sink_.drop(q, now);
         notify_terminal_locked(q, -1, now, true);
@@ -497,25 +576,58 @@ void CascadeEngine::start_batch_locked(std::size_t i) {
     run_exec = exec * fraction_sum / static_cast<double>(alive);
     const double done_at = now + run_exec;
     std::size_t victim = batch.size();
+    bool victim_is_batch_class = false;
     for (std::size_t k = 0; k < batch.size(); ++k) {
       if (drop_mask_[k]) continue;
+      // Batch-class members never violate their way out of the batch.
+      if (class_aware && batch[k].query_class == QueryClass::kBatch) continue;
       if (done_at > batch[k].stage_deadline &&
           (victim == batch.size() ||
            batch[k].step_fraction_at(stage) >
                batch[victim].step_fraction_at(stage)))
         victim = k;
     }
+    if (victim != batch.size() && class_aware) {
+      // A tighter-class member is pushed past its deadline by this batch's
+      // scaled execution. Before dropping it, shed the *slowest*
+      // batch-class member instead (highest step fraction — its removal
+      // lowers the mean the most): batch work can never cost an
+      // interactive or standard query its deadline. The shed member is
+      // deferred back to its ring, not dropped.
+      std::size_t shed = batch.size();
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        if (drop_mask_[k]) continue;
+        if (batch[k].query_class != QueryClass::kBatch) continue;
+        if (shed == batch.size() ||
+            batch[k].step_fraction_at(stage) >
+                batch[shed].step_fraction_at(stage))
+          shed = k;
+      }
+      if (shed != batch.size()) {
+        victim = shed;
+        victim_is_batch_class = true;
+      }
+    }
     if (victim == batch.size()) break;
-    ++w.dropped;
-    sink_.drop(batch[victim], now);
-    notify_terminal_locked(batch[victim], -1, now, true);
+    if (victim_is_batch_class) {
+      deferred_batch_class.push_back(std::move(batch[victim]));
+    } else {
+      ++w.dropped;
+      sink_.drop(batch[victim], now);
+      notify_terminal_locked(batch[victim], -1, now, true);
+    }
     drop_mask_[victim] = 1;
     --alive;
   }
+  // Deferred batch-class members rejoin their ring (at the tail — they
+  // yielded once already) for a later, less-contended batch.
+  for (auto& q : deferred_batch_class)
+    w.queues[static_cast<std::size_t>(QueryClass::kBatch)].push_back(
+        {std::move(q), now});
   if (alive == 0) {
     recycle_batch_locked(std::move(batch));
     // Everything at the head was overdue; try again with what remains.
-    if (!w.queue.empty()) maybe_start_batch_locked(i);
+    if (!w.queue_empty()) maybe_start_batch_locked(i);
     return;
   }
   if (alive != batch.size()) {
@@ -676,12 +788,29 @@ double CascadeEngine::demand_rate() const {
   return demand_.rate(backend_.now());
 }
 
+std::array<double, kQueryClassCount> CascadeEngine::class_demand_rates()
+    const {
+  auto g = backend_.guard();
+  std::array<double, kQueryClassCount> out{};
+  if (!cfg_.slo_classes.enabled) return out;
+  const double now = backend_.now();
+  for (std::size_t c = 0; c < kQueryClassCount; ++c)
+    out[c] = class_demand_[c].rate(now);
+  return out;
+}
+
+std::array<std::uint64_t, kQueryClassCount>
+CascadeEngine::class_admission_drops() const {
+  auto g = backend_.guard();
+  return class_admission_drops_;
+}
+
 PoolStats CascadeEngine::pool_stats_locked(int stage) const {
   PoolStats s;
   const double now = backend_.now();
   for (const auto& w : workers_) {
     if (w.stage != stage) continue;
-    s.total_queue_length += static_cast<double>(w.queue.size());
+    s.total_queue_length += static_cast<double>(w.queue_size());
     s.arrival_rate += w.arrivals.rate(now);
     ++s.workers;
   }
@@ -727,7 +856,9 @@ CascadeEngine::WorkerInfo CascadeEngine::worker_info(std::size_t i) const {
   info.heavy = w.stage == static_cast<int>(chain_.size()) - 1;
   info.busy = w.busy;
   info.batch_size = w.batch_size;
-  info.queue_length = w.queue.size();
+  info.queue_length = w.queue_size();
+  for (std::size_t c = 0; c < kQueryClassCount; ++c)
+    info.class_queue_lengths[c] = w.queues[c].size();
   info.batches = w.batches;
   info.processed = w.processed;
   info.dropped = w.dropped;

@@ -32,6 +32,7 @@
 // DES-vs-threaded parity suites pin.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -112,6 +113,14 @@ class CascadeEngine {
   // --- runtime statistics for the controller -----------------------------
   /// Arrival rate into the system over the stats window (QPS).
   double demand_rate() const;
+  /// Per-class arrival rates (QPS) over the same window, indexed by
+  /// QueryClass. All-zero while SLO classes are disabled (the classless
+  /// path never touches the per-class counters).
+  std::array<double, kQueryClassCount> class_demand_rates() const;
+  /// Queries rejected at admission by a full per-class queue (standard
+  /// backpressure / batch drop-newest) or displaced by interactive
+  /// drop-oldest, indexed by QueryClass.
+  std::array<std::uint64_t, kQueryClassCount> class_admission_drops() const;
   /// Queue/arrival statistics of stage s's worker pool.
   PoolStats stage_stats(std::size_t s) const;
   PoolStats light_stats() const { return stage_stats(0); }
@@ -167,6 +176,9 @@ class CascadeEngine {
     bool busy = false;
     int batch_size = 0;
     std::size_t queue_length = 0;
+    /// Per-SLO-class admission-queue lengths (sums to queue_length; with
+    /// class-aware scheduling off everything sits in the kStandard row).
+    std::array<std::size_t, kQueryClassCount> class_queue_lengths{};
     std::uint64_t batches = 0;
     std::uint64_t processed = 0;
     std::uint64_t dropped = 0;
@@ -196,10 +208,28 @@ class CascadeEngine {
     int batch_size = 1;
     int quality_tier = 0;
 
-    /// Growable ring, not std::deque: slots (and the flat Query payloads
-    /// in them) are recycled in place, so steady-state enqueue/dequeue is
-    /// allocation-free once the ring reaches its high-water mark.
-    util::RingDeque<Enqueued> queue;
+    /// Per-class admission queues, indexed by QueryClass; scans iterate
+    /// classes in enum order, which doubles as batch-fill priority
+    /// (interactive first). With SLO classes disabled every query lives in
+    /// the kStandard ring, so the class-ordered iteration degenerates to
+    /// the historical single FIFO — byte-identical decisions. Each ring is
+    /// a growable RingDeque, not std::deque: slots (and the flat Query
+    /// payloads in them) are recycled in place, so steady-state
+    /// enqueue/dequeue is allocation-free once a ring reaches its
+    /// high-water mark.
+    std::array<util::RingDeque<Enqueued>, kQueryClassCount> queues;
+
+    std::size_t queue_size() const {
+      std::size_t n = 0;
+      for (const auto& q : queues) n += q.size();
+      return n;
+    }
+    bool queue_empty() const {
+      for (const auto& q : queues)
+        if (!q.empty()) return false;
+      return true;
+    }
+
     bool busy = false;
     double ready_at = 0.0;  ///< model-load completion time
     TimerHandle timer{};
@@ -231,6 +261,10 @@ class CascadeEngine {
   void route_locked(Query q);
   WorkerSlot* shortest_queue_locked(int stage);
   void enqueue_locked(WorkerSlot& w, Query q);
+  /// Pop the oldest entry of the highest-priority non-empty class ring
+  /// (enum order: interactive, standard, batch). Precondition: some ring
+  /// is non-empty.
+  Enqueued pop_next_locked(WorkerSlot& w);
   void disarm_timer_locked(WorkerSlot& w);
   void maybe_start_batch_locked(std::size_t i);
   void start_batch_locked(std::size_t i);
@@ -294,6 +328,13 @@ class CascadeEngine {
   std::function<void(const Query&, int, double, bool)> terminal_observer_;
 
   stats::SlidingWindowCounter demand_{12.0};
+  /// Per-class arrival counters (only touched while SLO classes are
+  /// enabled — the disabled path must do literally nothing extra).
+  std::array<stats::SlidingWindowCounter, kQueryClassCount> class_demand_{
+      {stats::SlidingWindowCounter{12.0}, stats::SlidingWindowCounter{12.0},
+       stats::SlidingWindowCounter{12.0}}};
+  /// Admission-policy rejections per class (see class_admission_drops()).
+  std::array<std::uint64_t, kQueryClassCount> class_admission_drops_{};
   std::uint64_t submitted_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t reconfigurations_ = 0;

@@ -44,12 +44,17 @@ void MetricsSink::complete(const Query& q, int served_tier,
     r.tier = served_tier;
     r.stage = q.stage;
     r.deferrals = q.deferrals;
+    r.query_class = q.query_class;
     r.hit_level = q.cache_hit;
     r.feature = served_image_feature(workload_, q, served_tier);
     records_.push_back(std::move(r));
   }
   ++n_completed_;
   if (late) ++n_late_;
+  const std::size_t cls = static_cast<std::size_t>(q.query_class);
+  ++class_completed_[cls];
+  if (late) ++class_late_[cls];
+  class_latency_[cls].add(completion_time - q.arrival_time);
   ++hit_level_counts_[static_cast<std::size_t>(q.cache_hit)];
   if (q.cache_hit == cache::HitLevel::kExact)
     cache_latency_.add(completion_time - q.arrival_time);
@@ -83,11 +88,25 @@ void MetricsSink::drop(const Query& q, double drop_time) {
     r.tier = -1;
     r.stage = q.stage;
     r.deferrals = q.deferrals;
+    r.query_class = q.query_class;
     r.hit_level = q.cache_hit;
     records_.push_back(std::move(r));
   }
   ++n_dropped_;
+  ++class_dropped_[static_cast<std::size_t>(q.query_class)];
   recent_.record(drop_time, true);
+}
+
+double MetricsSink::class_violation_ratio(QueryClass c) const {
+  const std::size_t n = class_total(c);
+  if (n == 0) return 0.0;
+  const std::size_t cls = static_cast<std::size_t>(c);
+  return static_cast<double>(class_late_[cls] + class_dropped_[cls]) /
+         static_cast<double>(n);
+}
+
+double MetricsSink::class_mean_latency(QueryClass c) const {
+  return class_latency_[static_cast<std::size_t>(c)].mean();
 }
 
 std::size_t MetricsSink::served_by_stage(std::size_t s) const {

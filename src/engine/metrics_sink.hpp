@@ -61,6 +61,24 @@ class MetricsSink {
   std::size_t dropped() const { return n_dropped_; }
   std::size_t total() const { return n_completed_ + n_dropped_; }
 
+  // --- per-SLO-class accounting ------------------------------------------
+  // With classes disabled every query is kStandard, so the kStandard row
+  // equals the overall counters and the other rows stay zero.
+  std::size_t class_completed(QueryClass c) const {
+    return class_completed_[static_cast<std::size_t>(c)];
+  }
+  std::size_t class_dropped(QueryClass c) const {
+    return class_dropped_[static_cast<std::size_t>(c)];
+  }
+  std::size_t class_total(QueryClass c) const {
+    return class_completed(c) + class_dropped(c);
+  }
+  /// Late completions + drops over terminated queries of class c (0 when
+  /// none terminated).
+  double class_violation_ratio(QueryClass c) const;
+  /// Mean end-to-end latency of completed class-c queries (0 before any).
+  double class_mean_latency(QueryClass c) const;
+
   /// Late completions + drops, over all terminated queries.
   double violation_ratio() const;
   /// Violation ratio over the recent sliding window (controller feedback
@@ -118,6 +136,7 @@ class MetricsSink {
     int tier;         ///< -1 for drops
     std::size_t stage;    ///< stage the query occupied at termination
     int deferrals;        ///< confidence-based deferrals in its history
+    QueryClass query_class;       ///< SLO class (kStandard when disabled)
     cache::HitLevel hit_level;    ///< admission-probe outcome
     std::vector<double> feature;  ///< empty for drops
   };
@@ -132,6 +151,11 @@ class MetricsSink {
   std::size_t n_dropped_ = 0;
   std::size_t n_late_ = 0;
   std::size_t n_light_served_ = 0;
+  /// Per-SLO-class terminals, indexed by QueryClass.
+  std::array<std::size_t, kQueryClassCount> class_completed_{};
+  std::array<std::size_t, kQueryClassCount> class_dropped_{};
+  std::array<std::size_t, kQueryClassCount> class_late_{};
+  std::array<stats::RunningStats, kQueryClassCount> class_latency_{};
   std::vector<std::size_t> served_by_stage_;  ///< grown on demand
   /// Completions per cache hit level, indexed by HitLevel's value.
   std::array<std::size_t, 4> hit_level_counts_{};

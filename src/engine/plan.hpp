@@ -15,10 +15,12 @@
 // diverge.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "cache/approx_cache.hpp"
+#include "engine/query.hpp"
 #include "trace/prompt_mix.hpp"
 #include "util/check.hpp"
 
@@ -81,6 +83,48 @@ struct AllocationPlan {
   }
 };
 
+/// Per-class SLO tiering, indexed by QueryClass. With `enabled == false`
+/// every query is kStandard on the single historical FIFO and the engine's
+/// serving decisions are byte-identical to a build without this struct
+/// (the EngineEquivalence suite pins that).
+///
+/// `class_aware_scheduling` separates *having* classes from *acting* on
+/// them: false keeps the class assignment and per-class deadlines but
+/// routes everything through the single kStandard FIFO with no admission
+/// caps and no class-aware batch formation — the fig13 baseline, so the
+/// "classes help" comparison holds deadlines constant and varies only the
+/// scheduling policy.
+struct SloClassConfig {
+  bool enabled = false;
+  /// Per-class deadline = arrival + slo_seconds * deadline_multiplier[c].
+  std::array<double, kQueryClassCount> deadline_multiplier{0.4, 1.0, 8.0};
+  /// Per-class, per-worker admission queue capacity (0 = unbounded).
+  /// Overflow follows util::OverflowPolicy semantics per class:
+  /// interactive = kDropOldest (freshest work wins), standard = kBlock
+  /// rendered as admission backpressure (the arriving query is rejected —
+  /// a data-path queue cannot literally block the DES), batch =
+  /// kDropNewest (reject the arrival; queued batch work is never shed).
+  std::array<std::size_t, kQueryClassCount> queue_capacity{64, 256, 4096};
+  /// Controller-side SLO objective weights (interactive > standard >
+  /// batch): the effective SLO fed to the allocators is the weighted
+  /// demand-share mean of the per-class deadlines.
+  std::array<double, kQueryClassCount> slo_weight{4.0, 2.0, 1.0};
+  bool class_aware_scheduling = true;
+
+  double multiplier(QueryClass c) const {
+    return deadline_multiplier[static_cast<std::size_t>(c)];
+  }
+  std::size_t capacity(QueryClass c) const {
+    return queue_capacity[static_cast<std::size_t>(c)];
+  }
+  double weight(QueryClass c) const {
+    return slo_weight[static_cast<std::size_t>(c)];
+  }
+  /// True when both the per-class queues and the class-aware batch/drop
+  /// policies are live (vs. merely tagging queries with classes).
+  bool scheduling_active() const { return enabled && class_aware_scheduling; }
+};
+
 struct EngineConfig {
   int total_workers = 16;
   double slo_seconds = 5.0;
@@ -109,6 +153,11 @@ struct EngineConfig {
   /// Defaults to the historical round-robin cycling; kZipf models the
   /// skewed, bursty prompt popularity real reuse caches feed on.
   trace::PromptMixConfig prompt_mix;
+  /// Per-class SLO tiering (admission queues, drop policies, class-aware
+  /// batching). Disabled by default; engine behaviour with
+  /// `slo_classes.enabled == false` is byte-identical to a build without
+  /// the subsystem.
+  SloClassConfig slo_classes;
 };
 
 }  // namespace diffserve::engine

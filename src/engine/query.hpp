@@ -19,12 +19,35 @@
 
 namespace diffserve::engine {
 
+/// Service class of a query — the tenant tier it arrived under. The
+/// numeric order doubles as batch-fill priority (interactive first) and
+/// indexes every per-class array in the system (queues, metrics, demand
+/// vectors), so the three values are a stable wire/ABI contract.
+enum class QueryClass : std::uint8_t {
+  kInteractive = 0,  ///< tight SLO, drop-oldest under overload
+  kStandard = 1,     ///< the paper's SLO; admission backpressure when full
+  kBatch = 2,        ///< background: huge deadline, never deadline-dropped
+};
+inline constexpr std::size_t kQueryClassCount = 3;
+
+inline const char* to_string(QueryClass c) {
+  switch (c) {
+    case QueryClass::kInteractive: return "interactive";
+    case QueryClass::kStandard: return "standard";
+    case QueryClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
 /// One text-to-image request travelling through the system.
 struct Query {
   std::uint64_t seq = 0;               ///< unique arrival sequence number
   quality::QueryId prompt_id = 0;      ///< index into the evaluation workload
   double arrival_time = 0.0;
-  double deadline = 0.0;               ///< arrival_time + SLO
+  double deadline = 0.0;               ///< arrival_time + SLO * class multiplier
+  /// Service class. kStandard when SLO classes are disabled (and for
+  /// queries decoded from pre-class wire frames).
+  QueryClass query_class = QueryClass::kStandard;
 
   /// Cascade stage the query currently occupies (0 = lightest).
   std::size_t stage = 0;

@@ -97,6 +97,10 @@ class Reader {
 
 // ---- shared sub-records ------------------------------------------------------
 
+/// Serialized Query size before the SLO-class byte was appended; frames
+/// this long decode with the pre-class layout (class defaults kStandard).
+constexpr std::size_t kQueryRecordLegacyBytes = 94;
+
 void write_query(Writer& w, const engine::Query& q) {
   w.u64(q.seq);
   w.u32(q.prompt_id);
@@ -115,9 +119,13 @@ void write_query(Writer& w, const engine::Query& q) {
   w.f64(q.cache_step_fraction);
   w.u32(q.cache_level_mask);
   w.f64(q.cache_resume_depth);
+  w.u8(static_cast<std::uint8_t>(q.query_class));
 }
 
-bool read_query(Reader& r, engine::Query* q) {
+/// `with_class` distinguishes the current layout from pre-class frames
+/// (selected by the caller from the payload length); legacy records carry
+/// no class byte and decode as kStandard.
+bool read_query(Reader& r, engine::Query* q, bool with_class) {
   std::uint32_t stage = 0;
   std::uint8_t hit = 0;
   const bool ok = r.u64(&q->seq) && r.u32(&q->prompt_id) &&
@@ -133,6 +141,12 @@ bool read_query(Reader& r, engine::Query* q) {
     return false;
   q->stage = stage;
   q->cache_hit = static_cast<cache::HitLevel>(hit);
+  q->query_class = engine::QueryClass::kStandard;
+  if (with_class) {
+    std::uint8_t cls = 0;
+    if (!r.u8(&cls) || cls >= engine::kQueryClassCount) return false;
+    q->query_class = static_cast<engine::QueryClass>(cls);
+  }
   return true;
 }
 
@@ -218,7 +232,11 @@ Frame encode(const QueryMsg& m) {
 bool decode(const Frame& f, QueryMsg* out) {
   if (!topic_is(f, kTopicQuery)) return false;
   Reader r(f.payload);
-  return r.u32(&out->shard) && read_query(r, &out->query) && r.done();
+  // Pre-class frames are exactly one byte shorter; they decode with the
+  // legacy layout and a kStandard class.
+  const bool with_class = f.payload.size() != 4 + kQueryRecordLegacyBytes;
+  return r.u32(&out->shard) && read_query(r, &out->query, with_class) &&
+         r.done();
 }
 
 // ---- query/terminal ----------------------------------------------------------
@@ -236,7 +254,9 @@ Frame encode(const TerminalMsg& m) {
 bool decode(const Frame& f, TerminalMsg* out) {
   if (!topic_is(f, kTopicTerminal)) return false;
   Reader r(f.payload);
-  return r.u32(&out->shard) && read_query(r, &out->query) &&
+  const bool with_class =
+      f.payload.size() != 4 + kQueryRecordLegacyBytes + 8 + 4 + 1;
+  return r.u32(&out->shard) && read_query(r, &out->query, with_class) &&
          r.f64(&out->time) && r.i32(&out->served_tier) &&
          r.boolean(&out->dropped) && r.done();
 }
@@ -274,6 +294,8 @@ Frame encode(const ShardStatsMsg& m) {
     w.f64(s.arrival_rate);
     w.i32(s.workers);
   }
+  w.u32(static_cast<std::uint32_t>(m.class_demand.size()));
+  for (double d : m.class_demand) w.f64(d);
   return make_frame(kTopicStats, Priority::kCritical, std::move(w));
 }
 
@@ -291,6 +313,13 @@ bool decode(const Frame& f, ShardStatsMsg* out) {
     if (!(r.f64(&s.queue_length) && r.f64(&s.arrival_rate) &&
           r.i32(&s.workers)))
       return false;
+  // Trailing per-class demand vector; pre-class frames end here.
+  out->class_demand.clear();
+  if (r.done()) return true;
+  if (!r.count(&n)) return false;
+  out->class_demand.resize(n);
+  for (auto& d : out->class_demand)
+    if (!r.f64(&d)) return false;
   return r.done();
 }
 

@@ -75,6 +75,10 @@ struct ShardStatsMsg {
   bool cache_enabled = false;
   cache::CacheStats cache;
   std::vector<StageSnapshot> stages;
+  /// Per-SLO-class arrival rates (QPS, indexed by engine::QueryClass).
+  /// Trailing optional field: pre-class frames end after `stages` and
+  /// decode with this empty.
+  std::vector<double> class_demand;
 };
 
 /// Frontend -> shard: this shard's slice of the global allocation.

@@ -297,6 +297,7 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   ecfg.record_terminal_events = cfg.record_terminal_events;
   ecfg.cache = cfg.cache;
   ecfg.prompt_mix = cfg.prompt_mix;
+  ecfg.slo_classes = cfg.slo_classes;
   engine::CascadeEngine eng(backend, env.workload(), env.repository(),
                             env.cascade(), env.discs(), env.scorer(), ecfg);
 
@@ -342,6 +343,13 @@ RuntimeResult run_threaded(const core::CascadeEnvironment& env,
   r.mean_latency = sink.mean_latency();
   r.light_served_fraction = sink.light_served_fraction();
   r.stage_served_fraction = sink.stage_served_fractions(eng.stage_count());
+  for (std::size_t c = 0; c < engine::kQueryClassCount; ++c) {
+    const auto cls = static_cast<engine::QueryClass>(c);
+    r.class_completed[c] = sink.class_completed(cls);
+    r.class_dropped[c] = sink.class_dropped(cls);
+    r.class_violation_ratio[c] = sink.class_violation_ratio(cls);
+    r.class_mean_latency[c] = sink.class_mean_latency(cls);
+  }
   r.overall_fid = r.completed >= 2 ? sink.overall_fid() : -1.0;
   return r;
 }

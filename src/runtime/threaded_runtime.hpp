@@ -33,6 +33,7 @@
 // in trace seconds, so results are directly comparable with the DES.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -47,6 +48,7 @@
 #include "control/allocator.hpp"
 #include "core/environment.hpp"
 #include "engine/backend.hpp"
+#include "engine/plan.hpp"
 #include "trace/arrivals.hpp"
 #include "trace/prompt_mix.hpp"
 #include "trace/rate_trace.hpp"
@@ -198,6 +200,9 @@ struct RuntimeConfig {
   /// and the prompt popularity model (defaults keep both off).
   cache::CacheConfig cache;
   trace::PromptMixConfig prompt_mix;
+  /// Per-class admission queues / drop policies / class-aware batching
+  /// (defaults keep classes off — single-class behavior is byte-identical).
+  engine::SloClassConfig slo_classes;
 };
 
 struct RuntimeResult {
@@ -218,6 +223,12 @@ struct RuntimeResult {
   /// unindexed) and lazy-eviction-heap compactions over the run.
   double cache_mean_probed_cells = 0.0;
   std::uint64_t cache_heap_compactions = 0;
+  /// Per-SLO-class terminals (indexed by engine::QueryClass; with classes
+  /// disabled the kStandard row carries everything).
+  std::array<std::size_t, engine::kQueryClassCount> class_completed{};
+  std::array<std::size_t, engine::kQueryClassCount> class_dropped{};
+  std::array<double, engine::kQueryClassCount> class_violation_ratio{};
+  std::array<double, engine::kQueryClassCount> class_mean_latency{};
 };
 
 /// Replay `trace` through the threaded runtime with the given allocation

@@ -23,6 +23,7 @@ namespace diffserve::serving {
 // Shared policy types, re-exported for the DES-facing API.
 using engine::AllocationPlan;
 using engine::Query;
+using engine::QueryClass;
 using engine::RoutingMode;
 using SystemConfig = engine::EngineConfig;
 

@@ -8,8 +8,11 @@
 namespace diffserve::trace {
 
 PromptSampler::PromptSampler(std::size_t n_prompts, PromptMixConfig cfg)
-    : cfg_(cfg), n_(n_prompts), rng_(cfg.seed) {
+    : cfg_(cfg), n_(n_prompts), rng_(cfg.seed), class_rng_(cfg.class_seed) {
   DS_REQUIRE(n_ >= 1, "sampler needs at least one prompt");
+  DS_REQUIRE(cfg_.interactive_share >= 0.0 && cfg_.batch_share >= 0.0 &&
+                 cfg_.interactive_share + cfg_.batch_share <= 1.0,
+             "class shares must be probabilities summing to <= 1");
   if (cfg_.kind == PromptMixConfig::Kind::kZipf) {
     DS_REQUIRE(cfg_.zipf_exponent >= 0.0, "negative Zipf exponent");
     DS_REQUIRE(cfg_.locality >= 0.0 && cfg_.locality <= 1.0,
@@ -47,6 +50,17 @@ std::uint32_t PromptSampler::next() {
     if (recent_.size() > cfg_.locality_window) recent_.pop_front();
   }
   return id;
+}
+
+int PromptSampler::next_class() {
+  // Degenerate mix: no draw at all, so the class RNG's stream (and, more
+  // importantly, the absence of any draw) keeps single-class runs
+  // byte-identical to the pre-class sampler.
+  if (!cfg_.has_class_mix()) return 1;
+  const double u = class_rng_.uniform();
+  if (u < cfg_.interactive_share) return 0;
+  if (u < cfg_.interactive_share + cfg_.batch_share) return 2;
+  return 1;
 }
 
 }  // namespace diffserve::trace

@@ -39,6 +39,21 @@ struct PromptMixConfig {
   /// How many recent draws the locality pool keeps.
   std::size_t locality_window = 64;
   std::uint64_t seed = 0x5eedULL;
+
+  // --- service-class mix (the workload's tenant-tier axis) ----------------
+  /// Share of admissions tagged interactive / batch; the remainder is
+  /// standard. The degenerate default (both 0) makes next_class() return
+  /// standard without touching any RNG, so single-class streams are
+  /// byte-identical to the pre-class sampler. The class stream draws from
+  /// its own dedicated RNG (`class_seed`), never from the prompt RNG —
+  /// enabling a class mix must not perturb the prompt sequence.
+  double interactive_share = 0.0;
+  double batch_share = 0.0;
+  std::uint64_t class_seed = 0xc1a55ULL;
+
+  bool has_class_mix() const {
+    return interactive_share > 0.0 || batch_share > 0.0;
+  }
 };
 
 /// Stateful prompt-id stream over a workload of `n_prompts` prompts.
@@ -49,12 +64,19 @@ class PromptSampler {
   /// Prompt id of the next admission.
   std::uint32_t next();
 
+  /// Service-class index of the next admission (0 = interactive,
+  /// 1 = standard, 2 = batch — engine::QueryClass's values; trace stays
+  /// decoupled from the engine headers). With no class mix configured this
+  /// returns 1 without consuming a random draw.
+  int next_class();
+
   const PromptMixConfig& config() const { return cfg_; }
 
  private:
   PromptMixConfig cfg_;
   std::size_t n_;
   util::Rng rng_;
+  util::Rng class_rng_;            ///< dedicated class-mix stream
   std::uint64_t counter_ = 0;      ///< round-robin position
   std::vector<double> cdf_;        ///< Zipf CDF over popularity ranks
   std::deque<std::uint32_t> recent_;

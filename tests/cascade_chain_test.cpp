@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <memory>
 #include <set>
@@ -34,6 +35,7 @@
 #include "runtime/threaded_runtime.hpp"
 #include "serving/system.hpp"
 #include "sim/simulation.hpp"
+#include "trace/prompt_mix.hpp"
 #include "util/rng.hpp"
 #include "util/trace_clock.hpp"
 
@@ -264,6 +266,254 @@ TEST_F(ChainFixture, RandomizedInvariantsOnThreadedBackend) {
     EXPECT_EQ(eng.submitted(), sc.arrivals.size());
     check_invariants(eng, sc.arrivals.size(), seed);
   }
+}
+
+// --- mixed-SLO-class traffic ------------------------------------------------
+
+/// Random class setup: classes on, random interactive/standard admission
+/// caps (0 = unbounded), batch always unbounded so zero batch drops is an
+/// assertable invariant (admission is the only sanctioned batch drop).
+SloClassConfig random_classes(util::Rng& rng) {
+  SloClassConfig c;
+  c.enabled = true;
+  c.queue_capacity = {static_cast<std::size_t>(rng.uniform_int(0, 6)),
+                      static_cast<std::size_t>(rng.uniform_int(0, 8)), 0};
+  return c;
+}
+
+trace::PromptMixConfig random_class_mix(util::Rng& rng) {
+  trace::PromptMixConfig mix;
+  mix.interactive_share = rng.uniform(0.1, 0.4);
+  mix.batch_share = rng.uniform(0.1, 0.4);
+  return mix;
+}
+
+/// Keep stage 0 staffed so no class is ever dropped for want of *any*
+/// capacity — the classed invariants isolate the per-class policies.
+AllocationPlan staffed(AllocationPlan p) {
+  int total = 0;
+  for (int x : p.workers) total += x;
+  if (total == 0) p.workers[0] = 1;
+  return p;
+}
+
+/// Per-class conservation + policy invariants on any quiesced sink:
+/// class rows sum to the totals, every record carries a valid class, and
+/// admitted batch-class work is never dropped.
+void check_class_invariants(const MetricsSink& sink, std::size_t seed) {
+  std::size_t completed = 0, dropped = 0;
+  std::array<std::size_t, kQueryClassCount> rec_terminals{};
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    completed += sink.class_completed(static_cast<QueryClass>(c));
+    dropped += sink.class_dropped(static_cast<QueryClass>(c));
+  }
+  EXPECT_EQ(completed, sink.completed()) << "seed " << seed;
+  EXPECT_EQ(dropped, sink.dropped()) << "seed " << seed;
+  for (const auto& r : sink.records()) {
+    const auto cidx = static_cast<std::size_t>(r.query_class);
+    ASSERT_LT(cidx, kQueryClassCount) << "seed " << seed;
+    ++rec_terminals[cidx];
+  }
+  for (std::size_t c = 0; c < kQueryClassCount; ++c)
+    EXPECT_EQ(rec_terminals[c],
+              sink.class_total(static_cast<QueryClass>(c)))
+        << "seed " << seed;
+  // Starvation-freedom: batch work is deferred, never shed (its admission
+  // queue is unbounded in these scenarios).
+  EXPECT_EQ(sink.class_dropped(QueryClass::kBatch), 0u) << "seed " << seed;
+}
+
+TEST_F(ChainFixture, RandomizedClassedInvariantsOnDesBackend) {
+  for (std::size_t seed = 1; seed <= kIterationsPerBackend; ++seed) {
+    util::Rng rng(40'000 + seed);
+    const Scenario sc = random_scenario(rng, /*span=*/8.0);
+    const SloClassConfig classes = random_classes(rng);
+
+    sim::Simulation sim;
+    serving::SystemConfig cfg;
+    cfg.total_workers = sc.total_workers;
+    cfg.slo_seconds = sc.slo;
+    cfg.model_load_delay = sc.load_delay;
+    cfg.seed = seed;
+    cfg.slo_classes = classes;
+    cfg.prompt_mix = random_class_mix(rng);
+    serving::ServingSystem system(sim, *workload_, *repo_, chain(sc.depth),
+                                  disc_, *scorer_, cfg);
+
+    for (const auto& timed_plan : sc.plans)
+      sim.schedule_at(timed_plan.first,
+                      [&system, p = staffed(timed_plan.second)] {
+                        system.apply(p);
+                      });
+    system.inject_arrivals(sc.arrivals);
+    // Mid-run: per-class rings respect their admission caps and sum to the
+    // worker's queue length.
+    for (double t : {sc.horizon * 0.3, sc.horizon * 0.7}) {
+      sim.schedule_at(t, [&system, &classes] {
+        for (std::size_t i = 0; i < system.worker_count(); ++i) {
+          const auto info = system.engine().worker_info(i);
+          std::size_t sum = 0;
+          for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+            sum += info.class_queue_lengths[c];
+            if (classes.queue_capacity[c] > 0)
+              EXPECT_LE(info.class_queue_lengths[c],
+                        classes.queue_capacity[c]);
+          }
+          EXPECT_EQ(sum, info.queue_length);
+        }
+      });
+    }
+
+    sim.run_until(sc.horizon + sc.slo + 30.0);
+    sim.run_all();
+
+    EXPECT_EQ(system.engine().submitted(), sc.arrivals.size());
+    check_invariants(system.engine(), sc.arrivals.size(), seed);
+    EXPECT_EQ(system.sink().total(), sc.arrivals.size()) << "seed " << seed;
+    check_class_invariants(system.sink(), seed);
+    // Every admitted batch-class query completed — nothing starved.
+    EXPECT_EQ(system.sink().class_completed(QueryClass::kBatch),
+              system.sink().class_total(QueryClass::kBatch))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(ChainFixture, RandomizedClassedInvariantsOnThreadedBackend) {
+  for (std::size_t seed = 1; seed <= kIterationsPerBackend; ++seed) {
+    util::Rng rng(50'000 + seed);
+    Scenario sc = random_scenario(rng, /*span=*/1.5);
+    sc.slo = rng.uniform(1.5, 3.0);
+
+    util::TraceClock clock(/*time_scale=*/200.0);
+    runtime::ThreadedBackend backend(clock, sc.total_workers);
+    EngineConfig cfg;
+    cfg.total_workers = sc.total_workers;
+    cfg.slo_seconds = sc.slo;
+    cfg.model_load_delay = sc.load_delay;
+    cfg.launch_slack_seconds = 0.004 * 200.0;
+    cfg.seed = seed;
+    cfg.slo_classes = random_classes(rng);
+    cfg.prompt_mix = random_class_mix(rng);
+    CascadeEngine eng(backend, *workload_, *repo_, chain(sc.depth), disc_,
+                      *scorer_, cfg);
+    backend.start();
+
+    std::size_t ai = 0, pi = 0;
+    while (ai < sc.arrivals.size() || pi < sc.plans.size()) {
+      const bool plan_next =
+          pi < sc.plans.size() &&
+          (ai >= sc.arrivals.size() ||
+           sc.plans[pi].first <= sc.arrivals[ai]);
+      if (plan_next) {
+        clock.sleep_until(sc.plans[pi].first);
+        eng.apply(staffed(sc.plans[pi].second));
+        ++pi;
+      } else {
+        clock.sleep_until(sc.arrivals[ai]);
+        eng.submit_next();
+        ++ai;
+      }
+    }
+    clock.sleep_until(sc.horizon + sc.slo + 2.0);
+    backend.stop();
+
+    EXPECT_EQ(eng.submitted(), sc.arrivals.size());
+    check_invariants(eng, sc.arrivals.size(), seed);
+    // Stragglers may remain queued at stop; the class rows must still sum
+    // to what terminated, and no admitted batch-class work was dropped.
+    check_class_invariants(eng.sink(), seed);
+  }
+}
+
+void check_frontend_records(const cluster::ShardFrontend& frontend,
+                            std::size_t submitted, std::size_t seed);
+
+TEST_F(ChainFixture, RandomizedShardedClassPreservedAcrossWire) {
+  // Classed traffic through the sharded topology: the frontend draws each
+  // query's class; the class byte must survive query/submit to the shard
+  // (whose per-class queues act on it) and ride query/terminal back into
+  // the cluster sink. Per-class counts must agree between the shard
+  // engines' own sinks and the frontend's wire-fed sink.
+  std::array<std::size_t, kQueryClassCount> seen_totals{};
+  for (std::size_t seed = 1; seed <= kIterationsPerBackend; ++seed) {
+    util::Rng rng(60'000 + seed);
+    const Scenario sc = random_scenario(rng, /*span=*/8.0);
+    const SloClassConfig classes = random_classes(rng);
+    const trace::PromptMixConfig mix = random_class_mix(rng);
+    const int shards = static_cast<int>(rng.uniform_int(2, 3));
+    const double hop = rng.bernoulli(0.5) ? 0.0 : 0.02;
+
+    sim::Simulation sim;
+    serving::SimulationBackend backend(sim);
+    std::vector<std::unique_ptr<CascadeEngine>> engines;
+    for (int s = 0; s < shards; ++s) {
+      EngineConfig cfg;
+      cfg.total_workers = sc.total_workers;
+      cfg.slo_seconds = sc.slo;
+      cfg.model_load_delay = sc.load_delay;
+      cfg.seed = seed * 16 + static_cast<std::size_t>(s);
+      cfg.slo_classes = classes;
+      engines.push_back(std::make_unique<CascadeEngine>(
+          backend, *workload_, *repo_, chain(sc.depth), disc_, *scorer_,
+          cfg));
+    }
+
+    cluster::FrontendConfig fcfg;
+    fcfg.slo_seconds = sc.slo;
+    fcfg.slo_classes = classes;
+    fcfg.prompt_mix = mix;
+    cluster::ShardFrontend frontend(*workload_, *scorer_, fcfg);
+    net::DeferFn defer = [&sim](double d, std::function<void()> fn) {
+      sim.schedule_in(d, std::move(fn));
+    };
+    std::vector<std::unique_ptr<cluster::ShardNode>> nodes;
+    for (int s = 0; s < shards; ++s) {
+      auto link = net::make_loopback_link(hop, defer);
+      nodes.push_back(std::make_unique<cluster::ShardNode>(
+          static_cast<std::uint32_t>(s), *engines[s],
+          std::move(link.second)));
+      frontend.attach_shard(std::move(link.first));
+    }
+
+    for (const auto& timed_plan : sc.plans) {
+      for (int s = 0; s < shards; ++s) {
+        net::PlanMsg m;
+        m.shard = static_cast<std::uint32_t>(s);
+        m.plan = staffed(random_plan(rng, sc.depth, sc.total_workers));
+        sim.schedule_at(timed_plan.first, [&frontend, m] {
+          frontend.send_to_shard(m.shard, net::encode(m));
+        });
+      }
+    }
+    for (const double t : sc.arrivals)
+      sim.schedule_at(t, [&frontend, &sim] {
+        frontend.submit_next(sim.now());
+      });
+
+    sim.run_until(sc.horizon + sc.slo + 30.0);
+    sim.run_all();
+
+    EXPECT_EQ(frontend.submitted(), sc.arrivals.size());
+    EXPECT_TRUE(frontend.drained()) << "seed " << seed;
+    EXPECT_EQ(frontend.sink().total(), sc.arrivals.size()) << "seed " << seed;
+    check_frontend_records(frontend, sc.arrivals.size(), seed);
+    check_class_invariants(frontend.sink(), seed);
+    // Wire preservation: the shard engines only ever learned a query's
+    // class from the submit frame, and the frontend sink only from the
+    // terminal frame — their per-class ledgers must agree exactly.
+    for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+      const auto cls = static_cast<QueryClass>(c);
+      std::size_t shard_total = 0;
+      for (const auto& eng : engines)
+        shard_total += eng->sink().class_total(cls);
+      EXPECT_EQ(shard_total, frontend.sink().class_total(cls))
+          << "seed " << seed << " class " << c;
+      seen_totals[c] += shard_total;
+    }
+  }
+  // The random mixes actually exercised all three classes.
+  for (std::size_t c = 0; c < kQueryClassCount; ++c)
+    EXPECT_GT(seen_totals[c], 0u);
 }
 
 // --- sharded topology invariants -------------------------------------------

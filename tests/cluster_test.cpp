@@ -297,6 +297,102 @@ control::AllocationDecision sample_decision() {
   return d;
 }
 
+// ---- wire-format drift guards: SLO class field -----------------------------------
+
+net::QueryMsg classed_query_msg(engine::QueryClass cls) {
+  net::QueryMsg m;
+  m.shard = 1;
+  m.query.seq = 7;
+  m.query.prompt_id = 42;
+  m.query.arrival_time = 1.5;
+  m.query.deadline = 3.5;
+  m.query.stage_deadline = 3.5;
+  m.query.query_class = cls;
+  return m;
+}
+
+TEST(Wire, QueryAndTerminalFramesPreserveSloClass) {
+  for (std::size_t c = 0; c < engine::kQueryClassCount; ++c) {
+    const auto cls = static_cast<engine::QueryClass>(c);
+    const net::QueryMsg m = classed_query_msg(cls);
+    net::QueryMsg out;
+    ASSERT_TRUE(net::decode(net::encode(m), &out));
+    EXPECT_EQ(out.query.query_class, cls);
+
+    net::TerminalMsg t;
+    t.shard = m.shard;
+    t.query = m.query;
+    t.time = 4.0;
+    t.served_tier = 2;
+    t.dropped = false;
+    net::TerminalMsg tout;
+    ASSERT_TRUE(net::decode(net::encode(t), &tout));
+    EXPECT_EQ(tout.query.query_class, cls);
+  }
+}
+
+TEST(Wire, LegacySingleClassFramesDecodeAsStandard) {
+  // Pre-class peers emit 98-byte query/submit and 111-byte query/terminal
+  // payloads — today's layout minus the class byte. Surgically removing
+  // that byte reproduces them exactly; both must still decode, mapping
+  // every query to the paper's single tenant class (kStandard). Start
+  // from a kInteractive query so a decoder that *ignored* the truncation
+  // (or found the byte elsewhere) would be caught.
+  const net::QueryMsg m = classed_query_msg(engine::QueryClass::kInteractive);
+  net::Frame qf = net::encode(m);
+  ASSERT_EQ(qf.payload.size(), 99u);  // 4 shard + 95 query record
+  qf.payload.pop_back();              // class byte is the record's tail
+  net::QueryMsg qout;
+  ASSERT_TRUE(net::decode(qf, &qout));
+  EXPECT_EQ(qout.query.query_class, engine::QueryClass::kStandard);
+  EXPECT_EQ(qout.query.seq, m.query.seq);
+  EXPECT_EQ(qout.query.deadline, m.query.deadline);
+
+  net::TerminalMsg t;
+  t.shard = 2;
+  t.query = m.query;
+  t.time = 4.0;
+  t.served_tier = 1;
+  t.dropped = false;
+  net::Frame tf = net::encode(t);
+  ASSERT_EQ(tf.payload.size(), 112u);  // 4 + 95 + 8 time + 4 tier + 1 flag
+  // The class byte rides inside the embedded query record, not at the
+  // payload tail: offset 4 (shard) + 94 (legacy record).
+  tf.payload.erase(tf.payload.begin() + 98);
+  net::TerminalMsg tout;
+  ASSERT_TRUE(net::decode(tf, &tout));
+  EXPECT_EQ(tout.query.query_class, engine::QueryClass::kStandard);
+  EXPECT_EQ(tout.query.seq, t.query.seq);
+  EXPECT_EQ(tout.time, t.time);
+  EXPECT_EQ(tout.served_tier, t.served_tier);
+  EXPECT_FALSE(tout.dropped);
+}
+
+TEST(Wire, LegacyShardStatsFramesDecodeWithoutClassDemand) {
+  net::ShardStatsMsg m;
+  m.shard = 2;
+  m.token = 5;
+  m.time = 45.0;
+  m.demand_rate = 7.25;
+  m.submitted = 321;
+  m.stages = {{3.0, 4.5, 4}};
+  m.class_demand = {1.5, 2.5, 0.25};
+  net::ShardStatsMsg out;
+  ASSERT_TRUE(net::decode(net::encode(m), &out));
+  ASSERT_EQ(out.class_demand.size(), 3u);
+  EXPECT_EQ(out.class_demand[1], 2.5);
+
+  // A pre-class stats frame simply ends after the stage vector; the
+  // trailing per-class demand block is optional on decode.
+  net::Frame f = net::encode(m);
+  f.payload.resize(f.payload.size() - (4 + 3 * 8));
+  net::ShardStatsMsg legacy;
+  ASSERT_TRUE(net::decode(f, &legacy));
+  EXPECT_TRUE(legacy.class_demand.empty());
+  EXPECT_EQ(legacy.demand_rate, m.demand_rate);
+  ASSERT_EQ(legacy.stages.size(), 1u);
+}
+
 TEST(SplitPlan, SingleShardIsTheIdentity) {
   const auto d = sample_decision();
   const auto plans = ClusterController::split_plan(d, {5.0}, 16);

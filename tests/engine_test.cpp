@@ -126,6 +126,92 @@ TEST(EngineEquivalence, DisabledCacheIsByteIdentical) {
   EXPECT_EQ(gated.cache_hit_ratio, 0.0);
 }
 
+TEST(EngineEquivalence, DisabledSloClassesIsByteIdentical) {
+  // SLO classes must be a pure switch: with slo_classes.enabled == false,
+  // every other class knob (multipliers, queue capacities, weights, the
+  // class mix itself) is dead state and the run reproduces the default
+  // configuration *exactly*.
+  const auto tr = trace::RateTrace::azure_like(2.0, 8.0, 80.0, 7);
+  core::RunConfig rc;
+  rc.approach = core::Approach::kDiffServeExhaustive;
+  rc.total_workers = 6;
+  rc.trace = tr;
+  rc.controller.initial_demand_guess = tr.qps_at(0.0);
+  const auto plain = core::run_experiment(shared_env(), rc);
+
+  core::RunConfig off = rc;
+  off.system.slo_classes.enabled = false;  // the switch under test
+  off.system.slo_classes.deadline_multiplier = {0.1, 0.5, 100.0};
+  off.system.slo_classes.queue_capacity = {1, 2, 3};  // aggressive dead knobs
+  off.system.slo_classes.slo_weight = {100.0, 1.0, 0.01};
+  off.system.slo_classes.class_aware_scheduling = true;
+  off.system.prompt_mix.interactive_share = 0.4;
+  off.system.prompt_mix.batch_share = 0.4;
+  const auto gated = core::run_experiment(shared_env(), off);
+
+  EXPECT_EQ(plain.overall_fid, gated.overall_fid);
+  EXPECT_EQ(plain.violation_ratio, gated.violation_ratio);
+  EXPECT_EQ(plain.mean_latency, gated.mean_latency);
+  EXPECT_EQ(plain.light_served_fraction, gated.light_served_fraction);
+  EXPECT_EQ(plain.submitted, gated.submitted);
+  EXPECT_EQ(plain.completed, gated.completed);
+  EXPECT_EQ(plain.dropped, gated.dropped);
+  EXPECT_EQ(plain.reconfigurations, gated.reconfigurations);
+  // With classes off every terminal lands in the kStandard row.
+  EXPECT_EQ(gated.class_completed[1], gated.completed);
+  EXPECT_EQ(gated.class_completed[0] + gated.class_completed[2], 0u);
+}
+
+TEST(EngineParity, ThreeClassMixDesAndThreadedAgree) {
+  // §4.3 fidelity methodology extended to classed traffic: the same
+  // 3-class mix replayed through both backends agrees per class, not just
+  // in aggregate.
+  const auto tr = trace::RateTrace::azure_like(2.0, 8.0, 80.0, 7);
+  SloClassConfig classes;
+  classes.enabled = true;
+  trace::PromptMixConfig mix;
+  mix.interactive_share = 0.3;
+  mix.batch_share = 0.3;
+
+  core::RunConfig sim_cfg;
+  sim_cfg.approach = core::Approach::kDiffServeExhaustive;
+  sim_cfg.total_workers = 6;
+  sim_cfg.trace = tr;
+  sim_cfg.controller.initial_demand_guess = tr.qps_at(0.0);
+  sim_cfg.system.slo_classes = classes;
+  sim_cfg.system.prompt_mix = mix;
+  const auto des = core::run_experiment(shared_env(), sim_cfg);
+
+  control::ExhaustiveAllocator alloc;
+  runtime::RuntimeConfig rt_cfg;
+  rt_cfg.total_workers = 6;
+  rt_cfg.time_scale = 30.0;
+  rt_cfg.slo_classes = classes;
+  rt_cfg.prompt_mix = mix;
+  const auto threaded = runtime::run_threaded(shared_env(), alloc, tr, rt_cfg);
+
+  ASSERT_GT(des.overall_fid, 0.0);
+  ASSERT_GT(threaded.overall_fid, 0.0);
+  const double fid_rel_diff =
+      std::fabs(des.overall_fid - threaded.overall_fid) / des.overall_fid;
+  EXPECT_LT(fid_rel_diff, 0.05);
+  EXPECT_EQ(des.submitted, threaded.submitted);
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    SCOPED_TRACE(to_string(static_cast<QueryClass>(c)));
+    // Identical class streams on both backends (same sampler seed), so
+    // the per-class populations match exactly and the per-class SLO
+    // outcomes differ only by wall-clock scheduling jitter.
+    EXPECT_EQ(des.class_completed[c] + des.class_dropped[c],
+              threaded.class_completed[c] + threaded.class_dropped[c]);
+    EXPECT_LT(std::fabs(des.class_violation_ratio[c] -
+                        threaded.class_violation_ratio[c]),
+              0.05);
+  }
+  // The mix actually produced all three classes.
+  for (std::size_t c = 0; c < kQueryClassCount; ++c)
+    EXPECT_GT(des.class_completed[c] + des.class_dropped[c], 0u);
+}
+
 TEST(EngineReconfig, DesEvictionReroutesAndCountsOncePerPlan) {
   const auto& env = shared_env();
   sim::Simulation sim;
